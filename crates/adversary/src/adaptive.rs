@@ -1,0 +1,132 @@
+use adn_graph::EdgeSet;
+use adn_types::NodeId;
+
+use crate::{Adversary, AdversaryView};
+
+/// State-inspecting worst-case adversary: each receiver hears from the `d`
+/// delivering senders whose **state values are closest to its own**.
+///
+/// The adversary is explicitly allowed to read internal states before
+/// choosing links (§I). Feeding every node values it already (nearly)
+/// holds minimizes the information content of each quorum and thus the
+/// per-phase contraction — this is the adversary that pushes DAC's
+/// measured convergence rate toward its theoretical 1/2 bound
+/// (experiment E03). It still honors `(1, d)`-dynaDegree: `d` distinct
+/// senders per receiver per round.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveClosest {
+    d: usize,
+}
+
+impl AdaptiveClosest {
+    /// Creates the adversary with per-round degree `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "degree must be positive");
+        AdaptiveClosest { d }
+    }
+
+    /// The per-round degree granted.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+}
+
+impl Adversary for AdaptiveClosest {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let n = view.params.n();
+        let mut e = EdgeSet::empty(n);
+        for v in NodeId::all(n) {
+            let my_value = view.values[v.index()].get();
+            let mut senders = view.senders_for(v);
+            // Sort by distance to the receiver's value, ties by index for
+            // determinism.
+            senders.sort_by(|&a, &b| {
+                let da = (view.values[a.index()].get() - my_value).abs();
+                let db = (view.values[b.index()].get() - my_value).abs();
+                da.total_cmp(&db).then(a.cmp(&b))
+            });
+            for &u in senders.iter().take(self.d) {
+                e.insert(u, v);
+            }
+        }
+        e
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-closest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use adn_graph::checker;
+    use adn_graph::NodeSet;
+    use adn_types::{Params, Phase, Round, Value};
+
+    #[test]
+    fn honors_1_d() {
+        for d in [1, 3, 5] {
+            let s = record(&mut AdaptiveClosest::new(d), 8, 6);
+            assert_eq!(checker::max_dyna_degree(&s, 1, &[]), Some(d));
+        }
+    }
+
+    #[test]
+    fn picks_value_nearest_senders() {
+        // Receiver 0 has value 0.0; senders at 0.1, 0.5, 0.9. With d = 1 it
+        // must hear only the 0.1 node.
+        let n = 4;
+        let params = Params::new(n, 0, 0.1).unwrap();
+        let phases = vec![Phase::ZERO; n];
+        let values = vec![
+            Value::new(0.0).unwrap(),
+            Value::new(0.1).unwrap(),
+            Value::new(0.5).unwrap(),
+            Value::new(0.9).unwrap(),
+        ];
+        let deliverers = NodeSet::full(n);
+        let honest = NodeSet::full(n);
+        let view = AdversaryView {
+            round: Round::ZERO,
+            params,
+            phases: &phases,
+            values: &values,
+            deliverers: &deliverers,
+            honest: &honest,
+        };
+        let e = AdaptiveClosest::new(1).edges(&view);
+        assert!(e.contains(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(e.in_degree(NodeId::new(0)), 1);
+        // Receiver 3 (0.9) hears the 0.5 node.
+        assert!(e.contains(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // All values equal: distances tie, lowest indices win.
+        let n = 5;
+        let params = Params::new(n, 0, 0.1).unwrap();
+        let phases = vec![Phase::ZERO; n];
+        let values = vec![Value::HALF; n];
+        let deliverers = NodeSet::full(n);
+        let honest = NodeSet::full(n);
+        let view = AdversaryView {
+            round: Round::ZERO,
+            params,
+            phases: &phases,
+            values: &values,
+            deliverers: &deliverers,
+            honest: &honest,
+        };
+        let e = AdaptiveClosest::new(2).edges(&view);
+        // Receiver 4 hears nodes 0 and 1.
+        assert!(e.contains(NodeId::new(0), NodeId::new(4)));
+        assert!(e.contains(NodeId::new(1), NodeId::new(4)));
+    }
+}

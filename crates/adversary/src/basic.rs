@@ -1,0 +1,81 @@
+use adn_graph::EdgeSet;
+use adn_types::NodeId;
+
+use crate::{Adversary, AdversaryView};
+
+/// The benign extreme: every pair of delivering nodes is connected every
+/// round — `(1, n−1)`-dynaDegree when nobody is faulty.
+///
+/// ```
+/// use adn_adversary::{Adversary, Complete};
+/// let adv = Complete;
+/// assert_eq!(adv.name(), "complete");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Complete;
+
+impl Adversary for Complete {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let n = view.params.n();
+        let mut e = EdgeSet::empty(n);
+        for v in NodeId::all(n) {
+            for u in view.deliverers.iter() {
+                if u != v {
+                    e.insert(u, v);
+                }
+            }
+        }
+        e
+    }
+
+    fn name(&self) -> &'static str {
+        "complete"
+    }
+}
+
+/// The malicious extreme: drops every message every round. No consensus
+/// algorithm can terminate under it (0-dynaDegree); used to test blocking
+/// detection and round caps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silence;
+
+impl Adversary for Silence {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        EdgeSet::empty(view.params.n())
+    }
+
+    fn name(&self) -> &'static str {
+        "silence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use adn_graph::checker;
+
+    #[test]
+    fn complete_gives_full_dyna_degree() {
+        let s = record(&mut Complete, 6, 4);
+        assert_eq!(checker::max_dyna_degree(&s, 1, &[]), Some(5));
+    }
+
+    #[test]
+    fn complete_routes_around_dead_senders() {
+        use adn_graph::NodeSet;
+        let mut deliverers = NodeSet::full(5);
+        deliverers.remove(NodeId::new(4));
+        let s = crate::testutil::record_with_deliverers(&mut Complete, 5, 3, &deliverers);
+        // Realized degree is 3 for the survivors' peers (4 deliverers, minus
+        // self for receivers among them).
+        assert_eq!(checker::max_dyna_degree(&s, 1, &[]), Some(3));
+    }
+
+    #[test]
+    fn silence_delivers_nothing() {
+        let s = record(&mut Silence, 4, 5);
+        assert_eq!(s.total_edges(), 0);
+        assert_eq!(checker::max_dyna_degree(&s, 1, &[]), Some(0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Dynamic message adversaries.
+//!
+//! In every round the adversary picks the set of reliable directed links
+//! `E(t)` (§II-A); everything else is dropped. It is **adaptive**: it may
+//! inspect all node states at the start of the round and knows the
+//! algorithm. This crate provides the [`Adversary`] trait plus a gallery of
+//! strategies spanning the whole spectrum the paper discusses:
+//!
+//! | strategy | guarantees | used for |
+//! |----------|------------|----------|
+//! | [`Complete`] | (1, n−1)-dynaDegree | best case, baselines |
+//! | [`Rotating`] | (1, d)-dynaDegree | sufficiency experiments |
+//! | [`Spread`] | exactly (T, d)-dynaDegree | tightness, round-complexity (E09) |
+//! | [`Alternating`] | (period·k, d) for bursts | Figure 1 (E01) |
+//! | [`Partition`] | (1, group−1) within groups | Theorem 9 impossibility (E04) |
+//! | [`Theorem10Split`] | overlapping groups | Theorem 10 impossibility (E07) |
+//! | [`RandomLinks`] | probabilistic | §VII expected-rounds (E12) |
+//! | [`AdaptiveClosest`] | (1, d) but value-aware | worst-case convergence (E03) |
+//! | [`Staggered`] | (groups, d) with standing phase skew | piggybacking (E13) |
+//! | [`OmitOne`] | exactly (1, n−2) | Corollary 1 exact-consensus impossibility (E15) |
+//!
+//! **Live-sender discipline.** The guarantee-preserving strategies pick
+//! links only from [`AdversaryView::deliverers`] — senders that will
+//! actually transmit this round. This realizes (T, D)-dynaDegree on the
+//! *delivery* graph even in the presence of crashed or silent nodes
+//! (DESIGN.md §5.1); a link from a dead sender would satisfy nothing.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod adaptive;
+mod alternating;
+mod basic;
+mod omit;
+mod partition;
+mod random;
+mod rotating;
+mod spec;
+mod spread;
+mod staggered;
+mod transitional;
+
+pub use adaptive::AdaptiveClosest;
+pub use alternating::Alternating;
+pub use basic::{Complete, Silence};
+pub use omit::{OmitOne, OmitRule};
+pub use partition::{Partition, Theorem10Split};
+pub use random::RandomLinks;
+pub use rotating::Rotating;
+pub use spec::AdversarySpec;
+pub use spread::Spread;
+pub use staggered::Staggered;
+pub use transitional::{Eventually, Isolate};
+
+use std::fmt;
+
+use adn_graph::{EdgeSet, NodeSet};
+use adn_types::{Params, Phase, Round, Value};
+
+/// Snapshot of the system the adversary may inspect before choosing `E(t)`.
+#[derive(Debug)]
+pub struct AdversaryView<'a> {
+    /// The round whose links are being chosen.
+    pub round: Round,
+    /// System parameters.
+    pub params: Params,
+    /// Phase of every node at the start of the round.
+    pub phases: &'a [Phase],
+    /// State value of every node at the start of the round.
+    pub values: &'a [Value],
+    /// Nodes that will actually transmit this round if given a link:
+    /// fault-free nodes that have not crashed, plus non-silent Byzantine
+    /// nodes. Links from other senders deliver nothing.
+    pub deliverers: &'a NodeSet,
+    /// Fault-free receivers — the nodes whose dynaDegree matters.
+    pub honest: &'a NodeSet,
+}
+
+impl AdversaryView<'_> {
+    /// Delivering senders available to `receiver` (deliverers minus the
+    /// receiver itself), in ascending index order.
+    pub fn senders_for(&self, receiver: adn_types::NodeId) -> Vec<adn_types::NodeId> {
+        self.deliverers.iter().filter(|&u| u != receiver).collect()
+    }
+}
+
+/// A dynamic message adversary: one link-set choice per round.
+pub trait Adversary: fmt::Debug {
+    /// Chooses the reliable links `E(t)` for the round described by `view`.
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use adn_graph::Schedule;
+    use adn_types::NodeId;
+
+    /// Drives an adversary for `rounds` rounds with all nodes honest and
+    /// delivering, recording the schedule for the checker.
+    pub fn record(adv: &mut dyn Adversary, n: usize, rounds: usize) -> Schedule {
+        record_with_deliverers(adv, n, rounds, &NodeSet::full(n))
+    }
+
+    /// Same as [`record`] but with an explicit deliverer set.
+    pub fn record_with_deliverers(
+        adv: &mut dyn Adversary,
+        n: usize,
+        rounds: usize,
+        deliverers: &NodeSet,
+    ) -> Schedule {
+        let params = Params::new(n, 0, 0.1).unwrap();
+        let phases = vec![Phase::ZERO; n];
+        let values: Vec<Value> = (0..n)
+            .map(|i| Value::saturating(i as f64 / n as f64))
+            .collect();
+        let honest = NodeSet::full(n);
+        let mut schedule = Schedule::new(n);
+        for t in 0..rounds {
+            let view = AdversaryView {
+                round: Round::new(t as u64),
+                params,
+                phases: &phases,
+                values: &values,
+                deliverers,
+                honest: &honest,
+            };
+            let mut e = adv.edges(&view);
+            // Mirror the simulator: links from non-deliverers realize
+            // nothing, so the recorded delivery graph prunes them.
+            let mut dead = NodeSet::full(n);
+            dead.difference_with(deliverers);
+            e.remove_senders(&dead);
+            schedule.push(e);
+        }
+        schedule
+    }
+
+    /// Convenience: ids 0..k as a vec.
+    pub fn ids(k: usize) -> Vec<NodeId> {
+        NodeId::all(k).collect()
+    }
+}

@@ -1,0 +1,143 @@
+use adn_graph::EdgeSet;
+use adn_types::NodeId;
+
+use crate::{Adversary, AdversaryView};
+
+/// Which single in-neighbor [`OmitOne`] removes at each receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmitRule {
+    /// Drop the sender currently holding the **lowest** state value — the
+    /// exact-consensus killer: a unique minimum never propagates.
+    LowestValue,
+    /// Drop the sender currently holding the highest state value.
+    HighestValue,
+    /// Drop sender `(round + receiver) mod candidates` — maximally fair,
+    /// still (1, n−2).
+    RoundRobin,
+}
+
+/// The Gafni–Losa / Corollary 1 adversary: the complete graph minus
+/// **one** incoming link per receiver per round, i.e. exactly
+/// `(1, n−2)`-dynaDegree.
+///
+/// Theorem 8 (quoted by the paper) says deterministic binary **exact**
+/// consensus is impossible in a model where each node may miss one message
+/// per round, even fault-free; Corollary 1 transfers this to
+/// (1, n−2)-dynaDegree. `OmitOne` with [`OmitRule::LowestValue`] is the
+/// constructive witness used by experiment E15: against a min-flooding
+/// algorithm it suppresses the unique minimum forever, so the minimum's
+/// holder and everyone else decide differently.
+#[derive(Debug, Clone, Copy)]
+pub struct OmitOne {
+    rule: OmitRule,
+}
+
+impl OmitOne {
+    /// Creates the adversary with the given omission rule.
+    pub fn new(rule: OmitRule) -> Self {
+        OmitOne { rule }
+    }
+
+    /// The omission rule in effect.
+    pub fn rule(&self) -> OmitRule {
+        self.rule
+    }
+}
+
+impl Adversary for OmitOne {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let n = view.params.n();
+        let t = view.round.as_u64() as usize;
+        let mut e = EdgeSet::empty(n);
+        for v in NodeId::all(n) {
+            let senders = view.senders_for(v);
+            if senders.is_empty() {
+                continue;
+            }
+            let omit_idx = match self.rule {
+                OmitRule::LowestValue => senders
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        view.values[a.index()]
+                            .cmp(&view.values[b.index()])
+                            .then(a.cmp(b))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("senders non-empty"),
+                OmitRule::HighestValue => senders
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        view.values[a.index()]
+                            .cmp(&view.values[b.index()])
+                            .then(b.cmp(a))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("senders non-empty"),
+                OmitRule::RoundRobin => (t + v.index()) % senders.len(),
+            };
+            for (i, &u) in senders.iter().enumerate() {
+                if i != omit_idx {
+                    e.insert(u, v);
+                }
+            }
+        }
+        e
+    }
+
+    fn name(&self) -> &'static str {
+        "omit-one"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use adn_graph::checker;
+
+    #[test]
+    fn realizes_exactly_1_nminus2() {
+        for rule in [
+            OmitRule::LowestValue,
+            OmitRule::HighestValue,
+            OmitRule::RoundRobin,
+        ] {
+            let sched = record(&mut OmitOne::new(rule), 6, 5);
+            assert_eq!(
+                checker::max_dyna_degree(&sched, 1, &[]),
+                Some(4),
+                "{rule:?} must give n-2"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_value_suppresses_the_minimum_holder() {
+        // testutil::record assigns values i/n, so node 0 is the minimum;
+        // every receiver must be missing exactly its link from node 0.
+        let sched = record(&mut OmitOne::new(OmitRule::LowestValue), 5, 3);
+        for (_, e) in sched.iter() {
+            for v in 1..5 {
+                assert!(!e.contains(NodeId::new(0), NodeId::new(v)));
+            }
+            // Node 0 itself omits its lowest *other* sender, node 1.
+            assert!(!e.contains(NodeId::new(1), NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_the_omission() {
+        let sched = record(&mut OmitOne::new(OmitRule::RoundRobin), 4, 4);
+        // Receiver 0's omitted sender changes between rounds 0 and 1.
+        let miss = |t: u64| {
+            let e = sched.round(adn_types::Round::new(t)).unwrap();
+            (1..4)
+                .map(NodeId::new)
+                .find(|&u| !e.contains(u, NodeId::new(0)))
+                .unwrap()
+        };
+        assert_ne!(miss(0), miss(1));
+    }
+}

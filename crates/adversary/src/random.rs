@@ -1,0 +1,95 @@
+use adn_graph::EdgeSet;
+use adn_types::rng::SplitMix64;
+use adn_types::NodeId;
+
+use crate::{Adversary, AdversaryView};
+
+/// The probabilistic message adversary sketched in §VII: each directed
+/// link between delivering senders and any receiver is present
+/// independently with probability `p` each round.
+///
+/// Gives no deterministic dynaDegree guarantee; experiments E12 measure the
+/// *expected* rounds to ε-agreement as a function of `p`, and the checker
+/// can certify a posteriori what degree a particular run realized.
+#[derive(Debug, Clone)]
+pub struct RandomLinks {
+    p: f64,
+    rng: SplitMix64,
+}
+
+impl RandomLinks {
+    /// Creates the adversary with link probability `p` and its own
+    /// deterministic stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        RandomLinks {
+            p,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The per-link probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Adversary for RandomLinks {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let n = view.params.n();
+        let mut e = EdgeSet::empty(n);
+        for v in NodeId::all(n) {
+            for u in view.deliverers.iter() {
+                if u != v && self.rng.next_bool(self.p) {
+                    e.insert(u, v);
+                }
+            }
+        }
+        e
+    }
+
+    fn name(&self) -> &'static str {
+        "random-links"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+
+    #[test]
+    fn extremes() {
+        let s0 = record(&mut RandomLinks::new(0.0, 1), 5, 3);
+        assert_eq!(s0.total_edges(), 0);
+        let s1 = record(&mut RandomLinks::new(1.0, 1), 5, 3);
+        assert_eq!(s1.total_edges(), 3 * 5 * 4);
+    }
+
+    #[test]
+    fn density_tracks_p() {
+        let s = record(&mut RandomLinks::new(0.4, 2), 20, 10);
+        let possible = 10 * 20 * 19;
+        let density = s.total_edges() as f64 / possible as f64;
+        assert!((density - 0.4).abs() < 0.05, "density = {density}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = record(&mut RandomLinks::new(0.5, 7), 6, 4);
+        let b = record(&mut RandomLinks::new(0.5, 7), 6, 4);
+        assert_eq!(a, b);
+        let c = record(&mut RandomLinks::new(0.5, 8), 6, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_p_rejected() {
+        RandomLinks::new(1.5, 0);
+    }
+}

@@ -1,0 +1,214 @@
+use std::fmt;
+
+use crate::{
+    AdaptiveClosest, Adversary, Alternating, Complete, OmitOne, OmitRule, Partition, RandomLinks,
+    Rotating, Silence, Spread, Staggered, Theorem10Split,
+};
+
+/// Declarative description of an adversary, used by experiment configs,
+/// sweep tables, and the test matrix.
+///
+/// `AdversarySpec` keeps experiments data-driven: a sweep is a `Vec` of
+/// specs, and [`AdversarySpec::build`] instantiates each with the run's
+/// `n`, `f`, and seed.
+///
+/// ```
+/// use adn_adversary::AdversarySpec;
+/// let adv = AdversarySpec::Rotating { d: 3 }.build(7, 1, 42);
+/// assert_eq!(adv.name(), "rotating");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversarySpec {
+    /// Complete graph every round.
+    Complete,
+    /// No links ever.
+    Silence,
+    /// `d` rotating in-neighbors per round.
+    Rotating {
+        /// Per-round in-degree.
+        d: usize,
+    },
+    /// `d` in-neighbors doled out across each `t`-round window.
+    Spread {
+        /// Window length `T`.
+        t: usize,
+        /// Degree per window.
+        d: usize,
+    },
+    /// Complete-graph burst every `period`-th round, silence otherwise.
+    AlternatingComplete {
+        /// Burst period.
+        period: usize,
+    },
+    /// The Figure 1 example (requires `n == 3`).
+    Figure1,
+    /// Two disjoint cliques split at `n/2` (Theorem 9 construction).
+    PartitionHalves,
+    /// Overlapping groups of `⌊(n+3f)/2⌋` (Theorem 10 construction).
+    Theorem10,
+    /// Each link present independently with probability `p`.
+    Random {
+        /// Per-link probability.
+        p: f64,
+    },
+    /// Value-aware worst case with per-round degree `d`.
+    AdaptiveClosest {
+        /// Per-round in-degree.
+        d: usize,
+    },
+    /// Complete graph minus one incoming link per receiver per round,
+    /// dropping the currently-lowest-valued sender — exactly (1, n−2)
+    /// (Corollary 1).
+    OmitLowest,
+    /// Rotating receiver groups served one per round (creates phase skew).
+    Staggered {
+        /// Per-turn in-degree.
+        d: usize,
+        /// Number of rotating receiver groups.
+        groups: usize,
+    },
+    /// Rotating adversary granting exactly the degree DAC requires,
+    /// `⌊n/2⌋`.
+    DacThreshold,
+    /// Rotating adversary granting exactly the degree DBAC requires,
+    /// `⌊(n+3f)/2⌋`.
+    DbacThreshold,
+}
+
+impl AdversarySpec {
+    /// Instantiates the adversary for a system of `n` nodes with fault
+    /// bound `f`, seeding any randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's own constructor rejects the parameters (for
+    /// example [`AdversarySpec::Figure1`] with `n != 3`).
+    pub fn build(self, n: usize, f: usize, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversarySpec::Complete => Box::new(Complete),
+            AdversarySpec::Silence => Box::new(Silence),
+            AdversarySpec::Rotating { d } => Box::new(Rotating::new(d)),
+            AdversarySpec::Spread { t, d } => Box::new(Spread::new(t, d)),
+            AdversarySpec::AlternatingComplete { period } => {
+                Box::new(Alternating::complete_bursts(n, period))
+            }
+            AdversarySpec::Figure1 => {
+                assert_eq!(n, 3, "Figure 1 is a 3-node example");
+                Box::new(Alternating::figure1())
+            }
+            AdversarySpec::PartitionHalves => Box::new(Partition::halves(n)),
+            AdversarySpec::Theorem10 => Box::new(Theorem10Split::for_params(n, f)),
+            AdversarySpec::Random { p } => Box::new(RandomLinks::new(p, seed)),
+            AdversarySpec::AdaptiveClosest { d } => Box::new(AdaptiveClosest::new(d)),
+            AdversarySpec::OmitLowest => Box::new(OmitOne::new(OmitRule::LowestValue)),
+            AdversarySpec::Staggered { d, groups } => Box::new(Staggered::new(d, groups)),
+            AdversarySpec::DacThreshold => Box::new(Rotating::new(n / 2)),
+            AdversarySpec::DbacThreshold => Box::new(Rotating::new((n + 3 * f) / 2)),
+        }
+    }
+
+    /// Specs that satisfy DAC's `(T, ⌊n/2⌋)` requirement for fault-free
+    /// executions of size `n` — the "sufficient" side of the test matrix.
+    pub fn dac_sufficient(n: usize) -> Vec<AdversarySpec> {
+        vec![
+            AdversarySpec::Complete,
+            AdversarySpec::DacThreshold,
+            AdversarySpec::Rotating { d: n / 2 + 1 },
+            AdversarySpec::Spread { t: 3, d: n / 2 },
+            AdversarySpec::AlternatingComplete { period: 2 },
+            AdversarySpec::AdaptiveClosest { d: n / 2 },
+        ]
+    }
+
+    /// Specs that satisfy DBAC's `(T, ⌊(n+3f)/2⌋)` requirement.
+    pub fn dbac_sufficient(n: usize, f: usize) -> Vec<AdversarySpec> {
+        let d = (n + 3 * f) / 2;
+        vec![
+            AdversarySpec::Complete,
+            AdversarySpec::DbacThreshold,
+            AdversarySpec::Spread { t: 2, d },
+            AdversarySpec::AlternatingComplete { period: 2 },
+            AdversarySpec::AdaptiveClosest { d },
+        ]
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversarySpec::Complete => write!(f, "complete"),
+            AdversarySpec::Silence => write!(f, "silence"),
+            AdversarySpec::Rotating { d } => write!(f, "rotating(d={d})"),
+            AdversarySpec::Spread { t, d } => write!(f, "spread(T={t},d={d})"),
+            AdversarySpec::AlternatingComplete { period } => {
+                write!(f, "alternating(period={period})")
+            }
+            AdversarySpec::Figure1 => write!(f, "figure1"),
+            AdversarySpec::PartitionHalves => write!(f, "partition-halves"),
+            AdversarySpec::Theorem10 => write!(f, "theorem10-split"),
+            AdversarySpec::Random { p } => write!(f, "random(p={p})"),
+            AdversarySpec::AdaptiveClosest { d } => write!(f, "adaptive-closest(d={d})"),
+            AdversarySpec::OmitLowest => write!(f, "omit-lowest"),
+            AdversarySpec::Staggered { d, groups } => {
+                write!(f, "staggered(d={d},groups={groups})")
+            }
+            AdversarySpec::DacThreshold => write!(f, "dac-threshold"),
+            AdversarySpec::DbacThreshold => write!(f, "dbac-threshold"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_specs() {
+        let specs = [
+            AdversarySpec::Complete,
+            AdversarySpec::Silence,
+            AdversarySpec::Rotating { d: 2 },
+            AdversarySpec::Spread { t: 2, d: 3 },
+            AdversarySpec::AlternatingComplete { period: 2 },
+            AdversarySpec::PartitionHalves,
+            AdversarySpec::Theorem10,
+            AdversarySpec::Random { p: 0.5 },
+            AdversarySpec::AdaptiveClosest { d: 2 },
+            AdversarySpec::Staggered { d: 2, groups: 3 },
+            AdversarySpec::OmitLowest,
+            AdversarySpec::DacThreshold,
+            AdversarySpec::DbacThreshold,
+        ];
+        for spec in specs {
+            let adv = spec.build(8, 1, 1);
+            assert!(!adv.name().is_empty(), "{spec}");
+        }
+        // Figure 1 needs n = 3.
+        let f1 = AdversarySpec::Figure1.build(3, 0, 1);
+        assert_eq!(f1.name(), "alternating");
+    }
+
+    #[test]
+    #[should_panic(expected = "3-node")]
+    fn figure1_needs_three_nodes() {
+        AdversarySpec::Figure1.build(5, 0, 1);
+    }
+
+    #[test]
+    fn sufficient_lists_are_nonempty() {
+        assert!(!AdversarySpec::dac_sufficient(9).is_empty());
+        assert!(!AdversarySpec::dbac_sufficient(11, 2).is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            AdversarySpec::Rotating { d: 4 }.to_string(),
+            "rotating(d=4)"
+        );
+        assert_eq!(
+            AdversarySpec::Spread { t: 3, d: 5 }.to_string(),
+            "spread(T=3,d=5)"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+use adn_graph::EdgeSet;
+use adn_types::NodeId;
+
+use crate::{Adversary, AdversaryView};
+
+/// Realizes (T, d)-dynaDegree *as slowly as the definition permits*: the
+/// `d` distinct in-neighbors a receiver is owed per window are doled out in
+/// near-equal installments across the `T` rounds of the window, and the
+/// same `d` senders are reused window after window.
+///
+/// This is the stress adversary for the round-complexity claim (both
+/// algorithms finish within `T · pend` rounds, §VII — experiment E09): a
+/// node can complete at most one quorum per window, so phases take ~`T`
+/// rounds each.
+///
+/// Window boundaries are aligned to multiples of `T` from round 0. Within
+/// window position `k`, receivers hear from their sender slice
+/// `[k·d/T, (k+1)·d/T)` — every window delivers exactly the senders
+/// `0..d` (per receiver), so *any* window of `T` consecutive rounds
+/// aggregates at least... exactly `d` distinct senders when aligned, and at
+/// least `d` when straddling two aligned windows only if the slices align;
+/// the checker tests below pin the exact guarantee: aligned windows give
+/// `d`, arbitrary windows give at least the largest slice sum, which the
+/// constructor keeps ≥ the per-window minimum by reusing the same slice
+/// order in every window. Straddling windows cover a suffix of one window
+/// and a prefix of the next, which together contain every slice index at
+/// most once but all `T` slice positions exactly once — hence also exactly
+/// the `d` distinct senders. (Slices are a partition of `0..d`.)
+#[derive(Debug, Clone, Copy)]
+pub struct Spread {
+    t_window: usize,
+    d: usize,
+}
+
+impl Spread {
+    /// Creates a spread adversary for window `t_window` and degree `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_window == 0` or `d == 0`.
+    pub fn new(t_window: usize, d: usize) -> Self {
+        assert!(t_window > 0, "window must be at least 1");
+        assert!(d > 0, "degree must be positive");
+        Spread { t_window, d }
+    }
+
+    /// The window length `T`.
+    pub fn window(&self) -> usize {
+        self.t_window
+    }
+
+    /// The degree `d` granted per window.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// The slice of sender offsets delivered at window position `k`:
+    /// `[k*d/T, (k+1)*d/T)`. The slices partition `0..d`.
+    fn slice(&self, k: usize) -> std::ops::Range<usize> {
+        let lo = k * self.d / self.t_window;
+        let hi = (k + 1) * self.d / self.t_window;
+        lo..hi
+    }
+}
+
+impl Adversary for Spread {
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let n = view.params.n();
+        let mut e = EdgeSet::empty(n);
+        let k = (view.round.as_u64() as usize) % self.t_window;
+        let range = self.slice(k);
+        for v in NodeId::all(n) {
+            let senders = view.senders_for(v);
+            for offset in range.clone() {
+                if let Some(&u) = senders.get(offset) {
+                    e.insert(u, v);
+                }
+            }
+        }
+        e
+    }
+
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::record;
+    use adn_graph::checker;
+
+    #[test]
+    fn slices_partition_degree() {
+        let s = Spread::new(4, 6);
+        let mut covered = Vec::new();
+        for k in 0..4 {
+            covered.extend(s.slice(k));
+        }
+        assert_eq!(covered, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spread_is_exactly_t_d() {
+        // n = 9, T = 3, d = 4: every T-window must give exactly 4, and no
+        // 1-round window may reach 4.
+        let sched = record(&mut Spread::new(3, 4), 9, 12);
+        assert_eq!(checker::max_dyna_degree(&sched, 3, &[]), Some(4));
+        let per_round = checker::max_dyna_degree(&sched, 1, &[]).unwrap();
+        assert!(per_round < 4, "degree must be spread out, got {per_round}");
+    }
+
+    #[test]
+    fn straddling_windows_still_get_d() {
+        // Check every window start, not just aligned ones.
+        let sched = record(&mut Spread::new(4, 5), 8, 16);
+        let series = checker::window_degree_series(&sched, 4, &[]);
+        assert!(series.iter().all(|&deg| deg >= 5), "series = {series:?}");
+    }
+
+    #[test]
+    fn t_equals_one_degenerates_to_rotating_degree() {
+        let sched = record(&mut Spread::new(1, 3), 6, 5);
+        assert_eq!(checker::max_dyna_degree(&sched, 1, &[]), Some(3));
+    }
+
+    #[test]
+    fn wide_window_small_degree_has_empty_rounds() {
+        // T = 4, d = 2: two of the four window rounds deliver nothing.
+        let sched = record(&mut Spread::new(4, 2), 5, 8);
+        let empties = sched.iter().filter(|(_, e)| e.edge_count() == 0).count();
+        assert_eq!(empties, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        Spread::new(0, 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixed-bucket histograms and exact percentiles for experiment reports.
+
+use std::fmt;
+
+/// A histogram over a fixed range with equal-width buckets, plus an exact
+/// sample store for percentile queries (experiment sample counts are small,
+/// so keeping the samples is cheaper than approximating).
+///
+/// ```
+/// use adn_analysis::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 2.0, 2.5, 7.0, 9.9, 12.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.bucket_counts(), &[1, 2, 0, 1, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.percentile(50.0), Some(2.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is not finite, or
+    /// `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be below hi");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot add NaN");
+        self.samples.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Number of observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Exact percentile by the nearest-rank method (`p` in `[0, 100]`);
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Renders a one-line-per-bucket ASCII bar chart, scaled to
+    /// `max_width` characters.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bar = "#".repeat(
+                (c as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
+            let from = self.lo + i as f64 * width;
+            out.push_str(&format!(
+                "[{:>9.3}, {:>9.3})  {:>6}  {}\n",
+                from,
+                from + width,
+                c,
+                bar
+            ));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow:  {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(40))
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_correct() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.0, 0.24, 0.25, 0.5, 0.99]);
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([-0.1, 1.0, 1.5]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.extend((1..=100).map(|i| i as f64));
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(95.0), Some(95.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.median(), Some(50.0));
+    }
+
+    #[test]
+    fn empty_percentile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        Histogram::new(0.0, 1.0, 2).percentile(101.0);
+    }
+
+    #[test]
+    fn render_shows_bars_and_flows() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.extend([0.5, 0.6, 1.5, 5.0]);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert!(s.contains("overflow:  1"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn bad_bounds_rejected() {
+        Histogram::new(1.0, 1.0, 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! Statistics and reporting for the experiment harness.
+//!
+//! * [`Summary`] — streaming mean/variance/min/max (Welford), the unit of
+//!   every aggregated measurement;
+//! * [`Table`] — fixed-width text tables, the output format of the
+//!   `exp_*` binaries and of EXPERIMENTS.md;
+//! * [`series`] — helpers for convergence-series post-processing
+//!   (geometric means of contraction ratios, theoretical references).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod histogram;
+pub mod series;
+mod stats;
+mod table;
+
+pub use histogram::Histogram;
+pub use stats::Summary;
+pub use table::{fmt_num, Table};

@@ -1,0 +1,102 @@
+//! Convergence-series post-processing.
+//!
+//! The experiments compare *measured* per-phase contraction ratios against
+//! the paper's theoretical rates (1/2 for DAC, `1 − 2⁻ⁿ` for DBAC). These
+//! helpers aggregate ratio series and compute the closed-form references.
+
+/// Geometric mean of a series of positive ratios — the natural average for
+/// multiplicative contraction factors. Returns `None` for an empty series.
+///
+/// # Panics
+///
+/// Panics if any ratio is non-positive.
+pub fn geometric_mean(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = ratios
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "ratios must be positive, got {r}");
+            r.ln()
+        })
+        .sum();
+    Some((log_sum / ratios.len() as f64).exp())
+}
+
+/// Effective per-phase rate of a whole execution: the `p`-th root of the
+/// total range reduction across `p` phases. More robust than averaging
+/// noisy per-phase ratios. Returns `None` when fewer than two phases or a
+/// zero initial range.
+pub fn effective_rate(phase_ranges: &[f64]) -> Option<f64> {
+    if phase_ranges.len() < 2 {
+        return None;
+    }
+    let first = phase_ranges[0];
+    let last = *phase_ranges.last().expect("len >= 2");
+    if first <= 0.0 || last <= 0.0 {
+        return None;
+    }
+    let p = (phase_ranges.len() - 1) as f64;
+    Some((last / first).powf(1.0 / p))
+}
+
+/// Number of phases theory predicts to shrink `initial_range` below `eps`
+/// at the given `rate` — the generalized Eq. (2)/(6) with an arbitrary
+/// starting range.
+pub fn phases_to_eps(initial_range: f64, eps: f64, rate: f64) -> u64 {
+    assert!(rate > 0.0 && rate < 1.0, "rate must be in (0, 1)");
+    assert!(eps > 0.0, "eps must be positive");
+    if initial_range <= eps {
+        return 0;
+    }
+    ((eps / initial_range).ln() / rate.ln()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), None);
+        let g = geometric_mean(&[0.25, 1.0]).unwrap();
+        assert!((g - 0.5).abs() < 1e-12);
+        let g = geometric_mean(&[0.5, 0.5, 0.5]).unwrap();
+        assert!((g - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[0.0]);
+    }
+
+    #[test]
+    fn effective_rate_matches_uniform_decay() {
+        // 1, 0.5, 0.25, 0.125 -> rate 0.5.
+        let r = effective_rate(&[1.0, 0.5, 0.25, 0.125]).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_rate_degenerate_cases() {
+        assert_eq!(effective_rate(&[1.0]), None);
+        assert_eq!(effective_rate(&[0.0, 0.0]), None);
+        assert_eq!(effective_rate(&[1.0, 0.0]), None);
+    }
+
+    #[test]
+    fn phases_to_eps_matches_eq2() {
+        // range 1, eps 1e-3, rate 1/2 -> 10 phases.
+        assert_eq!(phases_to_eps(1.0, 1e-3, 0.5), 10);
+        // Already converged.
+        assert_eq!(phases_to_eps(0.01, 0.1, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn phases_to_eps_validates_rate() {
+        phases_to_eps(1.0, 0.1, 1.0);
+    }
+}

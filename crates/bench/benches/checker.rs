@@ -1,0 +1,34 @@
+//! Criterion: the (T, D)-dynaDegree checker over recorded schedules —
+//! the post-hoc verification cost as recordings and windows grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adn_graph::{checker, generators, Schedule};
+use adn_types::rng::SplitMix64;
+
+fn random_schedule(n: usize, rounds: usize, seed: u64) -> Schedule {
+    let mut rng = SplitMix64::new(seed);
+    let mut s = Schedule::new(n);
+    for _ in 0..rounds {
+        s.push(generators::gnp(n, 0.3, &mut rng));
+    }
+    s
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyna_degree_checker");
+    for &(n, rounds) in &[(16usize, 64usize), (32, 128), (64, 256)] {
+        let schedule = random_schedule(n, rounds, 9);
+        for &t in &[1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}_r{rounds}"), t),
+                &t,
+                |b, &t| b.iter(|| checker::max_dyna_degree(&schedule, t, &[])),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

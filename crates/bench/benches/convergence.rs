@@ -1,0 +1,63 @@
+//! Criterion: wall-clock cost of a full execution to ε-agreement, per
+//! algorithm and adversary — the end-to-end figure a user of the library
+//! cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adn_adversary::AdversarySpec;
+use adn_core::AlgorithmFactory;
+use adn_sim::{factories, Simulation};
+use adn_types::Params;
+
+fn full_run(params: Params, spec: AdversarySpec, factory: AlgorithmFactory) -> u64 {
+    let outcome = Simulation::builder(params)
+        .inputs_random(7)
+        .adversary(spec.build(params.n(), params.f(), 7))
+        .algorithm(factory)
+        .max_rounds(100_000)
+        .run();
+    outcome.rounds()
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("to_eps_agreement");
+    let n = 15;
+    let params = Params::fault_free(n, 1e-3).unwrap();
+    let cases: Vec<(&str, AdversarySpec)> = vec![
+        ("complete", AdversarySpec::Complete),
+        ("rotating", AdversarySpec::Rotating { d: n / 2 }),
+        ("spread_t4", AdversarySpec::Spread { t: 4, d: n / 2 }),
+        ("random_p05", AdversarySpec::Random { p: 0.5 }),
+    ];
+    for (name, spec) in cases {
+        group.bench_with_input(BenchmarkId::new("dac", name), &spec, |b, &spec| {
+            b.iter(|| full_run(params, spec, factories::dac(params)))
+        });
+    }
+    let paramsb = Params::new(n, 2, 1e-3).unwrap();
+    group.bench_function(BenchmarkId::new("dbac", "rotating_threshold"), |b| {
+        b.iter(|| {
+            full_run(
+                paramsb,
+                AdversarySpec::DbacThreshold,
+                factories::dbac_with_pend(paramsb, 40),
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("full_exchange_k2", "staggered"), |b| {
+        b.iter(|| {
+            full_run(
+                paramsb,
+                AdversarySpec::Staggered {
+                    d: paramsb.dbac_dyna_degree(),
+                    groups: 3,
+                },
+                factories::full_exchange(paramsb, 2),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

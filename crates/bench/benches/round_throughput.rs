@@ -1,0 +1,53 @@
+//! Criterion: cost of one simulated round as the system grows — the raw
+//! throughput of the substrate (broadcast + adversary + delivery + state
+//! transitions) for each algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adn_adversary::AdversarySpec;
+use adn_sim::{factories, Simulation};
+use adn_types::Params;
+
+fn bench_round_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_step");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let params = Params::fault_free(n, 1e-6).unwrap();
+        group.bench_with_input(BenchmarkId::new("dac_complete", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    Simulation::builder(params)
+                        .inputs_random(1)
+                        .algorithm(factories::dac(params))
+                        .max_rounds(u64::MAX)
+                        .build()
+                },
+                |mut sim| {
+                    sim.step();
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("dbac_rotating", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    Simulation::builder(params)
+                        .inputs_random(1)
+                        .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
+                        .algorithm(factories::dbac_with_pend(params, u64::MAX))
+                        .max_rounds(u64::MAX)
+                        .build()
+                },
+                |mut sim| {
+                    sim.step();
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_step);
+criterion_main!(benches);

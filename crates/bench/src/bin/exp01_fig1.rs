@@ -1,0 +1,5 @@
+//! Runner for experiment E01 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e01_fig1::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E02 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e02_dac_pend::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E03 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e03_dac_rate::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E04 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e04_partition::run());
+}

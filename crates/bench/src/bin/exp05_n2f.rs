@@ -1,0 +1,5 @@
+//! Runner for experiment E05 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e05_n2f::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E06 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e06_dbac_rate::run());
+}

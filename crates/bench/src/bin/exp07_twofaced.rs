@@ -1,0 +1,5 @@
+//! Runner for experiment E07 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e07_twofaced::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E08 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e08_resilience::run());
+}

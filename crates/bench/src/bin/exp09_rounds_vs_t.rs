@@ -1,0 +1,5 @@
+//! Runner for experiment E09 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e09_rounds_vs_t::run());
+}

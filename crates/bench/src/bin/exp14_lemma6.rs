@@ -1,0 +1,5 @@
+//! Runner for experiment E14 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e14_lemma6::run());
+}

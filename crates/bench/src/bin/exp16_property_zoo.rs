@@ -1,0 +1,5 @@
+//! Runner for experiment E16 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e16_property_zoo::run());
+}

@@ -1,0 +1,5 @@
+//! Runner for experiment E17 (see DESIGN.md section 3).
+
+fn main() {
+    print!("{}", adn_bench::e17_quantization::run());
+}

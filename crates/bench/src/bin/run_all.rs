@@ -1,0 +1,11 @@
+//! Runs every experiment in order and prints a combined report — the
+//! source of EXPERIMENTS.md's measured sections.
+
+fn main() {
+    for (id, title, runner) in adn_bench::all() {
+        println!("==================================================================");
+        println!("{id}: {title}");
+        println!("==================================================================");
+        println!("{}", runner());
+    }
+}

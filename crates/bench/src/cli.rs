@@ -1,0 +1,222 @@
+//! Tiny dependency-free CLI parsing for the `scenario` binary: adversary
+//! spec strings, fault lists, and key-value flags.
+
+use adn_adversary::AdversarySpec;
+
+/// Parses an adversary spec string.
+///
+/// Grammar (colon-separated arguments):
+///
+/// * `complete`, `silence`, `partition`, `theorem10`, `figure1`,
+///   `omit-lowest`, `dac-threshold`, `dbac-threshold`
+/// * `rotating:<d>`, `adaptive:<d>`, `alternating:<period>`,
+///   `random:<p>`, `spread:<T>:<d>`, `staggered:<d>:<groups>`
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names or malformed
+/// arguments.
+pub fn parse_spec(s: &str) -> Result<AdversarySpec, String> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or_default();
+    let args: Vec<&str> = parts.collect();
+    let want = |k: usize| -> Result<(), String> {
+        if args.len() == k {
+            Ok(())
+        } else {
+            Err(format!(
+                "{head} expects {k} argument(s), got {}",
+                args.len()
+            ))
+        }
+    };
+    let num = |i: usize| -> Result<usize, String> {
+        args[i]
+            .parse::<usize>()
+            .map_err(|_| format!("{head}: argument {:?} is not an integer", args[i]))
+    };
+    match head {
+        "complete" => want(0).map(|()| AdversarySpec::Complete),
+        "silence" => want(0).map(|()| AdversarySpec::Silence),
+        "partition" => want(0).map(|()| AdversarySpec::PartitionHalves),
+        "theorem10" => want(0).map(|()| AdversarySpec::Theorem10),
+        "figure1" => want(0).map(|()| AdversarySpec::Figure1),
+        "omit-lowest" => want(0).map(|()| AdversarySpec::OmitLowest),
+        "dac-threshold" => want(0).map(|()| AdversarySpec::DacThreshold),
+        "dbac-threshold" => want(0).map(|()| AdversarySpec::DbacThreshold),
+        "rotating" => {
+            want(1)?;
+            Ok(AdversarySpec::Rotating { d: num(0)? })
+        }
+        "adaptive" => {
+            want(1)?;
+            Ok(AdversarySpec::AdaptiveClosest { d: num(0)? })
+        }
+        "alternating" => {
+            want(1)?;
+            Ok(AdversarySpec::AlternatingComplete { period: num(0)? })
+        }
+        "random" => {
+            want(1)?;
+            let p: f64 = args[0]
+                .parse()
+                .map_err(|_| format!("random: {:?} is not a float", args[0]))?;
+            Ok(AdversarySpec::Random { p })
+        }
+        "spread" => {
+            want(2)?;
+            Ok(AdversarySpec::Spread {
+                t: num(0)?,
+                d: num(1)?,
+            })
+        }
+        "staggered" => {
+            want(2)?;
+            Ok(AdversarySpec::Staggered {
+                d: num(0)?,
+                groups: num(1)?,
+            })
+        }
+        other => Err(format!("unknown adversary {other:?}")),
+    }
+}
+
+/// A parsed `--flag value` command line.
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs from an argument iterator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a dangling flag or a token that is not a
+    /// `--flag`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {key:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} is missing its value"));
+            };
+            pairs.push((name.to_string(), value));
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The raw value of a flag, last occurrence wins.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a flag into any `FromStr` type, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// All values of a repeatable flag, in order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_zero_arg_specs() {
+        for s in [
+            "complete",
+            "silence",
+            "partition",
+            "theorem10",
+            "figure1",
+            "omit-lowest",
+            "dac-threshold",
+            "dbac-threshold",
+        ] {
+            assert!(parse_spec(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_arg_specs() {
+        assert_eq!(
+            parse_spec("rotating:4").unwrap(),
+            AdversarySpec::Rotating { d: 4 }
+        );
+        assert_eq!(
+            parse_spec("spread:3:5").unwrap(),
+            AdversarySpec::Spread { t: 3, d: 5 }
+        );
+        assert_eq!(
+            parse_spec("staggered:8:3").unwrap(),
+            AdversarySpec::Staggered { d: 8, groups: 3 }
+        );
+        assert_eq!(
+            parse_spec("random:0.5").unwrap(),
+            AdversarySpec::Random { p: 0.5 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_spec("rotating").is_err());
+        assert!(parse_spec("rotating:x").is_err());
+        assert!(parse_spec("spread:1").is_err());
+        assert!(parse_spec("wat:1").is_err());
+        assert!(parse_spec("complete:1").is_err());
+    }
+
+    #[test]
+    fn flags_basics() {
+        let f = Flags::parse(
+            [
+                "--n",
+                "9",
+                "--byz",
+                "two-faced",
+                "--byz",
+                "silent",
+                "--n",
+                "11",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(f.get("n"), Some("11"), "last occurrence wins");
+        assert_eq!(f.get_all("byz"), vec!["two-faced", "silent"]);
+        assert_eq!(f.get_or("n", 0usize).unwrap(), 11);
+        assert_eq!(f.get_or("missing", 7usize).unwrap(), 7);
+        assert!(f.get_or::<usize>("byz", 0).is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed() {
+        assert!(Flags::parse(["n".to_string()]).is_err());
+        assert!(Flags::parse(["--n".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! E05 — Theorem 9(b): `n ≤ 2f` is insufficient for crash-tolerant
+//! approximate consensus. With `f` nodes crashed from the start, survivors
+//! can never assemble DAC's `⌊n/2⌋+1` quorum; an algorithm that decides
+//! from what it can reach (the strawman) splits when the adversary
+//! additionally partitions the survivors.
+
+use std::fmt::Write;
+
+use adn_adversary::AdversarySpec;
+use adn_analysis::Table;
+use adn_faults::{CrashSchedule, CrashSurvivors};
+use adn_types::{NodeId, Params, Round};
+
+use adn_sim::{factories, workload, Simulation, StopReason};
+
+/// Crashes `f` nodes from the *middle* of the index range before round 0,
+/// so the survivors of the two input halves are separated by the
+/// partition adversary (the Theorem 9(b) setup).
+fn centered_crashes(n: usize, f: usize) -> CrashSchedule {
+    let start = (n - f) / 2;
+    let mut cs = CrashSchedule::new(n);
+    for i in start..start + f {
+        cs.crash(NodeId::new(i), Round::ZERO, CrashSurvivors::None);
+    }
+    cs
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    let mut t = Table::new([
+        "n",
+        "f",
+        "n>=2f+1?",
+        "DAC verdict",
+        "strawman range",
+        "violation",
+    ]);
+    for &(n, f) in &[(4usize, 2usize), (6, 3), (8, 4), (5, 2), (7, 3)] {
+        let params = Params::new(n, f, 1e-2).expect("valid params");
+        let resilient = params.dac_resilient();
+
+        // f nodes crash before the first round; the adversary is otherwise
+        // maximally generous (complete among survivors).
+        let dac = Simulation::builder(params)
+            .inputs(workload::split01(n, n.div_ceil(2)))
+            .crashes(centered_crashes(n, f))
+            .algorithm(factories::dac(params))
+            .max_rounds(1_000)
+            .run();
+
+        // The strawman decides regardless; pair it with a partition of the
+        // survivors (possible because n - f <= f means the survivor groups
+        // each have <= f members the other side never hears).
+        let strawman = Simulation::builder(params)
+            .inputs(workload::split01(n, n.div_ceil(2)))
+            .crashes(centered_crashes(n, f))
+            .adversary(AdversarySpec::PartitionHalves.build(n, f, 1))
+            .algorithm(factories::local_averager(10))
+            .run();
+
+        let verdict = match dac.reason() {
+            StopReason::AllOutput => format!("decided@{}", dac.rounds()),
+            _ => format!("blocked@{}", dac.rounds()),
+        };
+        if resilient {
+            assert_eq!(dac.reason(), StopReason::AllOutput, "n={n} f={f}");
+        } else {
+            assert_eq!(dac.reason(), StopReason::MaxRounds, "n={n} f={f}");
+        }
+        t.row([
+            n.to_string(),
+            f.to_string(),
+            resilient.to_string(),
+            verdict,
+            format!("{:.3}", strawman.output_range()),
+            (!strawman.eps_agreement(1e-2)).to_string(),
+        ]);
+    }
+    writeln!(out, "{t}").unwrap();
+    writeln!(
+        out,
+        "check: DAC decides exactly when n >= 2f+1 (rows 4-5); at n <= 2f it\n\
+         blocks, and deciding anyway (strawman) costs full disagreement."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boundary_is_sharp() {
+        let r = super::run();
+        assert!(r.contains("blocked@"));
+        assert!(r.contains("decided@"));
+    }
+}

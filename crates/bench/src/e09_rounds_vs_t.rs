@@ -1,0 +1,62 @@
+//! E09 — Round complexity: both algorithms complete within `T · pend`
+//! rounds in the worst case (§VII). The spread adversary doles the
+//! required degree out over `T`-round windows, so each phase costs about
+//! `T` rounds; measured rounds must stay at or below `T · pend` (plus the
+//! sub-window alignment slack of at most one window).
+
+use std::fmt::Write;
+
+use adn_adversary::AdversarySpec;
+use adn_analysis::Table;
+use adn_sim::{factories, Simulation, StopReason};
+use adn_types::Params;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    let n = 9;
+    let eps = 1e-3;
+    let params = Params::fault_free(n, eps).expect("valid params");
+    let pend = params.dac_pend();
+    let mut t = Table::new(["T", "D", "rounds (DAC)", "T*pend bound", "within bound"]);
+    for &t_window in &[1usize, 2, 4, 8, 16] {
+        let d = params.dac_dyna_degree();
+        let outcome = Simulation::builder(params)
+            .inputs_spread()
+            .adversary(AdversarySpec::Spread { t: t_window, d }.build(n, 0, 1))
+            .algorithm(factories::dac(params))
+            .max_rounds(50_000)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "T={t_window}");
+        assert!(outcome.eps_agreement(eps));
+        // One extra window of slack covers start-of-execution alignment.
+        let bound = t_window as u64 * pend + t_window as u64;
+        let within = outcome.rounds() <= bound;
+        assert!(within, "T={t_window}: {} > {bound}", outcome.rounds());
+        t.row([
+            t_window.to_string(),
+            d.to_string(),
+            outcome.rounds().to_string(),
+            format!("{}", t_window as u64 * pend),
+            within.to_string(),
+        ]);
+    }
+    writeln!(out, "{t}").unwrap();
+    writeln!(
+        out,
+        "check: rounds grow linearly in T and never exceed T*pend (+ one\n\
+         window of alignment slack); pend = {pend} here (eps = {eps:.0e})."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rounds_scale_linearly_in_t() {
+        let r = super::run();
+        assert!(r.contains("within bound"));
+        assert!(!r.contains("false"));
+    }
+}

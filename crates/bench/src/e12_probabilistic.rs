@@ -1,0 +1,76 @@
+//! E12 — §VII: probabilistic message adversary. Each link fires
+//! independently with probability `p` per round; we measure the expected
+//! number of rounds to ε-agreement for DAC and DBAC as `p` varies.
+
+use std::fmt::Write;
+
+use adn_adversary::AdversarySpec;
+use adn_analysis::{Summary, Table};
+use adn_sim::{factories, Simulation, StopReason};
+use adn_types::{NodeId, Params};
+
+use crate::SEEDS;
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    let n = 9;
+    let f = 1;
+    let eps = 1e-3;
+
+    let mut t = Table::new(["p", "DAC rounds (mean +- sd)", "DBAC rounds (mean +- sd)"]);
+    for &p in &[0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
+        let mut dac_rounds = Summary::new();
+        let mut dbac_rounds = Summary::new();
+        for &seed in &SEEDS {
+            let params = Params::fault_free(n, eps).expect("valid params");
+            let outcome = Simulation::builder(params)
+                .inputs_random(seed)
+                .adversary(AdversarySpec::Random { p }.build(n, 0, seed))
+                .algorithm(factories::dac(params))
+                .max_rounds(100_000)
+                .run();
+            assert_eq!(outcome.reason(), StopReason::AllOutput, "p={p}");
+            dac_rounds.add(outcome.rounds() as f64);
+
+            let paramsb = Params::new(n, f, eps).expect("valid params");
+            let outcome = Simulation::builder(paramsb)
+                .inputs_random(seed)
+                .adversary(AdversarySpec::Random { p }.build(n, f, seed * 7 + 1))
+                .byzantine(
+                    NodeId::new(n - 1),
+                    Box::new(adn_faults::strategies::FlipFlop),
+                )
+                .algorithm(factories::dbac_with_pend(paramsb, u64::MAX))
+                .stop_when_range_below(eps)
+                .max_rounds(100_000)
+                .run();
+            assert_eq!(outcome.reason(), StopReason::RangeConverged, "p={p}");
+            dbac_rounds.add(outcome.rounds() as f64);
+        }
+        t.row([
+            format!("{p:.2}"),
+            format!("{:.1} +- {:.1}", dac_rounds.mean(), dac_rounds.std_dev()),
+            format!("{:.1} +- {:.1}", dbac_rounds.mean(), dbac_rounds.std_dev()),
+        ]);
+    }
+    writeln!(out, "{t}").unwrap();
+    writeln!(
+        out,
+        "check: expected rounds decrease monotonically (in expectation) as p\n\
+         grows; even p = 0.2 terminates -- the probabilistic adversary\n\
+         satisfies the needed dynaDegree within O(1) windows w.h.p."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probabilistic_runs_terminate() {
+        let r = super::run();
+        assert!(r.contains("0.95"));
+        assert!(r.contains("+-"));
+    }
+}

@@ -1,0 +1,601 @@
+//! Baseline and strawman algorithms.
+//!
+//! §II-D of the paper explains why prior algorithms fail in the anonymous
+//! dynamic model. We implement the representatives so the experiments can
+//! *show* it (E11), and two deliberately incorrect "strawmen" that make the
+//! impossibility constructions concrete: the proofs of Theorems 9 and 10
+//! argue that any algorithm forced to decide from local information under
+//! the sub-threshold adversary must violate ε-agreement — the strawmen are
+//! exactly such algorithms, and the experiments exhibit the violation
+//! (E04, E05, E07).
+
+use adn_types::{Message, Params, Phase, Port, Value};
+
+use crate::Algorithm;
+
+/// Classic reliable-channel iterated averaging (Dolev et al. 1986 style):
+/// every round, average the extremes of everything heard this round
+/// (including the own value) and move on unconditionally.
+///
+/// On a complete graph with no faults this converges at rate 1/2 per
+/// *round* and is the paper's "category (i)" prior art. Under a dynamic
+/// message adversary it never blocks but loses its convergence guarantee —
+/// two nodes kept apart by the adversary stop contracting (E11 shows the
+/// stall). Runs for `⌈log₂(1/ε)⌉` rounds, its correct duration in the
+/// reliable setting.
+#[derive(Debug, Clone)]
+pub struct ReliableAc {
+    value: Value,
+    round_min: Value,
+    round_max: Value,
+    rounds_done: u64,
+    rounds_total: u64,
+    output: Option<Value>,
+}
+
+impl ReliableAc {
+    /// Creates a node with the given input; runs `⌈log₂(1/ε)⌉` rounds.
+    pub fn new(params: Params, input: Value) -> Self {
+        ReliableAc {
+            value: input,
+            round_min: input,
+            round_max: input,
+            rounds_done: 0,
+            rounds_total: params.dac_pend(),
+            output: if params.dac_pend() == 0 {
+                Some(input)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl Algorithm for ReliableAc {
+    fn broadcast(&mut self) -> Vec<Message> {
+        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    }
+
+    fn receive(&mut self, _port: Port, batch: &[Message]) {
+        if self.output.is_some() {
+            return;
+        }
+        for msg in batch {
+            // No phase filtering: the algorithm trusts the round structure,
+            // as it may under reliable channels.
+            if msg.value() < self.round_min {
+                self.round_min = msg.value();
+            }
+            if msg.value() > self.round_max {
+                self.round_max = msg.value();
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        if self.output.is_some() {
+            return;
+        }
+        self.value = self.round_min.midpoint(self.round_max);
+        self.round_min = self.value;
+        self.round_max = self.value;
+        self.rounds_done += 1;
+        if self.rounds_done >= self.rounds_total {
+            self.output = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.output
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::new(self.rounds_done)
+    }
+
+    fn current_value(&self) -> Value {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "reliable-ac"
+    }
+}
+
+/// Classic iterated **Byzantine** approximate consensus (the BAC family,
+/// e.g. Dolev et al. / Vaidya et al.) transplanted naively: wait for
+/// `n − f` values **from the same phase**, trim the `f` lowest and `f`
+/// highest, average the extremes of the rest.
+///
+/// Correct with reliable channels and `n ≥ 3f + 1` on complete graphs; in
+/// the dynamic model it **deadlocks** as soon as the adversary keeps any
+/// phase's messages below `n − f` at some node — there is no jump rule and
+/// no future-phase acceptance to bail it out (§II-D, category (i); E11
+/// demonstrates the block).
+#[derive(Debug, Clone)]
+pub struct Bac {
+    params: Params,
+    pend: u64,
+    value: Value,
+    phase: Phase,
+    ports_seen: Vec<bool>,
+    collected: Vec<Value>,
+    output: Option<Value>,
+}
+
+impl Bac {
+    /// Creates a node with the given input; terminates at DAC's `pend`
+    /// (rate 1/2 in its home setting).
+    pub fn new(params: Params, input: Value) -> Self {
+        Bac {
+            params,
+            pend: params.dac_pend(),
+            value: input,
+            phase: Phase::ZERO,
+            ports_seen: vec![false; params.n()],
+            collected: vec![input],
+            output: if params.dac_pend() == 0 {
+                Some(input)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Values collected toward the current phase's quorum (own included).
+    pub fn collected_count(&self) -> usize {
+        self.collected.len()
+    }
+}
+
+impl Algorithm for Bac {
+    fn broadcast(&mut self) -> Vec<Message> {
+        vec![Message::new(self.value, self.phase)]
+    }
+
+    fn receive(&mut self, port: Port, batch: &[Message]) {
+        if self.output.is_some() {
+            return;
+        }
+        for msg in batch {
+            // Same-phase only: the fatal rigidity.
+            if msg.phase() == self.phase && !self.ports_seen[port.index()] {
+                self.ports_seen[port.index()] = true;
+                self.collected.push(msg.value());
+            }
+        }
+        let quorum = self.params.n() - self.params.f();
+        if self.collected.len() >= quorum {
+            let f = self.params.f();
+            let mut vals = std::mem::take(&mut self.collected);
+            vals.sort();
+            // Trim f lowest and f highest; n >= 3f+1 keeps the middle
+            // non-empty in BAC's home setting.
+            let kept = &vals[f..vals.len() - f];
+            self.value = kept[0].midpoint(*kept.last().expect("kept non-empty"));
+            self.phase = self.phase.next();
+            self.ports_seen.fill(false);
+            self.collected = vec![self.value];
+            if self.phase.as_u64() >= self.pend {
+                self.output = Some(self.value);
+            }
+        }
+    }
+
+    fn end_round(&mut self) {}
+
+    fn output(&self) -> Option<Value> {
+        self.output
+    }
+
+    fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn current_value(&self) -> Value {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "bac"
+    }
+}
+
+/// Strawman for the impossibility demos: run for a fixed number of rounds,
+/// then output the midpoint of the extremes of everything ever heard.
+///
+/// This is the "algorithm that must decide from ≤ ⌊n/2⌋ nodes' worth of
+/// information" that the Theorem 9 proof quantifies over. It always
+/// terminates; under the partition adversary with split inputs its outputs
+/// differ by the full input range — the concrete ε-agreement violation of
+/// E04/E05.
+#[derive(Debug, Clone)]
+pub struct LocalAverager {
+    value: Value,
+    vmin: Value,
+    vmax: Value,
+    rounds_done: u64,
+    decide_after: u64,
+    output: Option<Value>,
+}
+
+impl LocalAverager {
+    /// Creates a node that decides after `decide_after` rounds.
+    pub fn new(input: Value, decide_after: u64) -> Self {
+        LocalAverager {
+            value: input,
+            vmin: input,
+            vmax: input,
+            rounds_done: 0,
+            decide_after,
+            output: if decide_after == 0 { Some(input) } else { None },
+        }
+    }
+}
+
+impl Algorithm for LocalAverager {
+    fn broadcast(&mut self) -> Vec<Message> {
+        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    }
+
+    fn receive(&mut self, _port: Port, batch: &[Message]) {
+        if self.output.is_some() {
+            return;
+        }
+        for msg in batch {
+            if msg.value() < self.vmin {
+                self.vmin = msg.value();
+            }
+            if msg.value() > self.vmax {
+                self.vmax = msg.value();
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        if self.output.is_some() {
+            return;
+        }
+        self.value = self.vmin.midpoint(self.vmax);
+        self.rounds_done += 1;
+        if self.rounds_done >= self.decide_after {
+            self.output = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.output
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::new(self.rounds_done)
+    }
+
+    fn current_value(&self) -> Value {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "local-averager"
+    }
+}
+
+/// Byzantine-aware strawman for the Theorem 10 demo: like
+/// [`LocalAverager`], but it remembers the latest value per **distinct
+/// sender** (local port) and, before deciding, discards the `f` lowest and
+/// `f` highest senders' values — the minimum any validity-respecting
+/// algorithm must do, since `f` extremists could all be Byzantine.
+///
+/// Under the Theorem 10 split adversary plus two-faced Byzantine senders
+/// this forces the split of the proof: group A sees exactly `f` senders
+/// claiming 1 (potentially all Byzantine) and must settle on 0; group B
+/// symmetrically on 1 — ε-agreement is violated (E07).
+#[derive(Debug, Clone)]
+pub struct TrimmedLocalAverager {
+    f: usize,
+    /// Latest value heard per port; own value tracked separately.
+    per_port: Vec<Option<Value>>,
+    input: Value,
+    value: Value,
+    rounds_done: u64,
+    decide_after: u64,
+    output: Option<Value>,
+}
+
+impl TrimmedLocalAverager {
+    /// Creates a node for a system of `n` nodes that decides after
+    /// `decide_after` rounds, trimming `f` sender extremes on each side.
+    pub fn new(n: usize, f: usize, input: Value, decide_after: u64) -> Self {
+        TrimmedLocalAverager {
+            f,
+            per_port: vec![None; n],
+            input,
+            value: input,
+            rounds_done: 0,
+            decide_after,
+            output: if decide_after == 0 { Some(input) } else { None },
+        }
+    }
+}
+
+impl Algorithm for TrimmedLocalAverager {
+    fn broadcast(&mut self) -> Vec<Message> {
+        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    }
+
+    fn receive(&mut self, port: Port, batch: &[Message]) {
+        if self.output.is_some() {
+            return;
+        }
+        if let Some(msg) = batch.last() {
+            self.per_port[port.index()] = Some(msg.value());
+        }
+    }
+
+    fn end_round(&mut self) {
+        if self.output.is_some() {
+            return;
+        }
+        self.rounds_done += 1;
+        if self.rounds_done >= self.decide_after {
+            let mut vals: Vec<Value> = self.per_port.iter().flatten().copied().collect();
+            vals.push(self.input);
+            vals.sort();
+            let lo = self.f.min(vals.len().saturating_sub(1));
+            let hi = vals.len().saturating_sub(self.f).max(lo + 1);
+            let kept = &vals[lo..hi];
+            self.value = kept[0].midpoint(*kept.last().expect("kept non-empty"));
+            self.output = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.output
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::new(self.rounds_done)
+    }
+
+    fn current_value(&self) -> Value {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "trimmed-local-averager"
+    }
+}
+
+/// Min-flooding **exact** binary consensus attempt: broadcast the lowest
+/// value seen so far; after `rounds` rounds output it.
+///
+/// On a complete graph (or any graph where the minimum's holder reaches
+/// everyone within `rounds` hops) this solves exact consensus among
+/// fault-free nodes. Corollary 1 (via Gafni–Losa's Theorem 8) says **no**
+/// deterministic algorithm can: under `(1, n−2)`-dynaDegree the adversary
+/// may drop, at every receiver, precisely the link carrying the minimum —
+/// see [`OmitOne`](../../adn_adversary/struct.OmitOne.html) — leaving its
+/// holder in permanent disagreement with everyone else (experiment E15).
+#[derive(Debug, Clone)]
+pub struct MinFlood {
+    value: Value,
+    rounds_done: u64,
+    decide_after: u64,
+    output: Option<Value>,
+}
+
+impl MinFlood {
+    /// Creates a node that floods its minimum for `decide_after` rounds.
+    pub fn new(input: Value, decide_after: u64) -> Self {
+        MinFlood {
+            value: input,
+            rounds_done: 0,
+            decide_after,
+            output: if decide_after == 0 { Some(input) } else { None },
+        }
+    }
+}
+
+impl Algorithm for MinFlood {
+    fn broadcast(&mut self) -> Vec<Message> {
+        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    }
+
+    fn receive(&mut self, _port: Port, batch: &[Message]) {
+        if self.output.is_some() {
+            return;
+        }
+        for msg in batch {
+            if msg.value() < self.value {
+                self.value = msg.value();
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        if self.output.is_some() {
+            return;
+        }
+        self.rounds_done += 1;
+        if self.rounds_done >= self.decide_after {
+            self.output = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.output
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::new(self.rounds_done)
+    }
+
+    fn current_value(&self) -> Value {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "min-flood"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(v: f64) -> Value {
+        Value::new(v).unwrap()
+    }
+
+    fn msg(v: f64, p: u64) -> Message {
+        Message::new(val(v), Phase::new(p))
+    }
+
+    #[test]
+    fn reliable_ac_halves_range_per_round() {
+        let params = Params::fault_free(3, 0.25).unwrap(); // 2 rounds
+        let mut a = ReliableAc::new(params, val(0.0));
+        a.receive(Port::new(1), &[msg(1.0, 0)]);
+        a.end_round();
+        assert_eq!(a.current_value(), Value::HALF);
+        assert!(a.output().is_none());
+        a.receive(Port::new(1), &[msg(0.5, 1)]);
+        a.end_round();
+        assert_eq!(a.output(), Some(Value::HALF));
+    }
+
+    #[test]
+    fn reliable_ac_with_no_messages_keeps_value() {
+        let params = Params::fault_free(3, 0.25).unwrap();
+        let mut a = ReliableAc::new(params, val(0.3));
+        a.end_round();
+        assert_eq!(a.current_value(), val(0.3));
+    }
+
+    #[test]
+    fn bac_advances_only_on_same_phase_quorum() {
+        // n = 4, f = 1: quorum n - f = 3 (self + 2).
+        let params = Params::new(4, 1, 0.25).unwrap();
+        let mut b = Bac::new(params, val(0.0));
+        b.receive(Port::new(1), &[msg(1.0, 0)]);
+        assert_eq!(b.phase(), Phase::ZERO);
+        b.receive(Port::new(2), &[msg(0.5, 0)]);
+        assert_eq!(b.phase(), Phase::new(1));
+        // Trimmed: sorted {0, 0.5, 1}, drop 1 low + 1 high -> {0.5}.
+        assert_eq!(b.current_value(), Value::HALF);
+    }
+
+    #[test]
+    fn bac_ignores_future_phases_and_blocks() {
+        let params = Params::new(4, 1, 0.25).unwrap();
+        let mut b = Bac::new(params, val(0.0));
+        // Future-phase messages do nothing: the fatal rigidity.
+        b.receive(Port::new(1), &[msg(1.0, 3)]);
+        b.receive(Port::new(2), &[msg(1.0, 3)]);
+        b.receive(Port::new(3), &[msg(1.0, 3)]);
+        assert_eq!(b.phase(), Phase::ZERO);
+        assert_eq!(b.collected_count(), 1);
+        assert!(b.output().is_none());
+    }
+
+    #[test]
+    fn bac_dedups_ports_within_phase() {
+        let params = Params::new(4, 1, 0.25).unwrap();
+        let mut b = Bac::new(params, val(0.0));
+        b.receive(Port::new(1), &[msg(1.0, 0)]);
+        b.receive(Port::new(1), &[msg(0.9, 0)]);
+        assert_eq!(b.collected_count(), 2);
+    }
+
+    #[test]
+    fn local_averager_decides_after_r_rounds() {
+        let mut s = LocalAverager::new(val(0.0), 2);
+        s.receive(Port::new(1), &[msg(1.0, 0)]);
+        s.end_round();
+        assert!(s.output().is_none());
+        s.end_round();
+        // Heard extremes {0, 1} in round 0: value 0.5 after round 0, stays.
+        assert_eq!(s.output(), Some(Value::HALF));
+    }
+
+    #[test]
+    fn local_averager_with_no_contact_outputs_input() {
+        let mut s = LocalAverager::new(val(0.8), 3);
+        for _ in 0..3 {
+            s.end_round();
+        }
+        assert_eq!(s.output(), Some(val(0.8)));
+    }
+
+    #[test]
+    fn trimmed_averager_trims_f_sender_extremes() {
+        let mut s = TrimmedLocalAverager::new(6, 1, val(0.5), 1);
+        s.receive(Port::new(1), &[msg(0.0, 0)]); // liar
+        s.receive(Port::new(2), &[msg(0.4, 0)]);
+        s.receive(Port::new(3), &[msg(0.6, 0)]);
+        s.receive(Port::new(4), &[msg(1.0, 0)]); // liar
+        s.end_round();
+        // Sorted {0, 0.4, 0.5, 0.6, 1}; trimmed -> {0.4, 0.5, 0.6} -> 0.5.
+        assert_eq!(s.output(), Some(Value::HALF));
+    }
+
+    #[test]
+    fn trimmed_averager_dedups_senders_across_rounds() {
+        // The same liar repeating itself for many rounds still only
+        // occupies one trimmed slot.
+        let mut s = TrimmedLocalAverager::new(6, 1, val(0.5), 3);
+        for _ in 0..3 {
+            s.receive(Port::new(1), &[msg(1.0, 0)]); // liar, every round
+            s.receive(Port::new(2), &[msg(0.5, 0)]);
+            s.end_round();
+        }
+        assert_eq!(s.output(), Some(Value::HALF));
+    }
+
+    #[test]
+    fn trimmed_averager_survives_tiny_sample() {
+        // Fewer than 2f+1 senders heard: trim degenerates but must not
+        // panic and must still output something in range.
+        let mut s = TrimmedLocalAverager::new(6, 2, val(0.5), 1);
+        s.receive(Port::new(1), &[msg(0.9, 0)]);
+        s.end_round();
+        let out = s.output().unwrap().get();
+        assert!((0.0..=1.0).contains(&out));
+    }
+
+    #[test]
+    fn min_flood_adopts_minimum() {
+        let mut m = MinFlood::new(val(0.7), 2);
+        m.receive(Port::new(1), &[msg(0.3, 0)]);
+        m.receive(Port::new(2), &[msg(0.9, 0)]);
+        m.end_round();
+        assert_eq!(m.current_value(), val(0.3));
+        assert!(m.output().is_none());
+        m.end_round();
+        assert_eq!(m.output(), Some(val(0.3)));
+    }
+
+    #[test]
+    fn min_flood_frozen_after_decision() {
+        let mut m = MinFlood::new(val(0.7), 1);
+        m.end_round();
+        m.receive(Port::new(1), &[msg(0.0, 0)]);
+        assert_eq!(m.output(), Some(val(0.7)));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let params = Params::new(4, 1, 0.25).unwrap();
+        let names = [
+            ReliableAc::new(params, val(0.0)).name(),
+            Bac::new(params, val(0.0)).name(),
+            LocalAverager::new(val(0.0), 1).name(),
+            TrimmedLocalAverager::new(4, 1, val(0.0), 1).name(),
+            MinFlood::new(val(0.0), 1).name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's contribution: approximate consensus algorithms for
+//! anonymous dynamic networks.
+//!
+//! This crate implements, against the [`Algorithm`] state-machine
+//! interface:
+//!
+//! * [`Dac`] — **D**ynamic **A**pproximate **C**onsensus (Algorithm 1):
+//!   crash-tolerant, optimal convergence rate 1/2, correct under
+//!   `(T, ⌊n/2⌋)`-dynaDegree with `n ≥ 2f + 1`.
+//! * [`Dbac`] — **D**ynamic **B**yzantine **A**pproximate **C**onsensus
+//!   (Algorithm 2): Byzantine-tolerant, convergence rate ≤ `1 − 2⁻ⁿ`,
+//!   correct under `(T, ⌊(n+3f)/2⌋)`-dynaDegree with `n ≥ 5f + 1`.
+//! * [`DbacPiggyback`] — DBAC plus a bounded history of past states per
+//!   broadcast (accept-oldest variant).
+//! * [`FullExchange`] — the §VII bandwidth/convergence trade-off: the
+//!   reliable-channel rate-1/2 algorithm simulated by piggybacking a
+//!   bounded history.
+//! * [`baseline`] — prior-art algorithms that *fail* in this model
+//!   (motivating §II-D) and strawmen for the impossibility experiments.
+//!
+//! # The execution model
+//!
+//! An [`Algorithm`] instance is one node's deterministic state machine.
+//! Each synchronous round the simulator:
+//!
+//! 1. calls [`Algorithm::broadcast`] to obtain the node's message batch;
+//! 2. delivers batches from in-neighbors chosen by the adversary via
+//!    [`Algorithm::receive`], identified only by local port;
+//! 3. calls [`Algorithm::end_round`].
+//!
+//! Self-delivery is internal: implementations account for their own value
+//! directly (the paper's `R_i[i] = 1`), so the substrate never routes a
+//! node's message back to itself.
+//!
+//! # Example
+//!
+//! ```
+//! use adn_core::{Algorithm, Dac};
+//! use adn_types::{Params, Port, Value};
+//!
+//! let params = Params::fault_free(3, 0.25)?;
+//! let mut node = Dac::new(params, Value::ZERO);
+//! // Receive same-phase values from two distinct ports: quorum for n = 3
+//! // is floor(3/2) + 1 = 2 (self + 1), so one foreign value suffices.
+//! let msg = node.broadcast()[0];
+//! let mut peer = Dac::new(params, Value::ONE);
+//! let peer_msg = peer.broadcast()[0];
+//! node.receive(Port::new(1), &[peer_msg]);
+//! assert_eq!(node.current_value(), Value::HALF); // midpoint of 0 and 1
+//! # drop(msg);
+//! # Ok::<(), adn_types::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod baseline;
+mod dac;
+mod dbac;
+mod full_exchange;
+mod piggyback;
+
+pub use dac::Dac;
+pub use dbac::Dbac;
+pub use full_exchange::FullExchange;
+pub use piggyback::DbacPiggyback;
+
+use std::fmt;
+
+use adn_types::{Message, Phase, Port, Value};
+
+/// One node's deterministic per-round state machine.
+///
+/// See the [crate docs](crate) for the round structure. Implementations
+/// must be deterministic: identical call sequences produce identical
+/// states (the simulator's replay tests rely on it).
+pub trait Algorithm: fmt::Debug {
+    /// The batch of messages this node broadcasts this round. Plain DAC and
+    /// DBAC send exactly one message; piggybacking variants send several;
+    /// an empty batch means staying silent.
+    fn broadcast(&mut self) -> Vec<Message>;
+
+    /// Delivers the batch a single in-neighbor sent this round, identified
+    /// by the local `port` it arrived on. Called at most once per port per
+    /// round.
+    fn receive(&mut self, port: Port, batch: &[Message]);
+
+    /// Hook called after all deliveries of the round.
+    fn end_round(&mut self);
+
+    /// The decided output, once the algorithm's termination rule fires
+    /// (`p = pend`); `None` before that.
+    fn output(&self) -> Option<Value>;
+
+    /// The node's current phase index (for observers and adversaries).
+    fn phase(&self) -> Phase;
+
+    /// The node's current state value (for observers and adversaries).
+    fn current_value(&self) -> Value;
+
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Boxed constructor type used by the simulator and experiment runners to
+/// instantiate one node: maps `(node_index, input)` to a state machine.
+pub type AlgorithmFactory = Box<dyn Fn(usize, Value) -> Box<dyn Algorithm>>;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Collects each node's single broadcast message (panics if an
+    /// algorithm broadcasts a batch — these helpers are for DAC/DBAC).
+    pub fn single_broadcast(node: &mut dyn Algorithm) -> Message {
+        let batch = node.broadcast();
+        assert_eq!(batch.len(), 1, "expected a single-message broadcast");
+        batch[0]
+    }
+}

@@ -1,0 +1,164 @@
+//! Coordinated multi-node Byzantine attacks.
+//!
+//! Single-node strategies (see [`strategies`](crate::strategies)) act
+//! independently; a real adversary coordinates its `f` nodes. This module
+//! provides [`Coalition`], a shared plan that hands each member a
+//! [`CoalitionMember`] strategy, plus the coordinated plans used in the
+//! test matrix:
+//!
+//! * [`Plan::Straddle`] — the coalition spreads its values just inside the
+//!   trim boundary: member `i` sends the `(i+1)`-th lowest honest value
+//!   minus a nudge, trying to occupy DBAC's `R_low` list with
+//!   *nearly*-legal values that bias the update downward without ever
+//!   being trimmed as extremes.
+//! * [`Plan::Sandwich`] — half the coalition pushes 0, half pushes 1,
+//!   maximizing the spread of the trimmed lists.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use adn_types::{Message, NodeId, Value};
+
+use crate::{ByzContext, ByzantineStrategy};
+
+/// The coordinated behavior of a coalition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// Occupy the just-inside-the-trim band below the honest minimum.
+    Straddle,
+    /// Split the coalition between the two extremes.
+    Sandwich,
+}
+
+/// Shared coalition state: the plan and the member roster.
+#[derive(Debug)]
+pub struct Coalition {
+    plan: Plan,
+    members: Vec<NodeId>,
+}
+
+impl Coalition {
+    /// Creates a coalition executing `plan` with the given members, and
+    /// returns one boxed strategy per member (in roster order).
+    pub fn build(plan: Plan, members: Vec<NodeId>) -> Vec<(NodeId, Box<dyn ByzantineStrategy>)> {
+        let shared = Rc::new(RefCell::new(Coalition {
+            plan,
+            members: members.clone(),
+        }));
+        members
+            .into_iter()
+            .enumerate()
+            .map(|(rank, id)| {
+                let strategy: Box<dyn ByzantineStrategy> = Box::new(CoalitionMember {
+                    coalition: Rc::clone(&shared),
+                    rank,
+                });
+                (id, strategy)
+            })
+            .collect()
+    }
+
+    fn value_for(&self, rank: usize, ctx: &ByzContext<'_>) -> Value {
+        match self.plan {
+            Plan::Straddle => {
+                // The honest minimum, nudged down by rank-scaled amounts —
+                // each member sits a little below the legitimate range.
+                let honest_min = ctx
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.members.contains(&NodeId::new(*i)))
+                    .map(|(_, v)| *v)
+                    .min()
+                    .unwrap_or(Value::HALF);
+                honest_min + (-(0.02 * (rank as f64 + 1.0)))
+            }
+            Plan::Sandwich => {
+                if rank.is_multiple_of(2) {
+                    Value::ZERO
+                } else {
+                    Value::ONE
+                }
+            }
+        }
+    }
+}
+
+/// One member's view of the coalition (a [`ByzantineStrategy`]).
+#[derive(Debug)]
+pub struct CoalitionMember {
+    coalition: Rc<RefCell<Coalition>>,
+    rank: usize,
+}
+
+impl ByzantineStrategy for CoalitionMember {
+    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+        let value = self.coalition.borrow().value_for(self.rank, ctx);
+        vec![Message::new(value, ctx.phase_of(dest))]
+    }
+
+    fn name(&self) -> &'static str {
+        "coalition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_types::{Params, Phase, Round};
+
+    fn ctx<'a>(phases: &'a [Phase], values: &'a [Value]) -> ByzContext<'a> {
+        ByzContext {
+            round: Round::ZERO,
+            self_id: NodeId::new(0),
+            params: Params::new(phases.len().max(6), 1, 0.1).unwrap(),
+            phases,
+            values,
+        }
+    }
+
+    #[test]
+    fn sandwich_alternates_extremes() {
+        let members = vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let mut strategies = Coalition::build(Plan::Sandwich, members);
+        let phases = [Phase::ZERO; 6];
+        let values = [Value::HALF; 6];
+        let c = ctx(&phases, &values);
+        let got: Vec<Value> = strategies
+            .iter_mut()
+            .map(|(_, s)| s.messages_for(&c, NodeId::new(5))[0].value())
+            .collect();
+        assert_eq!(got, vec![Value::ZERO, Value::ONE, Value::ZERO]);
+    }
+
+    #[test]
+    fn straddle_sits_below_honest_minimum() {
+        let members = vec![NodeId::new(4), NodeId::new(5)];
+        let mut strategies = Coalition::build(Plan::Straddle, members);
+        let phases = [Phase::ZERO; 6];
+        let values = [
+            Value::new(0.4).unwrap(),
+            Value::new(0.5).unwrap(),
+            Value::new(0.6).unwrap(),
+            Value::new(0.7).unwrap(),
+            Value::ONE, // member values are excluded from the honest min
+            Value::ONE,
+        ];
+        let c = ctx(&phases, &values);
+        let v0 = strategies[0].1.messages_for(&c, NodeId::new(0))[0].value();
+        let v1 = strategies[1].1.messages_for(&c, NodeId::new(0))[0].value();
+        assert!((v0.get() - 0.38).abs() < 1e-12);
+        assert!((v1.get() - 0.36).abs() < 1e-12);
+        assert!(v1 < v0, "deeper rank sits lower");
+    }
+
+    #[test]
+    fn members_share_one_plan() {
+        let members = vec![NodeId::new(0), NodeId::new(1)];
+        let strategies = Coalition::build(Plan::Straddle, members);
+        assert_eq!(strategies.len(), 2);
+        for (_, s) in &strategies {
+            assert_eq!(s.name(), "coalition");
+        }
+    }
+}

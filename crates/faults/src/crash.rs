@@ -1,0 +1,275 @@
+use std::fmt;
+
+use adn_types::rng::SplitMix64;
+use adn_types::{NodeId, Round};
+
+/// What happens to a node's outgoing messages in the very round it crashes.
+///
+/// A crash may interrupt the broadcast primitive midway, so the classic
+/// crash model lets an *arbitrary subset* of the round's messages through.
+#[derive(Debug, Clone)]
+pub enum CrashSurvivors {
+    /// The full broadcast completes, then the node dies.
+    All,
+    /// The node dies before sending anything this round.
+    None,
+    /// Only the listed receivers get the final message.
+    Subset(Vec<NodeId>),
+    /// A random subset of receivers, chosen deterministically from the
+    /// given seed, each kept with the given probability.
+    Random {
+        /// Probability that each individual receiver still gets the final
+        /// message.
+        keep_probability: f64,
+        /// Seed for the deterministic subset choice.
+        seed: u64,
+    },
+}
+
+/// When (and how) each node crashes, if ever.
+///
+/// A node with crash round `r` behaves correctly in rounds `< r`, performs
+/// a possibly-partial broadcast in round `r` (per [`CrashSurvivors`]), and
+/// is silent from round `r + 1` on. Crashed nodes never recover — this is
+/// the paper's crash model, not crash-recovery.
+///
+/// ```
+/// use adn_faults::{CrashSchedule, CrashSurvivors};
+/// use adn_types::{NodeId, Round};
+///
+/// let mut cs = CrashSchedule::new(4);
+/// cs.crash(NodeId::new(2), Round::new(3), CrashSurvivors::None);
+/// assert!(!cs.is_silent(NodeId::new(2), Round::new(2)));
+/// assert!(cs.is_silent(NodeId::new(2), Round::new(3)));
+/// assert!(cs.has_crashed_by(NodeId::new(2), Round::new(3)));
+/// assert_eq!(cs.faulty_nodes(), vec![NodeId::new(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    events: Vec<Option<(Round, CrashSurvivors)>>,
+}
+
+impl CrashSchedule {
+    /// A schedule in which nobody crashes, for a system of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CrashSchedule {
+            events: vec![None; n],
+        }
+    }
+
+    /// Builds a schedule that crashes the given nodes at the given rounds
+    /// with full final broadcasts.
+    pub fn at_rounds<I>(n: usize, crashes: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Round)>,
+    {
+        let mut cs = CrashSchedule::new(n);
+        for (node, round) in crashes {
+            cs.crash(node, round, CrashSurvivors::All);
+        }
+        cs
+    }
+
+    /// Crashes `f` nodes (the highest-indexed ones) before the execution
+    /// starts — the adversarial setup of Theorem 9's second scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > n`.
+    pub fn initial_crashes(n: usize, f: usize) -> Self {
+        assert!(f <= n, "cannot crash {f} of {n} nodes");
+        let mut cs = CrashSchedule::new(n);
+        for i in n - f..n {
+            cs.crash(NodeId::new(i), Round::ZERO, CrashSurvivors::None);
+        }
+        cs
+    }
+
+    /// Registers a crash. Overwrites any earlier crash for the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn crash(&mut self, node: NodeId, round: Round, survivors: CrashSurvivors) {
+        self.events[node.index()] = Some((round, survivors));
+    }
+
+    /// Number of nodes this schedule covers.
+    pub fn n(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Nodes that crash at some point (the paper's set `B` under the crash
+    /// model), in index order.
+    pub fn faulty_nodes(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|_| NodeId::new(i)))
+            .collect()
+    }
+
+    /// Number of faulty nodes.
+    pub fn fault_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether `node` has crashed strictly before or during `round`
+    /// (i.e. it will never update its state at or after `round`).
+    pub fn has_crashed_by(&self, node: NodeId, round: Round) -> bool {
+        matches!(&self.events[node.index()], Some((r, _)) if *r <= round)
+    }
+
+    /// Whether `node` sends nothing at all in `round` (it crashed earlier,
+    /// or crashes this round with no survivors).
+    pub fn is_silent(&self, node: NodeId, round: Round) -> bool {
+        match &self.events[node.index()] {
+            Some((r, _)) if *r < round => true,
+            Some((r, survivors)) if *r == round => match survivors {
+                CrashSurvivors::None => true,
+                CrashSurvivors::Subset(s) => s.is_empty(),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Whether `node`'s round-`round` message reaches `dest`, assuming the
+    /// adversary's link is present. Fault-free (or not-yet-crashed) nodes
+    /// always deliver.
+    pub fn delivers(&self, node: NodeId, round: Round, dest: NodeId) -> bool {
+        match &self.events[node.index()] {
+            None => true,
+            Some((r, _)) if *r > round => true,
+            Some((r, _)) if *r < round => false,
+            Some((_, survivors)) => match survivors {
+                CrashSurvivors::All => true,
+                CrashSurvivors::None => false,
+                CrashSurvivors::Subset(s) => s.contains(&dest),
+                CrashSurvivors::Random {
+                    keep_probability,
+                    seed,
+                } => {
+                    // Deterministic per-(node, dest) coin so repeated queries
+                    // agree and replays are identical.
+                    let mut rng =
+                        SplitMix64::new(seed ^ ((node.index() as u64) << 32) ^ dest.index() as u64);
+                    rng.next_bool(*keep_probability)
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for CrashSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crashes[")?;
+        let mut first = true;
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some((r, _)) = e {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "n{i}@{r}")?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_crashes_by_default() {
+        let cs = CrashSchedule::new(3);
+        assert_eq!(cs.fault_count(), 0);
+        assert!(cs.faulty_nodes().is_empty());
+        assert!(!cs.is_silent(NodeId::new(0), Round::new(100)));
+        assert!(cs.delivers(NodeId::new(0), Round::ZERO, NodeId::new(1)));
+    }
+
+    #[test]
+    fn crash_timeline() {
+        let mut cs = CrashSchedule::new(2);
+        cs.crash(NodeId::new(0), Round::new(5), CrashSurvivors::All);
+        // Before: alive.
+        assert!(!cs.has_crashed_by(NodeId::new(0), Round::new(4)));
+        assert!(!cs.is_silent(NodeId::new(0), Round::new(4)));
+        // Crash round with All survivors: still delivers, but state is dead.
+        assert!(cs.has_crashed_by(NodeId::new(0), Round::new(5)));
+        assert!(!cs.is_silent(NodeId::new(0), Round::new(5)));
+        assert!(cs.delivers(NodeId::new(0), Round::new(5), NodeId::new(1)));
+        // After: silent.
+        assert!(cs.is_silent(NodeId::new(0), Round::new(6)));
+        assert!(!cs.delivers(NodeId::new(0), Round::new(6), NodeId::new(1)));
+    }
+
+    #[test]
+    fn partial_broadcast_subset() {
+        let mut cs = CrashSchedule::new(3);
+        cs.crash(
+            NodeId::new(0),
+            Round::new(2),
+            CrashSurvivors::Subset(vec![NodeId::new(2)]),
+        );
+        assert!(cs.delivers(NodeId::new(0), Round::new(2), NodeId::new(2)));
+        assert!(!cs.delivers(NodeId::new(0), Round::new(2), NodeId::new(1)));
+        // Rounds before the crash deliver to everyone.
+        assert!(cs.delivers(NodeId::new(0), Round::new(1), NodeId::new(1)));
+    }
+
+    #[test]
+    fn none_survivors_is_silent_crash_round() {
+        let mut cs = CrashSchedule::new(2);
+        cs.crash(NodeId::new(1), Round::new(0), CrashSurvivors::None);
+        assert!(cs.is_silent(NodeId::new(1), Round::ZERO));
+        assert!(!cs.delivers(NodeId::new(1), Round::ZERO, NodeId::new(0)));
+    }
+
+    #[test]
+    fn random_survivors_are_deterministic() {
+        let mut cs = CrashSchedule::new(10);
+        cs.crash(
+            NodeId::new(3),
+            Round::new(1),
+            CrashSurvivors::Random {
+                keep_probability: 0.5,
+                seed: 99,
+            },
+        );
+        let first: Vec<bool> = (0..10)
+            .map(|d| cs.delivers(NodeId::new(3), Round::new(1), NodeId::new(d)))
+            .collect();
+        let second: Vec<bool> = (0..10)
+            .map(|d| cs.delivers(NodeId::new(3), Round::new(1), NodeId::new(d)))
+            .collect();
+        assert_eq!(first, second, "same query must give the same answer");
+        assert!(first.iter().any(|&b| b) || first.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn initial_crashes_silence_last_f() {
+        let cs = CrashSchedule::initial_crashes(5, 2);
+        assert_eq!(cs.fault_count(), 2);
+        assert!(cs.is_silent(NodeId::new(4), Round::ZERO));
+        assert!(cs.is_silent(NodeId::new(3), Round::ZERO));
+        assert!(!cs.is_silent(NodeId::new(2), Round::ZERO));
+    }
+
+    #[test]
+    fn at_rounds_builder() {
+        let cs = CrashSchedule::at_rounds(4, [(NodeId::new(1), Round::new(7))]);
+        assert_eq!(cs.faulty_nodes(), vec![NodeId::new(1)]);
+        assert!(cs.delivers(NodeId::new(1), Round::new(7), NodeId::new(0)));
+        assert!(!cs.delivers(NodeId::new(1), Round::new(8), NodeId::new(0)));
+    }
+
+    #[test]
+    fn display_lists_crashes() {
+        let cs = CrashSchedule::at_rounds(4, [(NodeId::new(1), Round::new(7))]);
+        assert_eq!(cs.to_string(), "crashes[n1@r7]");
+    }
+}

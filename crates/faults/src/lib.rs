@@ -1,0 +1,111 @@
+//! Hybrid node-fault models for anonymous dynamic networks.
+//!
+//! The paper's model (§II-A) lets up to `f` nodes fail in one of two ways:
+//!
+//! * **Crash** — a node stops at any point, possibly mid-broadcast so that
+//!   only some of its round-`t` messages are delivered. Modeled by
+//!   [`CrashSchedule`].
+//! * **Byzantine** — a node behaves arbitrarily. Crucially, under anonymity
+//!   a Byzantine node can *equivocate*: send different messages to
+//!   different receivers without detection, because port numberings are
+//!   private (this powers the Theorem 10 lower bound). Modeled by
+//!   [`ByzantineStrategy`] implementations that produce per-destination
+//!   messages.
+//!
+//! The strategies in [`strategies`] cover the attacks used by the paper's
+//! proofs and the experiments: the two-faced split of Theorem 10, extreme
+//! value pulling, random noise, phase-forging (which demonstrates that DAC
+//! is *not* Byzantine tolerant), silence, and stealthy mimicry.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod colluding;
+mod crash;
+pub mod strategies;
+
+pub use crash::{CrashSchedule, CrashSurvivors};
+
+use std::fmt;
+
+use adn_types::{Message, NodeId, Params, Phase, Round, Value};
+
+/// Everything a Byzantine node gets to see when fabricating a message.
+///
+/// Byzantine nodes (and the message adversary) are allowed to inspect all
+/// internal states at the start of the round (§I: the adversary "may use
+/// nodes' internal states ... to make the choice"); we extend the same
+/// omniscience to Byzantine senders, which only makes the adversary
+/// stronger — the algorithms must tolerate it.
+#[derive(Debug)]
+pub struct ByzContext<'a> {
+    /// The current round.
+    pub round: Round,
+    /// The Byzantine node's own identity (analysis-only; it cannot leak it
+    /// to receivers, who see only a port).
+    pub self_id: NodeId,
+    /// System parameters.
+    pub params: Params,
+    /// Phase of every node at the start of the round (faulty entries are
+    /// whatever the faulty node last held).
+    pub phases: &'a [Phase],
+    /// State value of every node at the start of the round.
+    pub values: &'a [Value],
+}
+
+impl ByzContext<'_> {
+    /// The highest phase any node currently holds — claiming it makes a
+    /// fabricated message acceptable to every DBAC receiver.
+    pub fn max_phase(&self) -> Phase {
+        self.phases.iter().copied().max().unwrap_or(Phase::ZERO)
+    }
+
+    /// The phase of a specific receiver, so a fabricated message can be
+    /// tailored to pass its `pj >= pi` check.
+    pub fn phase_of(&self, node: NodeId) -> Phase {
+        self.phases[node.index()]
+    }
+}
+
+/// A Byzantine node's behavior: one (possibly different) message batch per
+/// destination per round.
+///
+/// Returning an empty vector means sending nothing to that destination in
+/// that round. A batch with several messages models a (maliciously crafted)
+/// piggybacked transmission.
+pub trait ByzantineStrategy: fmt::Debug {
+    /// Fabricates the messages this node sends to `dest` in the current
+    /// round.
+    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this node transmits at all. A non-transmitting Byzantine
+    /// node (like [`strategies::Silent`]) cannot count toward anyone's
+    /// dynaDegree — the guarantee-preserving adversaries must route around
+    /// it, exactly as they route around crashed senders (DESIGN.md §5.1).
+    fn transmits(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_max_phase() {
+        let phases = [Phase::new(1), Phase::new(4), Phase::ZERO];
+        let values = [Value::ZERO, Value::HALF, Value::ONE];
+        let ctx = ByzContext {
+            round: Round::ZERO,
+            self_id: NodeId::new(2),
+            params: Params::new(3, 1, 0.1).unwrap(),
+            phases: &phases,
+            values: &values,
+        };
+        assert_eq!(ctx.max_phase(), Phase::new(4));
+        assert_eq!(ctx.phase_of(NodeId::new(0)), Phase::new(1));
+    }
+}

@@ -1,0 +1,120 @@
+//! Graphviz DOT export for round graphs and schedules — the quickest way
+//! to *see* what an adversary is doing.
+//!
+//! ```
+//! use adn_graph::{dot, EdgeSet};
+//! let e = EdgeSet::from_pairs(3, [(0, 1), (1, 2)]);
+//! let s = dot::edge_set_to_dot(&e, "round0");
+//! assert!(s.contains("n0 -> n1"));
+//! ```
+
+use std::fmt::Write;
+
+use adn_types::Round;
+
+use crate::{EdgeSet, Schedule};
+
+/// Renders one round's links as a directed DOT graph named `name`.
+///
+/// Every node appears (even isolated ones), so consecutive rounds of a
+/// schedule render with a stable layout.
+pub fn edge_set_to_dot(edges: &EdgeSet, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(name)).unwrap();
+    writeln!(out, "    rankdir=LR;").unwrap();
+    for v in 0..edges.n() {
+        writeln!(out, "    n{v};").unwrap();
+    }
+    for (u, v) in edges.edges() {
+        writeln!(out, "    n{} -> n{};", u.index(), v.index()).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Renders a whole schedule as one DOT file with a cluster per round
+/// (rounds `from..to`, clamped to the recording).
+///
+/// # Panics
+///
+/// Panics if `from > to`.
+pub fn schedule_to_dot(schedule: &Schedule, from: u64, to: u64) -> String {
+    assert!(from <= to, "empty range {from}..{to}");
+    let mut out = String::new();
+    writeln!(out, "digraph schedule {{").unwrap();
+    writeln!(out, "    rankdir=LR;").unwrap();
+    for t in from..to.min(schedule.len() as u64) {
+        let e = schedule.round(Round::new(t)).expect("bounds clamped");
+        writeln!(out, "    subgraph cluster_r{t} {{").unwrap();
+        writeln!(out, "        label=\"round {t}\";").unwrap();
+        for v in 0..schedule.n() {
+            writeln!(out, "        r{t}_n{v} [label=\"n{v}\"];").unwrap();
+        }
+        for (u, v) in e.edges() {
+            writeln!(out, "        r{t}_n{} -> r{t}_n{};", u.index(), v.index()).unwrap();
+        }
+        writeln!(out, "    }}").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_set_dot_lists_all_nodes_and_edges() {
+        let e = EdgeSet::from_pairs(3, [(0, 1), (2, 1)]);
+        let s = edge_set_to_dot(&e, "test");
+        assert!(s.starts_with("digraph test {"));
+        for v in 0..3 {
+            assert!(s.contains(&format!("n{v};")));
+        }
+        assert!(s.contains("n0 -> n1;"));
+        assert!(s.contains("n2 -> n1;"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn schedule_dot_clusters_rounds() {
+        let mut sched = Schedule::new(2);
+        sched.push(generators::complete(2));
+        sched.push(EdgeSet::empty(2));
+        let s = schedule_to_dot(&sched, 0, 5);
+        assert!(s.contains("cluster_r0"));
+        assert!(s.contains("cluster_r1"));
+        assert!(!s.contains("cluster_r2"), "clamped to the recording");
+        assert!(s.contains("r0_n0 -> r0_n1;"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let e = EdgeSet::empty(1);
+        assert!(edge_set_to_dot(&e, "round 3!").starts_with("digraph round_3_ {"));
+        assert!(edge_set_to_dot(&e, "3x").starts_with("digraph g3x {"));
+        assert!(edge_set_to_dot(&e, "").starts_with("digraph g {"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let sched = Schedule::new(2);
+        schedule_to_dot(&sched, 3, 1);
+    }
+}

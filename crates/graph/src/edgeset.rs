@@ -1,0 +1,261 @@
+use std::fmt;
+
+use adn_types::NodeId;
+
+use crate::NodeSet;
+
+/// The directed links of one round, `E(t)`.
+///
+/// Stored as per-receiver in-neighbor sets: `in_neighbors(v)` answers "who
+/// can `v` hear from this round", which is the access pattern of delivery,
+/// of the dynaDegree checker, and of adversaries building graphs
+/// receiver-by-receiver. Self-loops are excluded by construction, matching
+/// the paper's model (§II-A; self-delivery is a separate, reliable
+/// mechanism the adversary cannot disrupt).
+///
+/// ```
+/// use adn_graph::EdgeSet;
+/// use adn_types::NodeId;
+///
+/// let e = EdgeSet::from_pairs(3, [(0, 1), (2, 1)]);
+/// assert!(e.contains(NodeId::new(0), NodeId::new(1)));
+/// assert_eq!(e.in_degree(NodeId::new(1)), 2);
+/// assert_eq!(e.edge_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct EdgeSet {
+    n: usize,
+    in_neighbors: Vec<NodeSet>,
+}
+
+impl EdgeSet {
+    /// The empty link set over `n` nodes (every message is dropped).
+    pub fn empty(n: usize) -> Self {
+        EdgeSet {
+            n,
+            in_neighbors: (0..n).map(|_| NodeSet::new(n)).collect(),
+        }
+    }
+
+    /// The complete graph without self-loops: every node hears every other.
+    ///
+    /// This is the `(1, n-1)`-dynaDegree extreme of the paper.
+    pub fn complete(n: usize) -> Self {
+        let mut e = EdgeSet::empty(n);
+        for v in 0..n {
+            for u in 0..n {
+                if u != v {
+                    e.in_neighbors[v].insert(NodeId::new(u));
+                }
+            }
+        }
+        e
+    }
+
+    /// Builds a link set from `(sender, receiver)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references a node `>= n` or is a self-loop.
+    pub fn from_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut e = EdgeSet::empty(n);
+        for (u, v) in pairs {
+            e.insert(NodeId::new(u), NodeId::new(v));
+        }
+        e
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the directed link `(u, v)`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops (`u == v`) or out-of-range endpoints.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert_ne!(u, v, "self-loops are not part of the model");
+        assert!(v.index() < self.n, "receiver {v} out of range");
+        self.in_neighbors[v.index()].insert(u)
+    }
+
+    /// Removes the directed link `(u, v)`; returns `true` if it existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(v.index() < self.n, "receiver {v} out of range");
+        self.in_neighbors[v.index()].remove(u)
+    }
+
+    /// Whether the directed link `(u, v)` is present.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        v.index() < self.n && self.in_neighbors[v.index()].contains(u)
+    }
+
+    /// The set of senders `v` hears from this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_neighbors(&self, v: NodeId) -> &NodeSet {
+        &self.in_neighbors[v.index()]
+    }
+
+    /// Number of distinct in-neighbors of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors[v.index()].len()
+    }
+
+    /// Number of distinct out-neighbors of `u` (computed; the structure is
+    /// optimized for receiver-side queries).
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        (0..self.n)
+            .filter(|&v| self.in_neighbors[v].contains(u))
+            .count()
+    }
+
+    /// Total number of directed links.
+    pub fn edge_count(&self) -> usize {
+        self.in_neighbors.iter().map(NodeSet::len).sum()
+    }
+
+    /// Iterates over all `(sender, receiver)` pairs, receiver-major.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |v| {
+            self.in_neighbors[v]
+                .iter()
+                .map(move |u| (u, NodeId::new(v)))
+        })
+    }
+
+    /// In-place union: afterwards `self` contains every link of `other`.
+    ///
+    /// This is the building block of the windowed union `G_t` (Def. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        assert_eq!(self.n, other.n, "node count mismatch");
+        for (a, b) in self.in_neighbors.iter_mut().zip(&other.in_neighbors) {
+            a.union_with(b);
+        }
+    }
+
+    /// Removes every link whose **sender** is in `senders` (used to model
+    /// crashed senders whose links deliver nothing).
+    pub fn remove_senders(&mut self, senders: &NodeSet) {
+        for inn in &mut self.in_neighbors {
+            inn.difference_with(senders);
+        }
+    }
+
+    /// Minimum in-degree over a set of receivers (`None` if `receivers`
+    /// is empty).
+    pub fn min_in_degree_over<'a, I>(&self, receivers: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = &'a NodeId>,
+    {
+        receivers.into_iter().map(|&v| self.in_degree(v)).min()
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdgeSet(n={}, edges=", self.n)?;
+        f.debug_list()
+            .entries(self.edges().map(|(u, v)| (u.index(), v.index())))
+            .finish()?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_edges() {
+        let e = EdgeSet::empty(4);
+        assert_eq!(e.edge_count(), 0);
+        assert_eq!(e.in_degree(NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn complete_has_all_but_self_loops() {
+        let e = EdgeSet::complete(5);
+        assert_eq!(e.edge_count(), 5 * 4);
+        for v in NodeId::all(5) {
+            assert_eq!(e.in_degree(v), 4);
+            assert_eq!(e.out_degree(v), 4);
+            assert!(!e.contains(v, v));
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut e = EdgeSet::empty(3);
+        assert!(e.insert(NodeId::new(0), NodeId::new(1)));
+        assert!(!e.insert(NodeId::new(0), NodeId::new(1)));
+        assert!(e.contains(NodeId::new(0), NodeId::new(1)));
+        assert!(
+            !e.contains(NodeId::new(1), NodeId::new(0)),
+            "links are directed"
+        );
+        assert!(e.remove(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(e.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        EdgeSet::empty(3).insert(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn edges_iterator_matches_count() {
+        let e = EdgeSet::from_pairs(4, [(0, 1), (1, 2), (3, 2)]);
+        let listed: Vec<_> = e.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(listed.len(), e.edge_count());
+        assert!(listed.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = EdgeSet::from_pairs(3, [(0, 1)]);
+        let b = EdgeSet::from_pairs(3, [(2, 1), (0, 1)]);
+        a.union_with(&b);
+        assert_eq!(a.in_degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn remove_senders_deletes_their_links() {
+        let mut e = EdgeSet::from_pairs(4, [(0, 1), (0, 2), (3, 1)]);
+        let dead = NodeSet::from_ids(4, [NodeId::new(0)]);
+        e.remove_senders(&dead);
+        assert_eq!(e.edge_count(), 1);
+        assert!(e.contains(NodeId::new(3), NodeId::new(1)));
+    }
+
+    #[test]
+    fn min_in_degree_over_subset() {
+        let e = EdgeSet::from_pairs(4, [(0, 1), (2, 1), (0, 2)]);
+        let nodes = [NodeId::new(1), NodeId::new(2)];
+        assert_eq!(e.min_in_degree_over(nodes.iter()), Some(1));
+        assert_eq!(e.min_in_degree_over([].iter()), None);
+    }
+
+    #[test]
+    fn debug_lists_edges() {
+        let e = EdgeSet::from_pairs(3, [(0, 2)]);
+        let s = format!("{e:?}");
+        assert!(s.contains("(0, 2)"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Static topology constructors.
+//!
+//! Adversaries and experiments frequently need standard directed graphs as
+//! building blocks: the complete graph (the paper's `(1, n-1)` extreme),
+//! rings, stars, group-partitioned graphs (the impossibility
+//! constructions of Theorems 9 and 10), and Erdős–Rényi samples (the
+//! probabilistic adversary of §VII).
+
+use adn_types::rng::SplitMix64;
+use adn_types::NodeId;
+
+use crate::EdgeSet;
+
+/// Complete graph without self-loops (alias of [`EdgeSet::complete`]).
+pub fn complete(n: usize) -> EdgeSet {
+    EdgeSet::complete(n)
+}
+
+/// Bidirectional ring: node `i` hears from `i±1 (mod n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ring(n: usize) -> EdgeSet {
+    assert!(n >= 2, "a ring needs at least 2 nodes");
+    let mut e = EdgeSet::empty(n);
+    for i in 0..n {
+        let prev = (i + n - 1) % n;
+        let next = (i + 1) % n;
+        if prev != i {
+            e.insert(NodeId::new(prev), NodeId::new(i));
+        }
+        if next != i && next != prev {
+            e.insert(NodeId::new(next), NodeId::new(i));
+        }
+    }
+    e
+}
+
+/// Star centered at `center`: the center hears everyone, everyone hears the
+/// center.
+///
+/// # Panics
+///
+/// Panics if `center >= n`.
+pub fn star(n: usize, center: usize) -> EdgeSet {
+    assert!(center < n, "center {center} out of range for n = {n}");
+    let mut e = EdgeSet::empty(n);
+    for i in 0..n {
+        if i != center {
+            e.insert(NodeId::new(i), NodeId::new(center));
+            e.insert(NodeId::new(center), NodeId::new(i));
+        }
+    }
+    e
+}
+
+/// Two internally-complete groups with **no** links across: the topology
+/// behind the necessity proof of Theorem 9 (and, with overlap, Theorem 10).
+/// `left` nodes `0..split` form one clique, the rest form the other.
+///
+/// # Panics
+///
+/// Panics if `split` is `0` or `n` (a partition needs two non-empty sides).
+pub fn two_cliques(n: usize, split: usize) -> EdgeSet {
+    assert!(
+        split > 0 && split < n,
+        "split must leave both sides non-empty"
+    );
+    let mut e = EdgeSet::empty(n);
+    for v in 0..n {
+        let (lo, hi) = if v < split { (0, split) } else { (split, n) };
+        for u in lo..hi {
+            if u != v {
+                e.insert(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    e
+}
+
+/// Two *overlapping* groups, complete within each group, as in the
+/// Theorem 10 construction: group A is `0..a_end`, group B is
+/// `b_start..n`, and nodes in the intersection belong to both. Each
+/// receiver hears from every other member of (any of) its group(s).
+///
+/// # Panics
+///
+/// Panics unless `b_start < a_end <= n` (the groups must overlap and fit).
+pub fn overlapping_groups(n: usize, a_end: usize, b_start: usize) -> EdgeSet {
+    assert!(
+        b_start < a_end && a_end <= n,
+        "groups must overlap and fit in n"
+    );
+    let mut e = EdgeSet::empty(n);
+    let in_a = |v: usize| v < a_end;
+    let in_b = |v: usize| v >= b_start;
+    for v in 0..n {
+        for u in 0..n {
+            if u == v {
+                continue;
+            }
+            let same_a = in_a(u) && in_a(v);
+            let same_b = in_b(u) && in_b(v);
+            if same_a || same_b {
+                e.insert(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    e
+}
+
+/// Erdős–Rényi `G(n, p)` over directed links (each ordered pair included
+/// independently with probability `p`).
+pub fn gnp(n: usize, p: f64, rng: &mut SplitMix64) -> EdgeSet {
+    let mut e = EdgeSet::empty(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.next_bool(p) {
+                e.insert(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    e
+}
+
+/// For every receiver, picks `d` distinct random in-neighbors — a random
+/// `d`-in-regular graph, the cheapest way to hand an honest execution
+/// exactly `(1, d)`-dynaDegree.
+///
+/// # Panics
+///
+/// Panics if `d >= n` (a node has only `n-1` possible in-neighbors).
+pub fn random_in_regular(n: usize, d: usize, rng: &mut SplitMix64) -> EdgeSet {
+    assert!(
+        d < n,
+        "in-degree {d} impossible with {n} nodes (no self-loops)"
+    );
+    let mut e = EdgeSet::empty(n);
+    for v in 0..n {
+        // Sample d indices from the n-1 candidates (everyone but v).
+        for idx in rng.sample_indices(n - 1, d) {
+            let u = if idx >= v { idx + 1 } else { idx };
+            e.insert(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_degrees() {
+        let e = ring(5);
+        for v in NodeId::all(5) {
+            assert_eq!(e.in_degree(v), 2);
+        }
+        // n = 2 degenerates to a single bidirectional pair.
+        let e2 = ring(2);
+        assert_eq!(e2.edge_count(), 2);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let e = star(6, 2);
+        assert_eq!(e.in_degree(NodeId::new(2)), 5);
+        for v in NodeId::all(6) {
+            if v.index() != 2 {
+                assert_eq!(e.in_degree(v), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_cliques_have_no_cross_links() {
+        let e = two_cliques(7, 3);
+        for (u, v) in e.edges() {
+            assert_eq!(u.index() < 3, v.index() < 3, "cross link {u}->{v}");
+        }
+        assert_eq!(e.in_degree(NodeId::new(0)), 2);
+        assert_eq!(e.in_degree(NodeId::new(5)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn degenerate_partition_rejected() {
+        two_cliques(4, 0);
+    }
+
+    #[test]
+    fn overlapping_groups_thm10_shape() {
+        // n = 8, groups of 6 with overlap 4: A = 0..6, B = 2..8.
+        let e = overlapping_groups(8, 6, 2);
+        // A-only node 0 hears the 5 other A members.
+        assert_eq!(e.in_degree(NodeId::new(0)), 5);
+        // Overlap node 3 hears everyone else (it is in both groups).
+        assert_eq!(e.in_degree(NodeId::new(3)), 7);
+        // A-only node 1 must not hear B-only node 7.
+        assert!(!e.contains(NodeId::new(7), NodeId::new(1)));
+        assert!(e.contains(NodeId::new(7), NodeId::new(6)));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(gnp(5, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(5, 1.0, &mut rng).edge_count(), 20);
+    }
+
+    #[test]
+    fn gnp_density_roughly_p() {
+        let mut rng = SplitMix64::new(2);
+        let e = gnp(40, 0.3, &mut rng);
+        let possible = 40 * 39;
+        let density = e.edge_count() as f64 / possible as f64;
+        assert!((density - 0.3).abs() < 0.05, "density = {density}");
+    }
+
+    #[test]
+    fn random_in_regular_has_exact_degree() {
+        let mut rng = SplitMix64::new(3);
+        let e = random_in_regular(9, 4, &mut rng);
+        for v in NodeId::all(9) {
+            assert_eq!(e.in_degree(v), 4);
+            assert!(!e.contains(v, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn in_regular_rejects_d_eq_n() {
+        let mut rng = SplitMix64::new(4);
+        random_in_regular(4, 4, &mut rng);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = random_in_regular(10, 3, &mut SplitMix64::new(7));
+        let b = random_in_regular(10, 3, &mut SplitMix64::new(7));
+        assert_eq!(a, b);
+    }
+}

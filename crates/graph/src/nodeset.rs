@@ -1,0 +1,354 @@
+use std::fmt;
+
+use adn_types::NodeId;
+
+/// A set of node identifiers drawn from `0..n`, stored as a bitset.
+///
+/// `NodeSet` is the workhorse of the graph layer: in-neighbor sets, window
+/// unions, and the dynaDegree checker all operate on it. Sets remember
+/// their universe size `n`, and operations across different universes
+/// panic — mixing systems of different sizes is always a bug.
+///
+/// ```
+/// use adn_graph::NodeSet;
+/// use adn_types::NodeId;
+///
+/// let mut s = NodeSet::new(5);
+/// s.insert(NodeId::new(1));
+/// s.insert(NodeId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(NodeId::new(3)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId::new(1), NodeId::new(3)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// Creates an empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSet {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Creates the full set `{0, ..., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = NodeSet::new(n);
+        for i in 0..n {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of node ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= n`.
+    pub fn from_ids<I: IntoIterator<Item = NodeId>>(n: usize, ids: I) -> Self {
+        let mut s = NodeSet::new(n);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// The universe size this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= n`.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        self.check(id);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= n`.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        self.check(id);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether the node is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= n`.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.check(id);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all nodes.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(
+            self.n, other.n,
+            "universe mismatch: {} vs {}",
+            self.n, other.n
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(
+            self.n, other.n,
+            "universe mismatch: {} vs {}",
+            self.n, other.n
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of elements in `self ∩ other` without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        assert_eq!(
+            self.n, other.n,
+            "universe mismatch: {} vs {}",
+            self.n, other.n
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over members in ascending index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, next: 0 }
+    }
+
+    fn check(&self, id: NodeId) {
+        assert!(
+            id.index() < self.n,
+            "node {} out of range for universe {}",
+            id.index(),
+            self.n
+        );
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|id| id.index()))
+            .finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Collects ids into a set whose universe is the smallest that fits
+    /// (max id + 1). Prefer [`NodeSet::from_ids`] when `n` is known.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        NodeSet::from_ids(n, ids)
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`] in ascending order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.next < self.set.n {
+            let w = self.next / 64;
+            let word = self.set.words[w] >> (self.next % 64);
+            if word == 0 {
+                // Skip to the next word boundary.
+                self.next = (w + 1) * 64;
+                continue;
+            }
+            let offset = word.trailing_zeros() as usize;
+            let idx = self.next + offset;
+            if idx >= self.set.n {
+                return None;
+            }
+            self.next = idx + 1;
+            return Some(NodeId::new(idx));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeSet::new(70);
+        assert!(s.insert(NodeId::new(0)));
+        assert!(s.insert(NodeId::new(65)));
+        assert!(!s.insert(NodeId::new(65)), "double insert reports false");
+        assert!(s.contains(NodeId::new(65)));
+        assert!(!s.contains(NodeId::new(64)));
+        assert!(s.remove(NodeId::new(65)));
+        assert!(!s.remove(NodeId::new(65)));
+        assert!(!s.contains(NodeId::new(65)));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut s = NodeSet::new(10);
+        assert!(s.is_empty());
+        s.extend(ids(&[1, 2, 3]));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_has_everything() {
+        let s = NodeSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert!(s.contains(NodeId::new(129)));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = NodeSet::from_ids(200, ids(&[5, 0, 199, 64, 63, 128]));
+        let got: Vec<usize> = s.iter().map(|i| i.index()).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = NodeSet::from_ids(10, ids(&[1, 2]));
+        let b = NodeSet::from_ids(10, ids(&[2, 3]));
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        a.difference_with(&b);
+        let got: Vec<usize> = a.iter().map(|i| i.index()).collect();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn intersection_len_counts() {
+        let a = NodeSet::from_ids(100, ids(&[1, 2, 70, 80]));
+        let b = NodeSet::from_ids(100, ids(&[2, 70, 99]));
+        assert_eq!(a.intersection_len(&b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn cross_universe_union_panics() {
+        let mut a = NodeSet::new(5);
+        let b = NodeSet::new(6);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        NodeSet::new(5).insert(NodeId::new(5));
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: NodeSet = ids(&[3, 7]).into_iter().collect();
+        assert_eq!(s.universe(), 8);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn debug_render_lists_members() {
+        let s = NodeSet::from_ids(5, ids(&[1, 4]));
+        assert_eq!(format!("{s:?}"), "{1, 4}");
+    }
+
+    #[test]
+    fn empty_universe_works() {
+        let s = NodeSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let s = NodeSet::from_ids(4, ids(&[0, 2]));
+        let mut count = 0;
+        for _ in &s {
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+}

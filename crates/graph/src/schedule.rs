@@ -1,0 +1,220 @@
+use std::fmt;
+
+use adn_types::{NodeId, Round};
+
+use crate::{EdgeSet, NodeSet};
+
+/// The recorded sequence of per-round link sets `E(0), E(1), ...` of an
+/// execution.
+///
+/// A `Schedule` is what the simulator logs as the adversary makes its
+/// choices, and what the (T, D)-dynaDegree [checker](crate::checker)
+/// analyzes after the fact. It also computes the windowed unions
+/// `G_t = (V, E(t) ∪ ... ∪ E(t+T-1))` from Definition 1.
+///
+/// ```
+/// use adn_graph::{EdgeSet, Schedule};
+/// use adn_types::{NodeId, Round};
+///
+/// let mut s = Schedule::new(3);
+/// s.push(EdgeSet::from_pairs(3, [(0, 1)]));
+/// s.push(EdgeSet::from_pairs(3, [(2, 1)]));
+/// let g = s.window_union(Round::ZERO, 2);
+/// assert_eq!(g.in_degree(NodeId::new(1)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schedule {
+    n: usize,
+    rounds: Vec<EdgeSet>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule for a system of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Schedule {
+            n,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether no rounds have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Appends the link set of the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge set is for a different node count.
+    pub fn push(&mut self, edges: EdgeSet) {
+        assert_eq!(edges.n(), self.n, "node count mismatch");
+        self.rounds.push(edges);
+    }
+
+    /// The link set of round `t`, if recorded.
+    pub fn round(&self, t: Round) -> Option<&EdgeSet> {
+        self.rounds.get(t.as_u64() as usize)
+    }
+
+    /// Iterates over `(round, edge set)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (Round, &EdgeSet)> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .map(|(t, e)| (Round::new(t as u64), e))
+    }
+
+    /// The static union graph `G_t` over the window `[t, t+window)`,
+    /// truncated at the end of the recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn window_union(&self, t: Round, window: usize) -> EdgeSet {
+        assert!(window > 0, "window must be at least 1 round");
+        let start = t.as_u64() as usize;
+        let mut acc = EdgeSet::empty(self.n);
+        for e in self.rounds.iter().skip(start).take(window) {
+            acc.union_with(e);
+        }
+        acc
+    }
+
+    /// Distinct in-neighbors of `v` aggregated over the window
+    /// `[t, t+window)` — the quantity Definition 1 bounds from below.
+    pub fn window_in_neighbors(&self, v: NodeId, t: Round, window: usize) -> NodeSet {
+        assert!(window > 0, "window must be at least 1 round");
+        let start = t.as_u64() as usize;
+        let mut acc = NodeSet::new(self.n);
+        for e in self.rounds.iter().skip(start).take(window) {
+            acc.union_with(e.in_neighbors(v));
+        }
+        acc
+    }
+
+    /// Total number of directed links delivered over the whole recording.
+    pub fn total_edges(&self) -> usize {
+        self.rounds.iter().map(EdgeSet::edge_count).sum()
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Schedule(n={}, rounds={}, total_edges={})",
+            self.n,
+            self.rounds.len(),
+            self.total_edges()
+        )
+    }
+}
+
+impl Extend<EdgeSet> for Schedule {
+    fn extend<I: IntoIterator<Item = EdgeSet>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alternating(n_rounds: usize) -> Schedule {
+        // Figure 1: empty odd rounds, path 0-1-2 on even rounds.
+        let even = EdgeSet::from_pairs(3, [(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let odd = EdgeSet::empty(3);
+        let mut s = Schedule::new(3);
+        for t in 0..n_rounds {
+            s.push(if t % 2 == 0 {
+                even.clone()
+            } else {
+                odd.clone()
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_round_access() {
+        let s = alternating(4);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.round(Round::new(1)).unwrap().edge_count(), 0);
+        assert_eq!(s.round(Round::new(0)).unwrap().edge_count(), 4);
+        assert!(s.round(Round::new(9)).is_none());
+    }
+
+    #[test]
+    fn window_union_accumulates_rounds() {
+        let s = alternating(4);
+        let g = s.window_union(Round::ZERO, 2);
+        assert_eq!(g.edge_count(), 4);
+        let g1 = s.window_union(Round::new(1), 2);
+        assert_eq!(g1.edge_count(), 4, "window [1,3) catches the even round 2");
+    }
+
+    #[test]
+    fn window_union_truncates_at_end() {
+        let s = alternating(3);
+        let g = s.window_union(Round::new(2), 10);
+        assert_eq!(g.edge_count(), 4);
+        let empty = s.window_union(Round::new(7), 2);
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    fn window_in_neighbors_matches_union() {
+        let s = alternating(4);
+        let inn = s.window_in_neighbors(NodeId::new(0), Round::ZERO, 2);
+        assert_eq!(inn.len(), 1);
+        assert!(inn.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        alternating(2).window_union(Round::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn wrong_size_push_panics() {
+        let mut s = Schedule::new(3);
+        s.push(EdgeSet::empty(4));
+    }
+
+    #[test]
+    fn iter_enumerates_rounds() {
+        let s = alternating(3);
+        let ts: Vec<u64> = s.iter().map(|(t, _)| t.as_u64()).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn total_edges_sums() {
+        let s = alternating(4);
+        assert_eq!(s.total_edges(), 8);
+    }
+
+    #[test]
+    fn extend_pushes_all() {
+        let mut s = Schedule::new(2);
+        s.extend(vec![EdgeSet::empty(2), EdgeSet::complete(2)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_edges(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+use std::fmt;
+
+use adn_types::rng::SplitMix64;
+use adn_types::{NodeId, Port};
+
+/// All `n` per-receiver port bijections of an execution.
+///
+/// `port_of(receiver, sender)` answers "on which local port does
+/// `receiver` hear `sender`?". The numbering is static for the whole
+/// execution (§II-A) and, in the random variant, different at every
+/// receiver — so no two nodes need to agree on what "port 3" means.
+///
+/// A Byzantine sender cannot tamper with the numbering (the underlying
+/// communication layer is authenticated in the paper's model), so the
+/// substrate — not the sender — decides which port a fabricated message
+/// arrives on.
+///
+/// ```
+/// use adn_net::PortNumbering;
+/// use adn_types::NodeId;
+///
+/// let pn = PortNumbering::random(4, 42);
+/// // Bijection: the four senders occupy four distinct ports at receiver 0.
+/// let r = NodeId::new(0);
+/// let mut ports: Vec<_> = (0..4).map(|s| pn.port_of(r, NodeId::new(s))).collect();
+/// ports.sort();
+/// ports.dedup();
+/// assert_eq!(ports.len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PortNumbering {
+    n: usize,
+    /// `map[receiver][sender] = port index`.
+    map: Vec<Vec<usize>>,
+}
+
+impl PortNumbering {
+    /// The identity numbering: every receiver maps sender `j` to port `j`.
+    ///
+    /// Handy in unit tests where ports must be predictable. Correct
+    /// algorithms may not exploit this (they cannot know it), and the
+    /// integration tests run both numberings to check invariance.
+    pub fn identity(n: usize) -> Self {
+        PortNumbering {
+            n,
+            map: (0..n).map(|_| (0..n).collect()).collect(),
+        }
+    }
+
+    /// An independent uniformly random bijection at every receiver,
+    /// deterministic in `seed`.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        PortNumbering {
+            n,
+            map: (0..n).map(|_| rng.permutation(n)).collect(),
+        }
+    }
+
+    /// Number of nodes (and of ports per receiver).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The port on which `receiver` hears `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn port_of(&self, receiver: NodeId, sender: NodeId) -> Port {
+        Port::new(self.map[receiver.index()][sender.index()])
+    }
+
+    /// Inverse lookup: which sender occupies `port` at `receiver`?
+    /// (Analysis-only — real nodes have no access to this mapping.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the receiver or port is out of range.
+    pub fn sender_at(&self, receiver: NodeId, port: Port) -> NodeId {
+        let row = &self.map[receiver.index()];
+        let sender = row
+            .iter()
+            .position(|&p| p == port.index())
+            .unwrap_or_else(|| panic!("port {port} out of range at receiver {receiver}"));
+        NodeId::new(sender)
+    }
+}
+
+impl fmt::Debug for PortNumbering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PortNumbering(n={})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_sender_to_same_port() {
+        let pn = PortNumbering::identity(5);
+        for r in NodeId::all(5) {
+            for s in NodeId::all(5) {
+                assert_eq!(pn.port_of(r, s).index(), s.index());
+            }
+        }
+    }
+
+    #[test]
+    fn random_rows_are_bijections() {
+        let pn = PortNumbering::random(17, 3);
+        for r in NodeId::all(17) {
+            let mut ports: Vec<usize> = NodeId::all(17).map(|s| pn.port_of(r, s).index()).collect();
+            ports.sort_unstable();
+            assert_eq!(ports, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        assert_eq!(PortNumbering::random(8, 9), PortNumbering::random(8, 9));
+        assert_ne!(PortNumbering::random(8, 9), PortNumbering::random(8, 10));
+    }
+
+    #[test]
+    fn receivers_generally_disagree() {
+        // With n = 16 the chance that two independent random permutations
+        // coincide is 1/16!; a disagreement must show up.
+        let pn = PortNumbering::random(16, 7);
+        let r0: Vec<usize> = NodeId::all(16)
+            .map(|s| pn.port_of(NodeId::new(0), s).index())
+            .collect();
+        let r1: Vec<usize> = NodeId::all(16)
+            .map(|s| pn.port_of(NodeId::new(1), s).index())
+            .collect();
+        assert_ne!(r0, r1, "private numberings should differ between receivers");
+    }
+
+    #[test]
+    fn sender_at_inverts_port_of() {
+        let pn = PortNumbering::random(9, 11);
+        for r in NodeId::all(9) {
+            for s in NodeId::all(9) {
+                let p = pn.port_of(r, s);
+                assert_eq!(pn.sender_at(r, p), s);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sender_at_bad_port_panics() {
+        let pn = PortNumbering::identity(3);
+        pn.sender_at(NodeId::new(0), Port::new(3));
+    }
+}

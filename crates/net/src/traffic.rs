@@ -1,0 +1,139 @@
+use std::fmt;
+
+use adn_types::Message;
+
+/// Cumulative traffic meter for one execution.
+///
+/// The paper bounds each link to one `O(log n)`-bit message per round
+/// (§II-A) and discusses trading bandwidth for convergence rate via
+/// piggybacking (§VII). `Traffic` counts delivered messages and bits so
+/// experiments can report both sides of that trade-off. One "delivery" is
+/// one sender→receiver link firing in one round; a piggybacked batch of
+/// `k` messages on one link counts as one delivery of `k * 128` bits.
+///
+/// ```
+/// use adn_net::Traffic;
+///
+/// let mut t = Traffic::default();
+/// t.record_delivery(1); // plain DAC/DBAC message
+/// t.record_delivery(3); // piggybacked batch of 3
+/// assert_eq!(t.deliveries(), 2);
+/// assert_eq!(t.messages(), 4);
+/// assert_eq!(t.bits(), 4 * 128);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    deliveries: u64,
+    messages: u64,
+    bits: u64,
+    max_batch: u64,
+}
+
+impl Traffic {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        Traffic::default()
+    }
+
+    /// Records one link firing with a batch of `batch_len` messages.
+    pub fn record_delivery(&mut self, batch_len: usize) {
+        let k = batch_len as u64;
+        self.deliveries += 1;
+        self.messages += k;
+        self.bits += k * Message::WIRE_BITS;
+        self.max_batch = self.max_batch.max(k);
+    }
+
+    /// Number of link-round firings (one per delivered batch).
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Total individual messages delivered.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bits delivered (`messages * 128`).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Largest batch observed on a single link in a single round — the
+    /// per-link bandwidth requirement of the execution.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch
+    }
+
+    /// Largest per-link per-round bits, i.e. `max_batch * 128`.
+    pub fn peak_link_bits(&self) -> u64 {
+        self.max_batch * Message::WIRE_BITS
+    }
+
+    /// Merges another meter into this one (counters add, peaks max).
+    pub fn merge(&mut self, other: &Traffic) {
+        self.deliveries += other.deliveries;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
+}
+
+impl fmt::Display for Traffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} deliveries, {} msgs, {} bits (peak link {} bits/round)",
+            self.deliveries,
+            self.messages,
+            self.bits,
+            self.peak_link_bits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Traffic::new();
+        t.record_delivery(1);
+        t.record_delivery(1);
+        t.record_delivery(5);
+        assert_eq!(t.deliveries(), 3);
+        assert_eq!(t.messages(), 7);
+        assert_eq!(t.bits(), 7 * 128);
+        assert_eq!(t.max_batch(), 5);
+        assert_eq!(t.peak_link_bits(), 5 * 128);
+    }
+
+    #[test]
+    fn empty_batch_counts_delivery_only() {
+        let mut t = Traffic::new();
+        t.record_delivery(0);
+        assert_eq!(t.deliveries(), 1);
+        assert_eq!(t.messages(), 0);
+        assert_eq!(t.bits(), 0);
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = Traffic::new();
+        a.record_delivery(2);
+        let mut b = Traffic::new();
+        b.record_delivery(4);
+        a.merge(&b);
+        assert_eq!(a.deliveries(), 2);
+        assert_eq!(a.messages(), 6);
+        assert_eq!(a.max_batch(), 4);
+    }
+
+    #[test]
+    fn display_mentions_bits() {
+        let mut t = Traffic::new();
+        t.record_delivery(1);
+        assert!(t.to_string().contains("128 bits"));
+    }
+}

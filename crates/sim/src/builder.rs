@@ -1,0 +1,187 @@
+use adn_adversary::{Adversary, Complete};
+use adn_core::AlgorithmFactory;
+use adn_faults::{ByzantineStrategy, CrashSchedule};
+use adn_net::PortNumbering;
+use adn_types::{NodeId, Params, Value};
+
+use crate::engine::{DeliveryOrder, Simulation};
+use crate::workload;
+use crate::Outcome;
+
+/// Builder for a [`Simulation`].
+///
+/// Defaults: spread inputs, the [`Complete`] adversary, no faults, a
+/// seeded-random port numbering, and a 100 000-round cap.
+///
+/// ```
+/// use adn_sim::{factories, Simulation};
+/// use adn_types::Params;
+///
+/// let params = Params::fault_free(4, 0.1)?;
+/// let outcome = Simulation::builder(params)
+///     .algorithm(factories::dac(params))
+///     .run();
+/// assert!(outcome.all_honest_output());
+/// # Ok::<(), adn_types::Error>(())
+/// ```
+pub struct SimBuilder {
+    pub(crate) params: Params,
+    pub(crate) inputs: Vec<Value>,
+    pub(crate) adversary: Box<dyn Adversary>,
+    pub(crate) crash: CrashSchedule,
+    pub(crate) byzantine: Vec<(NodeId, Box<dyn ByzantineStrategy>)>,
+    pub(crate) ports: PortNumbering,
+    pub(crate) factory: Option<AlgorithmFactory>,
+    pub(crate) max_rounds: u64,
+    pub(crate) range_oracle: Option<f64>,
+    pub(crate) record_events: bool,
+    pub(crate) delivery_order: DeliveryOrder,
+}
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimBuilder({}, adversary={}, byz={})",
+            self.params,
+            self.adversary.name(),
+            self.byzantine.len()
+        )
+    }
+}
+
+impl SimBuilder {
+    pub(crate) fn new(params: Params) -> Self {
+        SimBuilder {
+            params,
+            inputs: workload::spread(params.n()),
+            adversary: Box::new(Complete),
+            crash: CrashSchedule::new(params.n()),
+            byzantine: Vec::new(),
+            ports: PortNumbering::random(params.n(), 0xC0FFEE),
+            factory: None,
+            max_rounds: 100_000,
+            range_oracle: None,
+            record_events: false,
+            delivery_order: DeliveryOrder::AscendingSenders,
+        }
+    }
+
+    /// Sets the initial values (must have length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `n`.
+    pub fn inputs(mut self, inputs: Vec<Value>) -> Self {
+        assert_eq!(inputs.len(), self.params.n(), "one input per node");
+        self.inputs = inputs;
+        self
+    }
+
+    /// Evenly spread inputs over `[0, 1]` (the default).
+    pub fn inputs_spread(self) -> Self {
+        let n = self.params.n();
+        self.inputs(workload::spread(n))
+    }
+
+    /// Seeded uniform random inputs.
+    pub fn inputs_random(self, seed: u64) -> Self {
+        let n = self.params.n();
+        self.inputs(workload::random(n, seed))
+    }
+
+    /// The message adversary (default: complete graph every round).
+    pub fn adversary(mut self, adversary: Box<dyn Adversary>) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// The crash schedule (default: nobody crashes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule covers a different node count.
+    pub fn crashes(mut self, crash: CrashSchedule) -> Self {
+        assert_eq!(crash.n(), self.params.n(), "crash schedule size mismatch");
+        self.crash = crash;
+        self
+    }
+
+    /// Marks `node` Byzantine with the given strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range or already Byzantine.
+    pub fn byzantine(mut self, node: NodeId, strategy: Box<dyn ByzantineStrategy>) -> Self {
+        assert!(node.index() < self.params.n(), "node out of range");
+        assert!(
+            self.byzantine.iter().all(|(id, _)| *id != node),
+            "node {node} is already Byzantine"
+        );
+        self.byzantine.push((node, strategy));
+        self
+    }
+
+    /// Explicit port numbering (default: seeded random).
+    pub fn ports(mut self, ports: PortNumbering) -> Self {
+        assert_eq!(ports.n(), self.params.n(), "port numbering size mismatch");
+        self.ports = ports;
+        self
+    }
+
+    /// The algorithm every fault-free node runs. **Required.**
+    pub fn algorithm(mut self, factory: AlgorithmFactory) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Round cap after which the run is declared blocked
+    /// (default 100 000).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Enables the observer oracle: stop once the fault-free value range
+    /// is at most `eps` (see `StopReason::RangeConverged`).
+    pub fn stop_when_range_below(mut self, eps: f64) -> Self {
+        self.range_oracle = Some(eps);
+        self
+    }
+
+    /// The order in which a receiver processes the round's deliveries
+    /// (default: ascending sender index). The paper leaves intra-round
+    /// arrival order to the adversary, so correct algorithms must not
+    /// depend on it — the test suite runs all orders.
+    pub fn delivery_order(mut self, order: DeliveryOrder) -> Self {
+        self.delivery_order = order;
+        self
+    }
+
+    /// Records a structured [`EventLog`](crate::EventLog) of every
+    /// broadcast, delivery, phase transition, crash, and decision
+    /// (default: off; logs grow with rounds × links).
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record_events = on;
+        self
+    }
+
+    /// Builds the simulation for manual stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no algorithm factory was provided, or if the Byzantine
+    /// count exceeds `f`.
+    pub fn build(self) -> Simulation {
+        Simulation::from_builder(self)
+    }
+
+    /// Builds and runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SimBuilder::build`].
+    pub fn run(self) -> Outcome {
+        self.build().run()
+    }
+}

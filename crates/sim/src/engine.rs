@@ -1,0 +1,686 @@
+use adn_adversary::{Adversary, AdversaryView};
+use adn_core::Algorithm;
+use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
+use adn_graph::{EdgeSet, NodeSet, Schedule};
+use adn_net::{PortNumbering, Traffic};
+use adn_types::{NodeId, Params, Phase, Round, Value, ValueInterval};
+
+use adn_types::rng::SplitMix64;
+
+use crate::builder::SimBuilder;
+use crate::observer::{Observer, RoundTrace};
+use crate::outcome::{Outcome, StopReason};
+use crate::trace::{Event, EventLog};
+
+/// The order in which one receiver's deliveries are processed within a
+/// round. The model leaves this to the adversary; algorithms must be
+/// correct under every order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOrder {
+    /// Ascending sender index (the default).
+    AscendingSenders,
+    /// Descending sender index.
+    DescendingSenders,
+    /// Deterministically shuffled per (round, receiver) from the seed.
+    Shuffled(u64),
+}
+
+/// A deterministic execution of one algorithm under one adversary and one
+/// fault assignment. See the [crate docs](crate) for the round structure.
+///
+/// Construct via [`Simulation::builder`]; drive with [`Simulation::step`]
+/// or [`Simulation::run`].
+pub struct Simulation {
+    params: Params,
+    inputs: Vec<Value>,
+    ports: PortNumbering,
+    adversary: Box<dyn Adversary>,
+    crash: CrashSchedule,
+    /// `Some(strategy)` at Byzantine slots, `None` elsewhere.
+    byz: Vec<Option<Box<dyn ByzantineStrategy>>>,
+    /// `Some(state machine)` at non-Byzantine slots.
+    algs: Vec<Option<Box<dyn Algorithm>>>,
+    /// Phase each node was last observed in (for V(p) bookkeeping).
+    last_phase: Vec<Phase>,
+    /// Fault-free for the whole execution: not Byzantine, never crashes.
+    fault_free: Vec<NodeId>,
+    round: Round,
+    max_rounds: u64,
+    range_oracle: Option<f64>,
+    observer: Observer,
+    schedule: Schedule,
+    traffic: Traffic,
+    events: Option<EventLog>,
+    /// Which nodes had already decided before the current round (for
+    /// Decide events).
+    was_decided: Vec<bool>,
+    delivery_order: DeliveryOrder,
+    done: Option<StopReason>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Simulation({}, adversary={}, round={}, done={:?})",
+            self.params,
+            self.adversary.name(),
+            self.round,
+            self.done
+        )
+    }
+}
+
+impl Simulation {
+    /// Starts configuring a simulation.
+    pub fn builder(params: Params) -> SimBuilder {
+        SimBuilder::new(params)
+    }
+
+    pub(crate) fn from_builder(b: SimBuilder) -> Simulation {
+        let n = b.params.n();
+        let factory = b
+            .factory
+            .expect("SimBuilder::algorithm is required before build/run");
+        assert!(
+            b.byzantine.len() <= b.params.f(),
+            "{} byzantine nodes exceed the fault bound f = {}",
+            b.byzantine.len(),
+            b.params.f()
+        );
+        assert!(
+            b.byzantine.len() + b.crash.fault_count() <= b.params.f(),
+            "total faults exceed the bound f = {}",
+            b.params.f()
+        );
+
+        let mut byz: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
+        for (id, strategy) in b.byzantine {
+            byz[id.index()] = Some(strategy);
+        }
+        let mut algs: Vec<Option<Box<dyn Algorithm>>> = (0..n).map(|_| None).collect();
+        let mut observer = Observer::default();
+        for i in 0..n {
+            if byz[i].is_none() {
+                let alg = factory(i, b.inputs[i]);
+                // Every non-Byzantine node contributes its input to V(0)
+                // (Def. 5; crash-faulty nodes count until they crash).
+                observer.record_enter(NodeId::new(i), Phase::ZERO, alg.current_value());
+                algs[i] = Some(alg);
+            }
+        }
+        let fault_free: Vec<NodeId> = NodeId::all(n)
+            .filter(|id| byz[id.index()].is_none() && !b.crash.faulty_nodes().contains(id))
+            .collect();
+
+        Simulation {
+            params: b.params,
+            inputs: b.inputs,
+            ports: b.ports,
+            adversary: b.adversary,
+            crash: b.crash,
+            byz,
+            algs,
+            last_phase: vec![Phase::ZERO; n],
+            fault_free,
+            round: Round::ZERO,
+            max_rounds: b.max_rounds,
+            range_oracle: b.range_oracle,
+            observer,
+            schedule: Schedule::new(n),
+            traffic: Traffic::new(),
+            events: b.record_events.then(EventLog::new),
+            was_decided: vec![false; n],
+            delivery_order: b.delivery_order,
+            done: None,
+        }
+    }
+
+    /// The current round (the next one to execute).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Whether the run has stopped, and why.
+    pub fn stopped(&self) -> Option<StopReason> {
+        self.done
+    }
+
+    /// Phase of a non-Byzantine node (`None` for Byzantine slots).
+    pub fn phase_of(&self, node: NodeId) -> Option<Phase> {
+        self.algs[node.index()].as_ref().map(|a| a.phase())
+    }
+
+    /// Current value of a non-Byzantine node.
+    pub fn value_of(&self, node: NodeId) -> Option<Value> {
+        self.algs[node.index()].as_ref().map(|a| a.current_value())
+    }
+
+    /// Executes one synchronous round. No-op once stopped.
+    pub fn step(&mut self) {
+        if self.done.is_some() {
+            return;
+        }
+        // Check the stop conditions that are already true before doing any
+        // work (e.g. pend = 0 decides at initialization).
+        if self.check_stop_before() {
+            return;
+        }
+
+        let n = self.params.n();
+        let t = self.round;
+
+        // --- Snapshot states for the adversary and Byzantine context. ---
+        let mut phases = vec![Phase::ZERO; n];
+        let mut values = vec![Value::HALF; n];
+        for i in 0..n {
+            if let Some(alg) = &self.algs[i] {
+                phases[i] = alg.phase();
+                values[i] = alg.current_value();
+            }
+        }
+
+        // --- Who transmits this round; who still executes. ---
+        let mut deliverers = NodeSet::new(n);
+        let mut honest_now = NodeSet::new(n);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            match &self.byz[i] {
+                Some(strategy) => {
+                    if strategy.transmits() {
+                        deliverers.insert(id);
+                    }
+                }
+                None => {
+                    if !self.crash.is_silent(id, t) {
+                        deliverers.insert(id);
+                    }
+                    if !self.crash.has_crashed_by(id, t) {
+                        honest_now.insert(id);
+                    }
+                }
+            }
+        }
+
+        // --- Adversary picks E(t). ---
+        let view = AdversaryView {
+            round: t,
+            params: self.params,
+            phases: &phases,
+            values: &values,
+            deliverers: &deliverers,
+            honest: &honest_now,
+        };
+        let chosen = self.adversary.edges(&view);
+
+        // --- Broadcasts from transmitting non-Byzantine nodes. ---
+        let mut broadcasts: Vec<Option<Vec<adn_types::Message>>> = (0..n).map(|_| None).collect();
+        #[allow(clippy::needless_range_loop)] // parallel arrays byz/algs/broadcasts
+        for i in 0..n {
+            let id = NodeId::new(i);
+            if self.byz[i].is_none() && !self.crash.is_silent(id, t) {
+                if let Some(alg) = self.algs[i].as_mut() {
+                    let batch = alg.broadcast();
+                    if let Some(log) = self.events.as_mut() {
+                        log.push(Event::Broadcast {
+                            round: t,
+                            node: id,
+                            batch_len: batch.len(),
+                        });
+                    }
+                    broadcasts[i] = Some(batch);
+                }
+            }
+        }
+
+        // Crash events: nodes whose crash round is exactly t.
+        if self.events.is_some() {
+            for i in 0..n {
+                let id = NodeId::new(i);
+                let crashed_now = self.crash.has_crashed_by(id, t)
+                    && (t == Round::ZERO
+                        || !self.crash.has_crashed_by(id, Round::new(t.as_u64() - 1)));
+                if crashed_now {
+                    if let Some(log) = self.events.as_mut() {
+                        log.push(Event::Crash { round: t, node: id });
+                    }
+                }
+            }
+        }
+
+        // --- Delivery along chosen links, ascending sender order. ---
+        let mut realized = EdgeSet::empty(n);
+        for v_idx in 0..n {
+            let v = NodeId::new(v_idx);
+            // Byzantine "receivers" have no state machine; nodes that have
+            // crashed no longer process input (a node crashing at t sends
+            // its final partial broadcast but does not transition).
+            if self.byz[v_idx].is_some() || self.crash.has_crashed_by(v, t) {
+                continue;
+            }
+            let mut in_neighbors: Vec<NodeId> = chosen.in_neighbors(v).iter().collect();
+            match self.delivery_order {
+                DeliveryOrder::AscendingSenders => {}
+                DeliveryOrder::DescendingSenders => in_neighbors.reverse(),
+                DeliveryOrder::Shuffled(seed) => {
+                    let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20) ^ v_idx as u64);
+                    rng.shuffle(&mut in_neighbors);
+                }
+            }
+            for u in in_neighbors {
+                let u_idx = u.index();
+                let batch: Option<Vec<adn_types::Message>> = match &mut self.byz[u_idx] {
+                    Some(strategy) => {
+                        let ctx = ByzContext {
+                            round: t,
+                            self_id: u,
+                            params: self.params,
+                            phases: &phases,
+                            values: &values,
+                        };
+                        let fabricated = strategy.messages_for(&ctx, v);
+                        if fabricated.is_empty() {
+                            None
+                        } else {
+                            Some(fabricated)
+                        }
+                    }
+                    None => {
+                        if self.crash.is_silent(u, t) || !self.crash.delivers(u, t, v) {
+                            None
+                        } else {
+                            broadcasts[u_idx].clone()
+                        }
+                    }
+                };
+                if let Some(batch) = batch {
+                    let port = self.ports.port_of(v, u);
+                    self.traffic.record_delivery(batch.len());
+                    realized.insert(u, v);
+                    if let Some(log) = self.events.as_mut() {
+                        log.push(Event::Delivery {
+                            round: t,
+                            sender: u,
+                            receiver: v,
+                            port,
+                            batch_len: batch.len(),
+                        });
+                    }
+                    self.algs[v_idx]
+                        .as_mut()
+                        .expect("non-byzantine receiver has a state machine")
+                        .receive(port, &batch);
+                }
+            }
+        }
+        self.schedule.push(realized);
+
+        // --- End-of-round hooks for executing nodes. ---
+        for i in 0..n {
+            let id = NodeId::new(i);
+            if self.byz[i].is_none() && !self.crash.has_crashed_by(id, t) {
+                if let Some(alg) = self.algs[i].as_mut() {
+                    alg.end_round();
+                }
+            }
+        }
+
+        // --- Observer: phase transitions (Def. 6 fills skipped phases). --
+        for i in 0..n {
+            let id = NodeId::new(i);
+            if self.byz[i].is_some() || self.crash.has_crashed_by(id, t) {
+                continue;
+            }
+            if let Some(alg) = &self.algs[i] {
+                let new_phase = alg.phase();
+                let old_phase = self.last_phase[i];
+                let mut p = old_phase;
+                while p < new_phase {
+                    p = p.next();
+                    self.observer.record_enter(id, p, alg.current_value());
+                }
+                if new_phase > old_phase {
+                    if let Some(log) = self.events.as_mut() {
+                        log.push(Event::PhaseAdvance {
+                            round: t,
+                            node: id,
+                            from: old_phase,
+                            to: new_phase,
+                            value: alg.current_value(),
+                        });
+                    }
+                }
+                if self.events.is_some() && !self.was_decided[i] {
+                    if let Some(out) = alg.output() {
+                        self.was_decided[i] = true;
+                        if let Some(log) = self.events.as_mut() {
+                            log.push(Event::Decide {
+                                round: t,
+                                node: id,
+                                value: out,
+                            });
+                        }
+                    }
+                }
+                self.last_phase[i] = new_phase;
+            }
+        }
+
+        // --- Trace over fault-free nodes. ---
+        let ff_values: Vec<Value> = self
+            .fault_free
+            .iter()
+            .filter_map(|&id| self.value_of(id))
+            .collect();
+        let range = ValueInterval::of(ff_values.iter().copied()).map_or(0.0, ValueInterval::range);
+        let (min_phase, max_phase) = self
+            .fault_free
+            .iter()
+            .filter_map(|&id| self.phase_of(id))
+            .fold((Phase::new(u64::MAX), Phase::ZERO), |(lo, hi), p| {
+                (lo.min(p), hi.max(p))
+            });
+        let decided = self
+            .fault_free
+            .iter()
+            .filter(|&&id| {
+                self.algs[id.index()]
+                    .as_ref()
+                    .is_some_and(|a| a.output().is_some())
+            })
+            .count();
+        self.observer.record_trace(RoundTrace {
+            round: t,
+            range,
+            min_phase: if self.fault_free.is_empty() {
+                Phase::ZERO
+            } else {
+                min_phase
+            },
+            max_phase,
+            decided,
+        });
+
+        self.round = t.next();
+        self.check_stop_after(range, decided);
+    }
+
+    fn check_stop_before(&mut self) -> bool {
+        if self.round.as_u64() >= self.max_rounds {
+            self.done = Some(StopReason::MaxRounds);
+            return true;
+        }
+        let decided = self
+            .fault_free
+            .iter()
+            .filter(|&&id| {
+                self.algs[id.index()]
+                    .as_ref()
+                    .is_some_and(|a| a.output().is_some())
+            })
+            .count();
+        if decided == self.fault_free.len() {
+            self.done = Some(StopReason::AllOutput);
+            return true;
+        }
+        false
+    }
+
+    fn check_stop_after(&mut self, range: f64, decided: usize) {
+        if decided == self.fault_free.len() {
+            self.done = Some(StopReason::AllOutput);
+        } else if self.range_oracle.is_some_and(|eps| range <= eps) {
+            self.done = Some(StopReason::RangeConverged);
+        } else if self.round.as_u64() >= self.max_rounds {
+            self.done = Some(StopReason::MaxRounds);
+        }
+    }
+
+    /// Runs rounds until a stop condition fires, then consumes the
+    /// simulation into its [`Outcome`].
+    pub fn run(mut self) -> Outcome {
+        while self.done.is_none() {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Consumes the simulation into its [`Outcome`] (callable mid-flight
+    /// when stepping manually; the reason defaults to `MaxRounds` if no
+    /// stop condition fired yet).
+    pub fn finish(self) -> Outcome {
+        let n = self.params.n();
+        let outputs: Vec<Option<Value>> = (0..n)
+            .map(|i| self.algs[i].as_ref().and_then(|a| a.output()))
+            .collect();
+        let final_values: Vec<Value> = (0..n)
+            .map(|i| {
+                self.algs[i]
+                    .as_ref()
+                    .map_or(Value::HALF, |a| a.current_value())
+            })
+            .collect();
+        let non_byzantine: Vec<NodeId> = NodeId::all(n)
+            .filter(|id| self.byz[id.index()].is_none())
+            .collect();
+        let (phases, traces) = self.observer.into_parts();
+        Outcome {
+            params: self.params,
+            inputs: self.inputs,
+            honest: self.fault_free,
+            non_byzantine,
+            rounds: self.round.as_u64(),
+            reason: self.done.unwrap_or(StopReason::MaxRounds),
+            outputs,
+            final_values,
+            phases,
+            traces,
+            schedule: self.schedule,
+            traffic: self.traffic,
+            events: self.events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factories;
+    use adn_adversary::AdversarySpec;
+    use adn_faults::strategies::{Extreme, TwoFaced};
+    use adn_faults::CrashSurvivors;
+    use adn_graph::checker;
+    use adn_types::Params;
+
+    fn params(n: usize, f: usize, eps: f64) -> Params {
+        Params::new(n, f, eps).unwrap()
+    }
+
+    #[test]
+    fn dac_converges_on_complete_graph() {
+        let p = params(5, 0, 1e-3);
+        let outcome = Simulation::builder(p).algorithm(factories::dac(p)).run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.eps_agreement(1e-3));
+        assert!(outcome.validity());
+        // Complete graph: one phase per round, pend = 10.
+        assert_eq!(outcome.rounds(), 10);
+    }
+
+    #[test]
+    fn dac_under_rotating_threshold_adversary() {
+        let p = params(9, 0, 1e-3);
+        let outcome = Simulation::builder(p)
+            .adversary(AdversarySpec::DacThreshold.build(9, 0, 1))
+            .algorithm(factories::dac(p))
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.eps_agreement(1e-3));
+        assert!(outcome.validity());
+        assert!(outcome.phase_containment_ok());
+    }
+
+    #[test]
+    fn dac_measured_rate_respects_remark1() {
+        let p = params(7, 0, 1e-4);
+        let outcome = Simulation::builder(p)
+            .adversary(AdversarySpec::Rotating { d: 4 }.build(7, 0, 3))
+            .algorithm(factories::dac(p))
+            .run();
+        let worst = outcome.worst_rate().expect("phases recorded");
+        assert!(worst <= 0.5 + 1e-9, "worst rate {worst} exceeds 1/2");
+    }
+
+    #[test]
+    fn dac_survives_crashes_within_bound() {
+        // n = 5, f = 2: crash two nodes mid-run.
+        let p = params(5, 2, 1e-3);
+        let mut crash = CrashSchedule::new(5);
+        crash.crash(NodeId::new(3), Round::new(2), CrashSurvivors::All);
+        crash.crash(
+            NodeId::new(4),
+            Round::new(4),
+            CrashSurvivors::Subset(vec![NodeId::new(0)]),
+        );
+        let outcome = Simulation::builder(p)
+            .crashes(crash)
+            .algorithm(factories::dac(p))
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.eps_agreement(1e-3));
+        assert!(outcome.validity());
+        assert_eq!(outcome.honest_ids().len(), 3);
+    }
+
+    #[test]
+    fn dac_blocks_under_partition() {
+        let p = params(8, 0, 1e-2);
+        let outcome = Simulation::builder(p)
+            .adversary(AdversarySpec::PartitionHalves.build(8, 0, 1))
+            .algorithm(factories::dac(p))
+            .max_rounds(300)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::MaxRounds);
+        assert!(!outcome.all_honest_output());
+    }
+
+    #[test]
+    fn dbac_tolerates_extreme_byzantine() {
+        let p = params(6, 1, 1e-2);
+        let outcome = Simulation::builder(p)
+            .byzantine(NodeId::new(5), Box::new(Extreme { value: Value::ONE }))
+            .algorithm(factories::dbac(p))
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.eps_agreement(1e-2));
+        assert!(
+            outcome.validity(),
+            "byzantine pull must not escape the hull"
+        );
+    }
+
+    #[test]
+    fn dbac_tolerates_two_faced_with_sufficient_degree() {
+        let p = params(11, 2, 1e-2);
+        let outcome = Simulation::builder(p)
+            .byzantine(NodeId::new(4), Box::new(TwoFaced::zero_one(5)))
+            .byzantine(NodeId::new(6), Box::new(TwoFaced::zero_one(5)))
+            .adversary(AdversarySpec::DbacThreshold.build(11, 2, 2))
+            .algorithm(factories::dbac_with_pend(p, 80))
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.eps_agreement(1e-2));
+        assert!(outcome.validity());
+    }
+
+    #[test]
+    fn realized_schedule_feeds_checker() {
+        let p = params(6, 0, 1e-2);
+        let outcome = Simulation::builder(p)
+            .adversary(AdversarySpec::Rotating { d: 3 }.build(6, 0, 5))
+            .algorithm(factories::dac(p))
+            .run();
+        let sched = outcome.schedule();
+        assert_eq!(sched.len() as u64, outcome.rounds());
+        assert_eq!(checker::max_dyna_degree(sched, 1, &[]), Some(3));
+    }
+
+    #[test]
+    fn oracle_stop_fires_before_pend() {
+        let p = params(5, 0, 1e-6);
+        let outcome = Simulation::builder(p)
+            .algorithm(factories::dac(p))
+            .stop_when_range_below(0.25)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::RangeConverged);
+        assert!(outcome.rounds() < 10);
+        assert!(outcome.final_range() <= 0.25);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let p = params(8, 0, 1e-3);
+        let run = || {
+            Simulation::builder(p)
+                .inputs_random(11)
+                .adversary(AdversarySpec::Random { p: 0.7 }.build(8, 0, 9))
+                .algorithm(factories::dac(p))
+                .max_rounds(5_000)
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.honest_outputs(), b.honest_outputs());
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.schedule(), b.schedule());
+    }
+
+    #[test]
+    fn traffic_counts_complete_graph_rounds() {
+        let p = params(4, 0, 0.5); // pend = 1: single phase
+        let outcome = Simulation::builder(p).algorithm(factories::dac(p)).run();
+        // 1 round, complete graph: 4*3 deliveries of single messages.
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.traffic().deliveries(), 12);
+        assert_eq!(outcome.traffic().messages(), 12);
+    }
+
+    #[test]
+    fn pend_zero_stops_immediately() {
+        let p = params(4, 0, 1.0);
+        let outcome = Simulation::builder(p).algorithm(factories::dac(p)).run();
+        assert_eq!(outcome.rounds(), 0);
+        assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert!(outcome.validity());
+    }
+
+    #[test]
+    #[should_panic(expected = "algorithm is required")]
+    fn missing_algorithm_panics() {
+        let p = params(4, 0, 0.5);
+        let _ = Simulation::builder(p).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the fault bound")]
+    fn too_many_byzantine_panics() {
+        let p = params(4, 0, 0.5);
+        let _ = Simulation::builder(p)
+            .byzantine(NodeId::new(0), Box::new(Extreme { value: Value::ONE }))
+            .algorithm(factories::dbac(p))
+            .build();
+    }
+
+    #[test]
+    fn step_api_advances_one_round() {
+        let p = params(5, 0, 1e-3);
+        let mut sim = Simulation::builder(p).algorithm(factories::dac(p)).build();
+        assert_eq!(sim.round(), Round::ZERO);
+        sim.step();
+        assert_eq!(sim.round(), Round::new(1));
+        assert_eq!(sim.phase_of(NodeId::new(0)), Some(Phase::new(1)));
+        let outcome = sim.finish();
+        assert_eq!(outcome.rounds(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Algorithm factories for the simulation builder.
+//!
+//! A factory maps `(node_index, input)` to a boxed [`Algorithm`] state
+//! machine; the builder instantiates one per fault-free node. The node
+//! index is provided for algorithms that take per-node configuration (none
+//! of the paper's algorithms do — anonymity! — but strawmen and test
+//! doubles may).
+
+use adn_core::baseline::{Bac, LocalAverager, MinFlood, ReliableAc, TrimmedLocalAverager};
+use adn_core::{Algorithm, AlgorithmFactory, Dac, Dbac, DbacPiggyback, FullExchange};
+use adn_types::Params;
+
+/// DAC with the paper's `pend = ⌈log₂(1/ε)⌉`.
+pub fn dac(params: Params) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(Dac::new(params, input)) as Box<dyn Algorithm>)
+}
+
+/// DAC with an explicit termination phase.
+pub fn dac_with_pend(params: Params, pend: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(Dac::with_pend(params, input, pend)))
+}
+
+/// DBAC with the paper's Eq. (6) termination phase.
+pub fn dbac(params: Params) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(Dbac::new(params, input)))
+}
+
+/// DBAC with an explicit termination phase (experiments use this; Eq. (6)
+/// is very conservative).
+pub fn dbac_with_pend(params: Params, pend: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(Dbac::with_pend(params, input, pend)))
+}
+
+/// DBAC piggybacking up to `k` past states, explicit termination phase.
+pub fn dbac_piggyback(params: Params, k: usize, pend: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(DbacPiggyback::with_pend(params, input, k, pend)))
+}
+
+/// The §VII full-exchange construction: same-phase quorums restored by a
+/// bounded piggybacked history of `k` past states; guaranteed rate 1/2.
+pub fn full_exchange(params: Params, k: usize) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(FullExchange::new(params, input, k)))
+}
+
+/// The reliable-channel averaging baseline.
+pub fn reliable_ac(params: Params) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(ReliableAc::new(params, input)))
+}
+
+/// The classic same-phase-quorum Byzantine baseline (blocks under dynamic
+/// adversaries).
+pub fn bac(params: Params) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(Bac::new(params, input)))
+}
+
+/// Strawman that decides after `rounds` rounds (impossibility demos).
+pub fn local_averager(rounds: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(LocalAverager::new(input, rounds)))
+}
+
+/// Min-flooding exact-consensus attempt (Corollary 1 demo).
+pub fn min_flood(rounds: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(MinFlood::new(input, rounds)))
+}
+
+/// Trimming strawman for the Byzantine impossibility demo.
+pub fn trimmed_local_averager(n: usize, f: usize, rounds: u64) -> AlgorithmFactory {
+    Box::new(move |_, input| Box::new(TrimmedLocalAverager::new(n, f, input, rounds)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_types::Value;
+
+    #[test]
+    fn factories_build_named_algorithms() {
+        let p = Params::new(6, 1, 0.1).unwrap();
+        let cases: Vec<(AlgorithmFactory, &str)> = vec![
+            (dac(p), "dac"),
+            (dac_with_pend(p, 3), "dac"),
+            (dbac(p), "dbac"),
+            (dbac_with_pend(p, 3), "dbac"),
+            (dbac_piggyback(p, 2, 3), "dbac-piggyback"),
+            (full_exchange(p, 2), "full-exchange"),
+            (reliable_ac(p), "reliable-ac"),
+            (bac(p), "bac"),
+            (local_averager(5), "local-averager"),
+            (min_flood(5), "min-flood"),
+            (trimmed_local_averager(6, 1, 5), "trimmed-local-averager"),
+        ];
+        for (factory, expected) in cases {
+            let alg = factory(0, Value::HALF);
+            assert_eq!(alg.name(), expected);
+            assert_eq!(alg.current_value(), Value::HALF);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Synchronous round engine for anonymous dynamic networks.
+//!
+//! `adn-sim` wires every substrate together into the execution model of
+//! §II-A and runs it deterministically:
+//!
+//! 1. **Broadcast** — every live fault-free node produces its message
+//!    batch; nodes in their crash round broadcast one last (possibly
+//!    partial) time.
+//! 2. **Adversary** — the message adversary inspects all states and picks
+//!    the links `E(t)`.
+//! 3. **Delivery** — links from silent senders realize nothing; Byzantine
+//!    senders fabricate per-destination batches; each delivery arrives on
+//!    the receiver's private port. Self-delivery is internal to the
+//!    algorithms (they count themselves), so the engine never loops a
+//!    message back.
+//! 4. **Transition** — receivers process deliveries in ascending sender
+//!    index order, then `end_round` fires.
+//!
+//! The engine records the **realized delivery schedule** (for the
+//! dynaDegree checker), per-phase value multisets `V(p)` (Def. 5/6, for
+//! convergence-rate measurements), traffic, and round traces. The
+//! [`Outcome`] bundles everything with validity / ε-agreement verdicts.
+//!
+//! # Example
+//!
+//! ```
+//! use adn_adversary::AdversarySpec;
+//! use adn_sim::{factories, Simulation};
+//! use adn_types::Params;
+//!
+//! let params = Params::fault_free(5, 1e-3)?;
+//! let outcome = Simulation::builder(params)
+//!     .inputs_spread()
+//!     .adversary(AdversarySpec::Rotating { d: 3 }.build(5, 0, 7))
+//!     .algorithm(factories::dac(params))
+//!     .run();
+//! assert!(outcome.all_honest_output());
+//! assert!(outcome.eps_agreement(1e-3));
+//! assert!(outcome.validity());
+//! # Ok::<(), adn_types::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod builder;
+mod engine;
+pub mod factories;
+mod observer;
+mod outcome;
+pub mod quantized;
+pub mod trace;
+pub mod workload;
+
+pub use builder::SimBuilder;
+pub use engine::{DeliveryOrder, Simulation};
+pub use observer::{PhaseRecord, RoundTrace};
+pub use outcome::{Outcome, StopReason};
+pub use trace::{Event, EventLog};

@@ -1,0 +1,121 @@
+//! Bandwidth-constrained execution: quantize every outgoing value to the
+//! wire precision.
+//!
+//! The paper's `O(log n)`-bit messages cannot carry arbitrary reals. The
+//! [`Quantized`] wrapper snaps every broadcast value to the
+//! [`codec`](adn_net::codec) grid before it leaves the node, so the
+//! simulated execution is *exactly* what a deployment over a `B`-bit wire
+//! format would compute. Experiment E17 sweeps `B` to locate the precision
+//! below which ε-agreement degrades — the quantitative content of the
+//! bandwidth assumption.
+
+use adn_core::{Algorithm, AlgorithmFactory};
+use adn_net::codec::{dequantize, quantize, Precision};
+use adn_types::{Message, Phase, Port, Value};
+
+/// Wraps an algorithm so its broadcasts are quantized to `precision`.
+///
+/// Incoming messages are delivered unchanged (they already sit on the grid
+/// because every sender is wrapped too). The node's *internal* state stays
+/// exact — only the wire is constrained, mirroring a real fixed-point
+/// encoder at the network boundary.
+#[derive(Debug)]
+pub struct Quantized {
+    inner: Box<dyn Algorithm>,
+    precision: Precision,
+}
+
+impl Quantized {
+    /// Wraps `inner`, quantizing its outgoing values to `precision`.
+    pub fn new(inner: Box<dyn Algorithm>, precision: Precision) -> Self {
+        Quantized { inner, precision }
+    }
+
+    /// The wire precision in effect.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+}
+
+impl Algorithm for Quantized {
+    fn broadcast(&mut self) -> Vec<Message> {
+        self.inner
+            .broadcast()
+            .into_iter()
+            .map(|m| {
+                let snapped = dequantize(quantize(m.value(), self.precision), self.precision);
+                Message::new(snapped, m.phase())
+            })
+            .collect()
+    }
+
+    fn receive(&mut self, port: Port, batch: &[Message]) {
+        self.inner.receive(port, batch);
+    }
+
+    fn end_round(&mut self) {
+        self.inner.end_round();
+    }
+
+    fn output(&self) -> Option<Value> {
+        self.inner.output()
+    }
+
+    fn phase(&self) -> Phase {
+        self.inner.phase()
+    }
+
+    fn current_value(&self) -> Value {
+        self.inner.current_value()
+    }
+
+    fn name(&self) -> &'static str {
+        "quantized"
+    }
+}
+
+/// Factory combinator: wraps every node produced by `inner` in a
+/// [`Quantized`] encoder at the given precision.
+pub fn quantized_factory(inner: AlgorithmFactory, precision: Precision) -> AlgorithmFactory {
+    Box::new(move |i, input| Box::new(Quantized::new(inner(i, input), precision)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_core::Dac;
+    use adn_types::Params;
+
+    #[test]
+    fn broadcast_values_land_on_the_grid() {
+        let params = Params::fault_free(5, 1e-3).unwrap();
+        let p = Precision::new(4); // grid step 1/16
+        let mut node = Quantized::new(Box::new(Dac::new(params, Value::new(0.3).unwrap())), p);
+        let batch = node.broadcast();
+        let v = batch[0].value().get();
+        let scaled = v * 16.0;
+        assert!((scaled - scaled.round()).abs() < 1e-12, "{v} off-grid");
+        // 0.3 snaps to 5/16 = 0.3125.
+        assert!((v - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_state_stays_exact() {
+        let params = Params::fault_free(5, 1e-3).unwrap();
+        let node = Quantized::new(
+            Box::new(Dac::new(params, Value::new(0.3).unwrap())),
+            Precision::new(2),
+        );
+        assert_eq!(node.current_value().get(), 0.3);
+        assert_eq!(node.name(), "quantized");
+        assert_eq!(node.phase(), Phase::ZERO);
+    }
+
+    #[test]
+    fn factory_combinator_wraps() {
+        let params = Params::fault_free(5, 1e-3).unwrap();
+        let factory = quantized_factory(crate::factories::dac(params), Precision::for_eps(1e-3));
+        let node = factory(0, Value::HALF);
+        assert_eq!(node.name(), "quantized");
+    }
+}

@@ -1,0 +1,112 @@
+//! Input (initial value) generators.
+//!
+//! Approximate consensus starts from one value per node in `[0, 1]`
+//! (§II-C). These helpers build the input vectors used across examples,
+//! tests, and experiments.
+
+use adn_types::rng::SplitMix64;
+use adn_types::Value;
+
+/// Evenly spread inputs `i / (n-1)` for `i = 0..n` — full range, maximal
+/// initial disagreement, deterministic.
+///
+/// ```
+/// let v = adn_sim::workload::spread(3);
+/// assert_eq!(v[0], adn_types::Value::ZERO);
+/// assert_eq!(v[2], adn_types::Value::ONE);
+/// ```
+pub fn spread(n: usize) -> Vec<Value> {
+    assert!(n > 0, "need at least one node");
+    if n == 1 {
+        return vec![Value::HALF];
+    }
+    (0..n)
+        .map(|i| Value::saturating(i as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Uniform random inputs.
+pub fn random(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| Value::saturating(rng.next_f64())).collect()
+}
+
+/// The adversarial 0/1 split of the impossibility proofs: the first
+/// `zeros` nodes hold 0, the rest hold 1.
+///
+/// # Panics
+///
+/// Panics if `zeros > n`.
+pub fn split01(n: usize, zeros: usize) -> Vec<Value> {
+    assert!(zeros <= n, "cannot assign {zeros} zeros among {n} nodes");
+    (0..n)
+        .map(|i| if i < zeros { Value::ZERO } else { Value::ONE })
+        .collect()
+}
+
+/// All nodes agree already (useful as a fixed point sanity check).
+pub fn constant(n: usize, v: Value) -> Vec<Value> {
+    vec![v; n]
+}
+
+/// Clustered sensor readings: values near `center` with uniform jitter
+/// `±jitter`, clamped to `[0, 1]` — the drone/robot workload of the
+/// paper's motivation (§I).
+pub fn clustered(n: usize, center: f64, jitter: f64, seed: u64) -> Vec<Value> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Value::saturating(center + (rng.next_f64() * 2.0 - 1.0) * jitter))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_covers_unit_interval() {
+        let v = spread(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0], Value::ZERO);
+        assert_eq!(v[4], Value::ONE);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn spread_single_node() {
+        assert_eq!(spread(1), vec![Value::HALF]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let a = random(10, 3);
+        let b = random(10, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..=1.0).contains(&v.get())));
+    }
+
+    #[test]
+    fn split01_counts() {
+        let v = split01(5, 2);
+        assert_eq!(v.iter().filter(|&&x| x == Value::ZERO).count(), 2);
+        assert_eq!(v.iter().filter(|&&x| x == Value::ONE).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot assign")]
+    fn split01_validates() {
+        split01(3, 4);
+    }
+
+    #[test]
+    fn clustered_stays_near_center() {
+        let v = clustered(50, 0.6, 0.1, 9);
+        assert!(v.iter().all(|x| (0.5..=0.7000001).contains(&x.get())));
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let v = constant(4, Value::HALF);
+        assert!(v.iter().all(|&x| x == Value::HALF));
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing or validating `anondyn` types.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A state value was outside the normalized input range `[0, 1]` or not
+    /// a finite number.
+    InvalidValue {
+        /// Human-readable rendering of the offending value.
+        got: String,
+    },
+    /// The system parameters are internally inconsistent (for example
+    /// `n = 0`, or `f >= n`).
+    InvalidParams {
+        /// Explanation of which constraint failed.
+        reason: String,
+    },
+    /// The epsilon agreement parameter must satisfy `0 < eps <= 1`.
+    InvalidEpsilon {
+        /// The epsilon that was supplied.
+        got: f64,
+    },
+    /// A node identifier was out of range for the configured system size.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The system size `n`.
+        n: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidValue { got } => {
+                write!(f, "state value must be finite and within [0, 1], got {got}")
+            }
+            Error::InvalidParams { reason } => {
+                write!(f, "invalid system parameters: {reason}")
+            }
+            Error::InvalidEpsilon { got } => {
+                write!(f, "epsilon must satisfy 0 < eps <= 1, got {got}")
+            }
+            Error::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for system size {n}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = Error::InvalidEpsilon { got: 2.0 };
+        let s = e.to_string();
+        assert!(s.contains("epsilon"));
+        assert!(s.contains('2'));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn node_out_of_range_mentions_both_numbers() {
+        let e = Error::NodeOutOfRange { node: 9, n: 5 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('5'));
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+use crate::{Phase, Value};
+
+/// The wire message of both DAC and DBAC: a state value plus a phase index.
+///
+/// The paper assumes each link carries `O(log n)` bits per round (§II-A);
+/// our concrete encoding is one `f64` value and one `u64` phase, i.e.
+/// [`Message::WIRE_BITS`] bits, which the network substrate uses for
+/// bandwidth accounting. The sender field `⟨i, v, p⟩` in the paper's
+/// pseudocode is *not* part of the message — anonymity means the receiver
+/// learns the sender only through the local port the message arrives on.
+///
+/// Piggybacking variants (§VII) send several `Message`s at once; the
+/// substrate charges them `WIRE_BITS` each.
+///
+/// ```
+/// use adn_types::{Message, Phase, Value};
+/// let m = Message::new(Value::HALF, Phase::new(3));
+/// assert_eq!(m.phase(), Phase::new(3));
+/// assert_eq!(m.value(), Value::HALF);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Message {
+    // Phase first so the derived lexicographic order sorts by phase, then
+    // value — handy when deduplicating piggybacked histories.
+    phase: Phase,
+    value: Value,
+}
+
+impl Message {
+    /// Size of one encoded message in bits (64-bit value + 64-bit phase).
+    pub const WIRE_BITS: u64 = 128;
+
+    /// Creates a message carrying `value` stamped with `phase`.
+    pub const fn new(value: Value, phase: Phase) -> Self {
+        Message { phase, value }
+    }
+
+    /// The state value carried by the message.
+    pub const fn value(self) -> Value {
+        self.value
+    }
+
+    /// The phase index the sender was in when it broadcast.
+    pub const fn phase(self) -> Phase {
+        self.phase
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}@{}>", self.value, self.phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let m = Message::new(Value::new(0.25).unwrap(), Phase::new(7));
+        assert_eq!(m.value().get(), 0.25);
+        assert_eq!(m.phase().as_u64(), 7);
+    }
+
+    #[test]
+    fn order_is_phase_major() {
+        let lo = Message::new(Value::ONE, Phase::new(1));
+        let hi = Message::new(Value::ZERO, Phase::new(2));
+        assert!(lo < hi, "phase dominates value in the ordering");
+    }
+
+    #[test]
+    fn display_mentions_both_fields() {
+        let m = Message::new(Value::HALF, Phase::new(2));
+        let s = m.to_string();
+        assert!(s.contains("0.5") && s.contains("ph2"));
+    }
+
+    #[test]
+    fn wire_bits_matches_two_u64() {
+        assert_eq!(Message::WIRE_BITS, 2 * 64);
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's impossibility results, made concrete (Theorems 9 and 10).
+//!
+//! 1. **Theorem 9**: with `(1, ⌊n/2⌋−1)`-dynaDegree — one neighbor short —
+//!    DAC blocks forever, and any algorithm that *does* decide (the
+//!    `LocalAverager` strawman) violates ε-agreement when the two isolated
+//!    halves start with different inputs.
+//! 2. **Theorem 10**: with `(1, ⌊(n+3f)/2⌋−1)` and `f` two-faced Byzantine
+//!    nodes, the trimming strawman decides but the two overlapping groups
+//!    are forced to opposite outputs.
+//!
+//! Run with: `cargo run --example impossibility_demo`
+
+use anondyn::adversary::Theorem10Split;
+use anondyn::faults::strategies::TwoFaced;
+use anondyn::prelude::*;
+
+fn theorem9(n: usize) {
+    println!("--- Theorem 9: crash model, D = floor(n/2) - 1 ---");
+    let params = Params::fault_free(n, 1e-2).unwrap();
+
+    // (a) DAC never terminates: the partition keeps everyone below quorum.
+    let outcome = Simulation::builder(params)
+        .inputs(workload::split01(n, n / 2))
+        .adversary(AdversarySpec::PartitionHalves.build(n, 0, 1))
+        .algorithm(factories::dac(params))
+        .max_rounds(2_000)
+        .run();
+    println!(
+        "DAC under partition: {} after {} rounds (no node ever decided: {})",
+        outcome.reason(),
+        outcome.rounds(),
+        !outcome.all_honest_output()
+    );
+    assert_eq!(outcome.reason(), StopReason::MaxRounds);
+
+    // (b) A strawman that decides anyway violates eps-agreement.
+    let outcome = Simulation::builder(params)
+        .inputs(workload::split01(n, n / 2))
+        .adversary(AdversarySpec::PartitionHalves.build(n, 0, 1))
+        .algorithm(factories::local_averager(10))
+        .run();
+    println!(
+        "strawman under partition: decided with output range {:.3} (eps-agreement: {})",
+        outcome.output_range(),
+        outcome.eps_agreement(1e-2)
+    );
+    assert!(!outcome.eps_agreement(1e-2));
+    assert!(
+        (outcome.output_range() - 1.0).abs() < 1e-12,
+        "full disagreement"
+    );
+}
+
+fn theorem10(n: usize, f: usize) {
+    println!("\n--- Theorem 10: Byzantine, D = floor((n+3f)/2) - 1 ---");
+    let params = Params::new(n, f, 1e-2).unwrap();
+
+    // Inputs and Byzantine block exactly as in the proof.
+    let inputs: Vec<Value> = (0..n)
+        .map(|i| Value::saturating(Theorem10Split::input_of(n, f, NodeId::new(i))))
+        .collect();
+    let byz_block = Theorem10Split::byzantine_block(n, f);
+    println!("byzantine block: nodes {byz_block:?}");
+
+    let mut builder = Simulation::builder(params)
+        .inputs(inputs)
+        .adversary(AdversarySpec::Theorem10.build(n, f, 1))
+        .algorithm(factories::trimmed_local_averager(n, f, 12));
+    for i in byz_block {
+        // Equivocate: input "0" toward group A (low indices), "1" toward B.
+        builder = builder.byzantine(NodeId::new(i), Box::new(TwoFaced::zero_one(n / 2)));
+    }
+    let outcome = builder.run();
+
+    let lo = outcome.honest_ids().first().copied().unwrap();
+    let hi = outcome.honest_ids().last().copied().unwrap();
+    println!(
+        "group A node {} output {}, group B node {} output {}",
+        lo,
+        outcome.output_of(lo).unwrap(),
+        hi,
+        outcome.output_of(hi).unwrap()
+    );
+    println!(
+        "output range {:.3}: eps-agreement violated: {}",
+        outcome.output_range(),
+        !outcome.eps_agreement(1e-2)
+    );
+    assert!(!outcome.eps_agreement(1e-2));
+}
+
+fn main() {
+    theorem9(8);
+    theorem10(11, 2);
+    println!("\nboth impossibility constructions reproduced");
+}

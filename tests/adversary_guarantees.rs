@@ -1,0 +1,104 @@
+//! Property tests: every guarantee-preserving adversary actually delivers
+//! the (T, D)-dynaDegree it promises on the *realized* schedule, including
+//! in the presence of crashed and silent-Byzantine senders (the live-sender
+//! discipline of DESIGN.md §5.1).
+
+use anondyn::faults::strategies::Silent;
+use anondyn::prelude::*;
+use proptest::prelude::*;
+
+/// Runs DAC under the spec (long enough to record a useful schedule) and
+/// returns the outcome.
+fn record(n: usize, f: usize, spec: AdversarySpec, seed: u64, crashes: CrashSchedule) -> Outcome {
+    let params = Params::new(n, f, 1e-6).unwrap();
+    Simulation::builder(params)
+        .inputs_random(seed)
+        .adversary(spec.build(n, f, seed))
+        .crashes(crashes)
+        .algorithm(factories::dac(params))
+        .max_rounds(60)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rotating_promise_holds(n in 3usize..12, seed in any::<u64>(), d in 1usize..6) {
+        let d = d.min(n - 1);
+        let outcome = record(n, 0, AdversarySpec::Rotating { d }, seed, CrashSchedule::new(n));
+        let got = checker::max_dyna_degree(outcome.schedule(), 1, &[]).unwrap();
+        prop_assert!(got >= d, "promised (1,{}), realized (1,{})", d, got);
+    }
+
+    #[test]
+    fn spread_promise_holds(n in 4usize..12, seed in any::<u64>(), t in 1usize..5, d in 1usize..6) {
+        let d = d.min(n - 1);
+        let outcome = record(n, 0, AdversarySpec::Spread { t, d }, seed, CrashSchedule::new(n));
+        let got = checker::max_dyna_degree(outcome.schedule(), t, &[]).unwrap();
+        prop_assert!(got >= d, "promised ({},{}), realized ({},{})", t, d, t, got);
+    }
+
+    #[test]
+    fn staggered_promise_holds(n in 4usize..12, seed in any::<u64>(), groups in 1usize..4) {
+        let d = (n / 2).max(1);
+        let outcome = record(
+            n, 0,
+            AdversarySpec::Staggered { d, groups },
+            seed,
+            CrashSchedule::new(n),
+        );
+        let got = checker::max_dyna_degree(outcome.schedule(), groups, &[]).unwrap();
+        prop_assert!(got >= d, "promised ({},{}), realized ({},{})", groups, d, groups, got);
+    }
+
+    #[test]
+    fn rotating_routes_around_crashed_senders(
+        f in 1usize..4,
+        seed in any::<u64>(),
+        crash_round in 0u64..5,
+    ) {
+        // n = 2f + 1; f nodes crash mid-run. The realized schedule for the
+        // fault-free receivers must still reach D = floor(n/2) every round
+        // after the crashes (and a fortiori over any window).
+        let n = 2 * f + 1;
+        let crashes = CrashSchedule::at_rounds(
+            n,
+            (0..f).map(|k| (NodeId::new(n - 1 - k), Round::new(crash_round))),
+        );
+        let faulty: Vec<NodeId> = (0..f).map(|k| NodeId::new(n - 1 - k)).collect();
+        let outcome = record(n, f, AdversarySpec::DacThreshold, seed, crashes);
+        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
+        let got = checker::max_dyna_degree(outcome.schedule(), 1, &faulty).unwrap();
+        prop_assert!(got >= n / 2, "realized only {}", got);
+    }
+}
+
+#[test]
+fn dbac_threshold_routes_around_silent_byzantine() {
+    // A silent Byzantine node never counts; the threshold adversary must
+    // still give every honest receiver floor((n+3f)/2) delivering senders.
+    let n = 11;
+    let f = 2;
+    let params = Params::new(n, f, 1e-2).unwrap();
+    let outcome = Simulation::builder(params)
+        .adversary(AdversarySpec::DbacThreshold.build(n, f, 3))
+        .byzantine(NodeId::new(1), Box::new(Silent))
+        .byzantine(NodeId::new(6), Box::new(Silent))
+        .algorithm(factories::dbac_with_pend(params, 30))
+        .max_rounds(5_000)
+        .run();
+    assert_eq!(outcome.reason(), StopReason::AllOutput);
+    let faulty = outcome.faulty_ids();
+    let got = checker::max_dyna_degree(outcome.schedule(), 1, &faulty).unwrap();
+    assert!(got >= params.dbac_dyna_degree(), "realized only {got}");
+}
+
+#[test]
+fn omit_one_is_exactly_n_minus_2_for_every_n() {
+    for n in 3usize..12 {
+        let outcome = record(n, 0, AdversarySpec::OmitLowest, 5, CrashSchedule::new(n));
+        let got = checker::max_dyna_degree(outcome.schedule(), 1, &[]).unwrap();
+        assert_eq!(got, n - 2, "n={n}");
+    }
+}

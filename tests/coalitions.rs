@@ -1,0 +1,71 @@
+//! DBAC against *coordinated* Byzantine coalitions: the straddle attack
+//! (values placed just inside the trim boundary) and the sandwich attack
+//! (extremes split across members). Validity and ε-agreement must survive
+//! both, and the straddle must not drag outputs below the honest hull.
+
+use anondyn::faults::colluding::{Coalition, Plan};
+use anondyn::prelude::*;
+
+fn run_with_coalition(plan: Plan, n: usize, f: usize, seed: u64) -> Outcome {
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    let members: Vec<NodeId> = (0..f).map(|b| NodeId::new(1 + 4 * b)).collect();
+    let mut builder = Simulation::builder(params)
+        .inputs(workload::clustered(n, 0.55, 0.15, seed))
+        .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+        .algorithm(factories::dbac_with_pend(params, 50))
+        .max_rounds(20_000);
+    for (id, strategy) in Coalition::build(plan, members) {
+        builder = builder.byzantine(id, strategy);
+    }
+    builder.run()
+}
+
+#[test]
+fn dbac_survives_the_straddle_coalition() {
+    for seed in [9u64, 33, 81] {
+        let outcome = run_with_coalition(Plan::Straddle, 11, 2, seed);
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "seed={seed}");
+        assert!(outcome.eps_agreement(1e-2), "seed={seed}");
+        assert!(
+            outcome.validity(),
+            "seed={seed}: straddle dragged outputs outside the honest hull"
+        );
+        assert!(outcome.phase_containment_ok());
+    }
+}
+
+#[test]
+fn dbac_survives_the_sandwich_coalition() {
+    for seed in [9u64, 33, 81] {
+        let outcome = run_with_coalition(Plan::Sandwich, 16, 3, seed);
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "seed={seed}");
+        assert!(outcome.eps_agreement(1e-2), "seed={seed}");
+        assert!(outcome.validity(), "seed={seed}");
+    }
+}
+
+#[test]
+fn straddle_biases_but_respects_the_hull() {
+    // The straddle is the sharpest legal-looking pull: check that outputs
+    // sit in the lower part of the honest hull (the attack does work as a
+    // bias) while never leaving it (the trim does its job).
+    let n = 11;
+    let f = 2;
+    let seed = 7;
+    let inputs = workload::clustered(n, 0.55, 0.15, seed);
+    let honest_hull = ValueInterval::of(
+        inputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1 && *i != 5)
+            .map(|(_, v)| *v),
+    )
+    .unwrap();
+
+    let outcome = run_with_coalition(Plan::Straddle, n, f, seed);
+    let outs = outcome.honest_outputs();
+    for v in &outs {
+        assert!(honest_hull.contains(*v), "{v} outside {honest_hull}");
+    }
+}

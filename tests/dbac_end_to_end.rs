@@ -1,0 +1,184 @@
+//! End-to-end DBAC correctness across the adversary × Byzantine-strategy
+//! matrix: termination, validity, ε-agreement, and the Lemma 5 containment
+//! chain, with `f` attackers of every flavor.
+
+use anondyn::faults::strategies::{self, ALL_STRATEGY_NAMES};
+use anondyn::prelude::*;
+
+const SEEDS: [u64; 3] = [5, 59, 443];
+
+fn check_all(outcome: &Outcome, eps: f64, label: &str) {
+    assert_eq!(
+        outcome.reason(),
+        StopReason::AllOutput,
+        "{label}: DBAC must terminate ({outcome})"
+    );
+    assert!(outcome.eps_agreement(eps), "{label}: eps-agreement");
+    assert!(outcome.validity(), "{label}: validity");
+    assert!(
+        outcome.phase_containment_ok(),
+        "{label}: Lemma 5 containment chain"
+    );
+}
+
+#[test]
+fn dbac_matrix_all_attacks() {
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    for attack in ALL_STRATEGY_NAMES {
+        for seed in SEEDS {
+            let mut builder = Simulation::builder(params)
+                .inputs_random(seed)
+                .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+                .algorithm(factories::dbac_with_pend(params, 50))
+                .max_rounds(20_000);
+            // Byzantine nodes scattered through the index range.
+            for b in 0..f {
+                builder = builder.byzantine(
+                    NodeId::new(1 + 5 * b),
+                    strategies::by_name(attack, n, seed ^ b as u64),
+                );
+            }
+            let outcome = builder.run();
+            // A silent attacker reduces effective deliverers; DBAC still
+            // terminates because n >= 5f + 1 leaves enough honest senders.
+            check_all(&outcome, eps, &format!("{attack} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn dbac_matrix_sufficient_adversaries() {
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    for spec in AdversarySpec::dbac_sufficient(n, f) {
+        for seed in SEEDS {
+            let mut builder = Simulation::builder(params)
+                .inputs_random(seed)
+                .adversary(spec.build(n, f, seed))
+                .algorithm(factories::dbac_with_pend(params, 50))
+                .max_rounds(20_000);
+            for b in 0..f {
+                builder = builder.byzantine(
+                    NodeId::new(3 + 4 * b),
+                    Box::new(strategies::TwoFaced::zero_one(n / 2)),
+                );
+            }
+            let outcome = builder.run();
+            check_all(&outcome, eps, &format!("{spec} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn dbac_paper_pend_small_n() {
+    // The full Eq. (6) termination rule, exactly as published.
+    let n = 6;
+    let f = 1;
+    let eps = 0.05;
+    let params = Params::new(n, f, eps).unwrap();
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .byzantine(NodeId::new(2), Box::new(strategies::FlipFlop))
+        .algorithm(factories::dbac(params))
+        .max_rounds(50_000)
+        .run();
+    check_all(&outcome, eps, "paper pend");
+    // With the complete default adversary, one phase per round.
+    assert_eq!(outcome.rounds(), params.dbac_pend());
+}
+
+#[test]
+fn dbac_fault_free_runs_degenerate_gracefully() {
+    // f = 0: lists hold 1 element each; DBAC behaves like quorum-(n/2)+1…
+    // actually quorum n/2+1 with trivial trimming. Everything must hold.
+    let n = 6;
+    let eps = 1e-3;
+    let params = Params::fault_free(n, eps).unwrap();
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .algorithm(factories::dbac_with_pend(params, 30))
+        .run();
+    check_all(&outcome, eps, "f=0");
+}
+
+#[test]
+fn dbac_piggyback_preserves_all_invariants() {
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    for k in [0usize, 2, 5] {
+        for seed in SEEDS {
+            let mut builder = Simulation::builder(params)
+                .inputs_random(seed)
+                .adversary(
+                    AdversarySpec::Spread {
+                        t: 2,
+                        d: params.dbac_dyna_degree(),
+                    }
+                    .build(n, f, seed),
+                )
+                .algorithm(factories::dbac_piggyback(params, k, 50))
+                .max_rounds(20_000);
+            for b in 0..f {
+                builder = builder.byzantine(
+                    NodeId::new(2 + 3 * b),
+                    strategies::by_name("random-noise", n, seed + 7 * b as u64),
+                );
+            }
+            let outcome = builder.run();
+            check_all(&outcome, eps, &format!("piggyback k={k} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn full_exchange_with_history_under_stagger() {
+    // The §VII construction: k = 2 history under the skew-inducing
+    // staggered adversary; guaranteed rate 1/2 means DAC's pend applies.
+    let n = 11;
+    let f = 2;
+    let eps = 1e-3;
+    let params = Params::new(n, f, eps).unwrap();
+    for seed in SEEDS {
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(
+                AdversarySpec::Staggered {
+                    d: params.dbac_dyna_degree(),
+                    groups: 3,
+                }
+                .build(n, f, seed),
+            )
+            .algorithm(factories::full_exchange(params, 2))
+            .max_rounds(20_000)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "seed={seed}");
+        assert!(outcome.eps_agreement(eps));
+        assert!(outcome.validity());
+        if let Some(worst) = outcome.worst_rate() {
+            assert!(worst <= 0.5 + 1e-9, "full-exchange rate bound: {worst}");
+        }
+    }
+}
+
+#[test]
+fn dbac_outputs_identical_under_complete_views() {
+    // Complete adversary: every node sees the same multiset, so outputs
+    // coincide exactly (not merely within eps).
+    let n = 7;
+    let f = 1;
+    let params = Params::new(n, f, 1e-3).unwrap();
+    let outcome = Simulation::builder(params)
+        .inputs_random(77)
+        .byzantine(NodeId::new(0), Box::new(strategies::Mimic))
+        .algorithm(factories::dbac_with_pend(params, 25))
+        .run();
+    let outs = outcome.honest_outputs();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "outputs: {outs:?}");
+}

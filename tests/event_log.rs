@@ -1,0 +1,120 @@
+//! Integration tests for the structured event log.
+
+use anondyn::faults::CrashSurvivors;
+use anondyn::prelude::*;
+use anondyn::sim::Event;
+
+#[test]
+fn log_is_off_by_default() {
+    let params = Params::fault_free(4, 0.5).unwrap();
+    let outcome = Simulation::builder(params)
+        .algorithm(factories::dac(params))
+        .run();
+    assert!(outcome.events().is_none());
+}
+
+#[test]
+fn log_captures_the_whole_round_structure() {
+    let n = 4;
+    let params = Params::fault_free(n, 0.25).unwrap(); // pend = 2
+    let outcome = Simulation::builder(params)
+        .algorithm(factories::dac(params))
+        .record_events(true)
+        .run();
+    let log = outcome.events().expect("recording enabled");
+    assert_eq!(outcome.rounds(), 2);
+
+    // Per round: n broadcasts + n*(n-1) deliveries (complete graph).
+    let broadcasts = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Broadcast { .. }))
+        .count();
+    assert_eq!(broadcasts, 2 * n);
+    let deliveries = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Delivery { .. }))
+        .count();
+    assert_eq!(deliveries as u64, outcome.traffic().deliveries());
+
+    // Every node advances one phase per round and decides at pend.
+    for id in NodeId::all(n) {
+        let tl = log.phase_timeline(id);
+        assert_eq!(
+            tl,
+            vec![
+                (Round::new(0), Phase::new(1)),
+                (Round::new(1), Phase::new(2)),
+            ]
+        );
+        assert_eq!(log.decide_round(id), Some(Round::new(1)));
+    }
+}
+
+#[test]
+fn jump_shows_as_multi_phase_advance() {
+    use anondyn::adversary::Isolate;
+    let n = 5;
+    let params = Params::fault_free(n, 1e-3).unwrap();
+    let victim = NodeId::new(4);
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .adversary(Box::new(Isolate::new(victim, Round::new(0), 5)))
+        .algorithm(factories::dac(params))
+        .record_events(true)
+        .max_rounds(100)
+        .run();
+    let log = outcome.events().unwrap();
+    // The victim's first transition after rejoining spans several phases.
+    let jump = log
+        .for_node(victim)
+        .find_map(|e| match *e {
+            Event::PhaseAdvance { from, to, .. } => Some((from, to)),
+            _ => None,
+        })
+        .expect("victim advanced eventually");
+    assert!(
+        jump.1.as_u64() - jump.0.as_u64() > 1,
+        "expected a multi-phase jump, got {jump:?}"
+    );
+}
+
+#[test]
+fn crash_events_logged_once() {
+    let n = 5;
+    let params = Params::new(n, 2, 1e-2).unwrap();
+    let mut crashes = CrashSchedule::new(n);
+    crashes.crash(NodeId::new(4), Round::new(2), CrashSurvivors::All);
+    crashes.crash(NodeId::new(3), Round::new(0), CrashSurvivors::None);
+    let outcome = Simulation::builder(params)
+        .crashes(crashes)
+        .algorithm(factories::dac(params))
+        .record_events(true)
+        .max_rounds(100)
+        .run();
+    let log = outcome.events().unwrap();
+    let crash_events: Vec<_> = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Crash { .. }))
+        .collect();
+    assert_eq!(crash_events.len(), 2);
+    assert_eq!(crash_events[0].round(), Round::new(0));
+    assert_eq!(crash_events[0].node(), NodeId::new(3));
+    assert_eq!(crash_events[1].round(), Round::new(2));
+    assert_eq!(crash_events[1].node(), NodeId::new(4));
+}
+
+#[test]
+fn render_mentions_ports() {
+    let params = Params::fault_free(3, 0.5).unwrap();
+    let outcome = Simulation::builder(params)
+        .ports(PortNumbering::identity(3))
+        .algorithm(factories::dac(params))
+        .record_events(true)
+        .run();
+    let text = outcome.events().unwrap().render(Some(Round::new(0)));
+    assert!(text.contains("n0 -> n1 (on p0)"), "{text}");
+    assert!(text.contains("broadcast x1"));
+}

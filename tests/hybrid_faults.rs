@@ -1,0 +1,158 @@
+//! The paper's *hybrid* fault model: up to `f` nodes may crash **or** be
+//! Byzantine. A crash is a strict subset of Byzantine behavior, so DBAC
+//! must tolerate any mix with total ≤ f; these tests exercise the mixes.
+
+use anondyn::faults::strategies::{Extreme, TwoFaced};
+use anondyn::faults::CrashSurvivors;
+use anondyn::prelude::*;
+
+fn check(outcome: &Outcome, eps: f64, label: &str) {
+    assert_eq!(
+        outcome.reason(),
+        StopReason::AllOutput,
+        "{label}: termination ({outcome})"
+    );
+    assert!(outcome.eps_agreement(eps), "{label}: eps-agreement");
+    assert!(outcome.validity(), "{label}: validity");
+    assert!(outcome.phase_containment_ok(), "{label}: containment");
+}
+
+#[test]
+fn dbac_with_one_crash_one_byzantine() {
+    // n = 11, f = 2: one equivocator plus one mid-run crash.
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    for seed in [7u64, 21, 63] {
+        let mut crashes = CrashSchedule::new(n);
+        crashes.crash(
+            NodeId::new(9),
+            Round::new(3),
+            CrashSurvivors::Random {
+                keep_probability: 0.5,
+                seed,
+            },
+        );
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+            .crashes(crashes)
+            .byzantine(NodeId::new(4), Box::new(TwoFaced::zero_one(n / 2)))
+            .algorithm(factories::dbac_with_pend(params, 50))
+            .max_rounds(20_000)
+            .run();
+        check(&outcome, eps, &format!("1+1 hybrid seed={seed}"));
+        // Fault-free set excludes both the Byzantine and the crashed node.
+        assert_eq!(outcome.honest_ids().len(), n - 2);
+    }
+}
+
+#[test]
+fn dbac_with_crashes_only_under_byzantine_thresholds() {
+    // All f faults spent on crashes: strictly easier than Byzantine, so
+    // DBAC must sail through.
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    let crashes = CrashSchedule::at_rounds(
+        n,
+        [
+            (NodeId::new(0), Round::new(1)),
+            (NodeId::new(5), Round::new(4)),
+        ],
+    );
+    let outcome = Simulation::builder(params)
+        .inputs_random(5)
+        .adversary(AdversarySpec::DbacThreshold.build(n, f, 5))
+        .crashes(crashes)
+        .algorithm(factories::dbac_with_pend(params, 50))
+        .max_rounds(20_000)
+        .run();
+    check(&outcome, eps, "crashes-only hybrid");
+}
+
+#[test]
+fn total_fault_budget_is_enforced() {
+    // 1 crash + 2 byzantine with f = 2 must be rejected at build time.
+    let n = 11;
+    let params = Params::new(n, 2, 1e-2).unwrap();
+    let crashes = CrashSchedule::at_rounds(n, [(NodeId::new(0), Round::ZERO)]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Simulation::builder(params)
+            .crashes(crashes)
+            .byzantine(NodeId::new(1), Box::new(Extreme { value: Value::ONE }))
+            .byzantine(NodeId::new(2), Box::new(Extreme { value: Value::ZERO }))
+            .algorithm(factories::dbac_with_pend(params, 10))
+            .build()
+    }));
+    assert!(result.is_err(), "over-budget fault assignment must panic");
+}
+
+#[test]
+fn dac_hybrid_crash_with_partial_broadcasts_every_pattern() {
+    // DAC under its own model: every CrashSurvivors variant in one run.
+    let n = 9;
+    let f = 4;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    let mut crashes = CrashSchedule::new(n);
+    crashes.crash(NodeId::new(5), Round::new(0), CrashSurvivors::None);
+    crashes.crash(NodeId::new(6), Round::new(1), CrashSurvivors::All);
+    crashes.crash(
+        NodeId::new(7),
+        Round::new(2),
+        CrashSurvivors::Subset(vec![NodeId::new(0), NodeId::new(1)]),
+    );
+    crashes.crash(
+        NodeId::new(8),
+        Round::new(3),
+        CrashSurvivors::Random {
+            keep_probability: 0.3,
+            seed: 13,
+        },
+    );
+    let outcome = Simulation::builder(params)
+        .inputs_random(13)
+        .adversary(AdversarySpec::DacThreshold.build(n, f, 13))
+        .crashes(crashes)
+        .algorithm(factories::dac(params))
+        .max_rounds(20_000)
+        .run();
+    check(&outcome, eps, "all survivor patterns");
+    assert_eq!(outcome.honest_ids().len(), 5);
+}
+
+#[test]
+fn byzantine_crash_mix_across_attack_gallery() {
+    // n = 16, f = 3: one crash + two attackers of differing strategies.
+    let n = 16;
+    let f = 3;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    for (a, b) in [
+        ("two-faced", "extreme-high"),
+        ("phase-forger", "silent"),
+        ("random-noise", "mimic"),
+    ] {
+        let mut crashes = CrashSchedule::new(n);
+        crashes.crash(NodeId::new(15), Round::new(2), CrashSurvivors::All);
+        let outcome = Simulation::builder(params)
+            .inputs_random(31)
+            .adversary(AdversarySpec::DbacThreshold.build(n, f, 31))
+            .crashes(crashes)
+            .byzantine(
+                NodeId::new(3),
+                anondyn::faults::strategies::by_name(a, n, 1),
+            )
+            .byzantine(
+                NodeId::new(8),
+                anondyn::faults::strategies::by_name(b, n, 2),
+            )
+            .algorithm(factories::dbac_with_pend(params, 50))
+            .max_rounds(20_000)
+            .run();
+        check(&outcome, eps, &format!("{a}+{b}+crash"));
+    }
+}

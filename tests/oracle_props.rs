@@ -1,0 +1,174 @@
+//! Differential property tests: the optimized data structures against
+//! naive oracles built from std collections.
+
+use std::collections::HashSet;
+
+use anondyn::net::codec::{self, Precision};
+use anondyn::prelude::*;
+use anondyn::types::rng::SplitMix64;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// NodeSet (bitset) vs HashSet.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize),
+    Remove(usize),
+}
+
+fn arb_ops(n: usize) -> impl Strategy<Value = Vec<SetOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..n).prop_map(SetOp::Insert),
+            (0..n).prop_map(SetOp::Remove),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nodeset_matches_hashset(ops in arb_ops(70)) {
+        let n = 70;
+        let mut fast = NodeSet::new(n);
+        let mut oracle: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(i) => {
+                    let fresh = fast.insert(NodeId::new(i));
+                    prop_assert_eq!(fresh, oracle.insert(i));
+                }
+                SetOp::Remove(i) => {
+                    let present = fast.remove(NodeId::new(i));
+                    prop_assert_eq!(present, oracle.remove(&i));
+                }
+            }
+            prop_assert_eq!(fast.len(), oracle.len());
+        }
+        let listed: Vec<usize> = fast.iter().map(|id| id.index()).collect();
+        let mut expect: Vec<usize> = oracle.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(listed, expect);
+    }
+
+    #[test]
+    fn nodeset_union_difference_match_hashset(
+        a in proptest::collection::hash_set(0usize..80, 0..40),
+        b in proptest::collection::hash_set(0usize..80, 0..40),
+    ) {
+        let n = 80;
+        let mk = |s: &HashSet<usize>| NodeSet::from_ids(n, s.iter().map(|&i| NodeId::new(i)));
+        let mut u = mk(&a);
+        u.union_with(&mk(&b));
+        prop_assert_eq!(u.len(), a.union(&b).count());
+        let mut d = mk(&a);
+        d.difference_with(&mk(&b));
+        prop_assert_eq!(d.len(), a.difference(&b).count());
+        prop_assert_eq!(mk(&a).intersection_len(&mk(&b)), a.intersection(&b).count());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schedule window union vs naive per-pair recomputation.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_union_matches_naive(seed in any::<u64>(), rounds in 1usize..10, t in 1usize..5) {
+        let n = 6;
+        let mut rng = SplitMix64::new(seed);
+        let mut sched = Schedule::new(n);
+        for _ in 0..rounds {
+            sched.push(anondyn::graph::generators::gnp(n, 0.35, &mut rng));
+        }
+        for start in 0..rounds {
+            let fast = sched.window_union(Round::new(start as u64), t);
+            // Naive: test membership of every possible pair.
+            for u in NodeId::all(n) {
+                for v in NodeId::all(n) {
+                    if u == v { continue; }
+                    let expect = (start..(start + t).min(rounds)).any(|k| {
+                        sched.round(Round::new(k as u64)).unwrap().contains(u, v)
+                    });
+                    prop_assert_eq!(fast.contains(u, v), expect, "({}, {})", u, v);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec: exhaustive grid roundtrip + random message roundtrips.
+// ---------------------------------------------------------------------
+
+#[test]
+fn codec_grid_points_roundtrip_exactly() {
+    for bits in [1u8, 3, 7, 12] {
+        let p = Precision::new(bits);
+        let levels = 1u64 << bits;
+        for i in 0..=levels {
+            let v = codec::dequantize(i, p);
+            assert_eq!(codec::quantize(v, p), i, "bits={bits} i={i}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_roundtrip_random_messages(
+        v in 0.0f64..=1.0,
+        phase in 0u64..1_000_000,
+        bits in 1u8..30,
+    ) {
+        let p = Precision::new(bits);
+        let msg = Message::new(Value::new(v).unwrap(), Phase::new(phase));
+        let mut buf = Vec::new();
+        codec::encode(msg, p, &mut buf);
+        let (decoded, used) = codec::decode(&buf, p).expect("well-formed");
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded.phase().as_u64(), phase);
+        // Error at most half a grid step.
+        prop_assert!(decoded.value().distance(msg.value()) <= p.resolution() / 2.0 + 1e-15);
+        // Re-encoding the decoded message is a fixed point.
+        let mut buf2 = Vec::new();
+        codec::encode(decoded, p, &mut buf2);
+        prop_assert_eq!(buf, buf2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traffic model vs event log (cross-subsystem consistency).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn traffic_equals_event_log_deliveries(seed in any::<u64>(), p in 0.2f64..0.9) {
+        let n = 7;
+        let params = Params::fault_free(n, 1e-2).unwrap();
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Random { p }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .record_events(true)
+            .max_rounds(10_000)
+            .run();
+        let log = outcome.events().unwrap();
+        let deliveries = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, anondyn::sim::Event::Delivery { .. }))
+            .count() as u64;
+        prop_assert_eq!(deliveries, outcome.traffic().deliveries());
+        prop_assert_eq!(deliveries, outcome.schedule().total_edges() as u64);
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) over the core invariants: the
+//! dynaDegree checker against a brute-force oracle, DAC/DBAC safety under
+//! randomized systems, and the value/parameter algebra.
+
+use anondyn::faults::strategies;
+use anondyn::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Checker vs brute force.
+// ---------------------------------------------------------------------
+
+/// Brute-force reimplementation of Definition 1, structured differently
+/// from the production checker (set-of-tuples instead of bitsets).
+fn brute_force_min_degree(schedule: &Schedule, t_window: usize) -> Option<usize> {
+    let n = schedule.n();
+    if schedule.len() < t_window {
+        return None;
+    }
+    let mut min = usize::MAX;
+    for start in 0..=(schedule.len() - t_window) {
+        for v in 0..n {
+            let mut senders = std::collections::HashSet::new();
+            for off in 0..t_window {
+                let e = schedule.round(Round::new((start + off) as u64)).unwrap();
+                for (u, w) in e.edges() {
+                    if w.index() == v {
+                        senders.insert(u.index());
+                    }
+                }
+            }
+            min = min.min(senders.len());
+        }
+    }
+    Some(min)
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    // n in 2..7, rounds in 1..12, random edges.
+    (2usize..7, 1usize..12, any::<u64>()).prop_map(|(n, rounds, seed)| {
+        let mut rng = anondyn::types::rng::SplitMix64::new(seed);
+        let mut s = Schedule::new(n);
+        for _ in 0..rounds {
+            let mut e = EdgeSet::empty(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.next_bool(0.4) {
+                        e.insert(NodeId::new(u), NodeId::new(v));
+                    }
+                }
+            }
+            s.push(e);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checker_matches_brute_force(schedule in arb_schedule(), t in 1usize..6) {
+        let expected = brute_force_min_degree(&schedule, t);
+        let got = checker::max_dyna_degree(&schedule, t, &[]);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn checker_is_monotone_in_window(schedule in arb_schedule()) {
+        // Larger windows can only aggregate more distinct neighbors.
+        let mut prev = 0;
+        for t in 1..=schedule.len() {
+            if let Some(d) = checker::max_dyna_degree(&schedule, t, &[]) {
+                prop_assert!(d >= prev, "window {} dropped {} -> {}", t, prev, d);
+                prev = d;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DAC safety under randomized systems.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dac_safety_randomized(
+        n in 3usize..12,
+        seed in any::<u64>(),
+        extra_degree in 0usize..3,
+    ) {
+        let eps = 1e-2;
+        let params = Params::fault_free(n, eps).unwrap();
+        let d = (params.dac_dyna_degree() + extra_degree).min(n - 1);
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Rotating { d }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .max_rounds(10_000)
+            .run();
+        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
+        prop_assert!(outcome.eps_agreement(eps));
+        prop_assert!(outcome.validity());
+        prop_assert!(outcome.phase_containment_ok());
+        if let Some(w) = outcome.worst_rate() {
+            prop_assert!(w <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dac_crash_safety_randomized(
+        f in 1usize..4,
+        seed in any::<u64>(),
+        crash_round in 0u64..6,
+    ) {
+        let n = 2 * f + 1;
+        let eps = 1e-2;
+        let params = Params::new(n, f, eps).unwrap();
+        let mut crashes = CrashSchedule::new(n);
+        for k in 0..f {
+            crashes.crash(
+                NodeId::new(n - 1 - k),
+                Round::new(crash_round + k as u64),
+                CrashSurvivors::Random { keep_probability: 0.5, seed },
+            );
+        }
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::DacThreshold.build(n, f, seed))
+            .crashes(crashes)
+            .algorithm(factories::dac(params))
+            .max_rounds(10_000)
+            .run();
+        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
+        prop_assert!(outcome.eps_agreement(eps));
+        prop_assert!(outcome.validity());
+    }
+}
+
+// ---------------------------------------------------------------------
+// DBAC safety under randomized attacks.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dbac_safety_randomized(
+        f in 1usize..3,
+        seed in any::<u64>(),
+        attack_idx in 0usize..8,
+    ) {
+        let n = 5 * f + 1;
+        let eps = 1e-2;
+        let params = Params::new(n, f, eps).unwrap();
+        let attack = strategies::ALL_STRATEGY_NAMES[attack_idx];
+        let mut builder = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+            .algorithm(factories::dbac_with_pend(params, 40))
+            .max_rounds(20_000);
+        for b in 0..f {
+            builder = builder.byzantine(
+                NodeId::new(b * 3),
+                strategies::by_name(attack, n, seed ^ (b as u64) << 7),
+            );
+        }
+        let outcome = builder.run();
+        prop_assert_eq!(outcome.reason(), StopReason::AllOutput, "attack {}", attack);
+        prop_assert!(outcome.eps_agreement(eps));
+        prop_assert!(outcome.validity());
+        prop_assert!(outcome.phase_containment_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value / parameter algebra.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_midpoint_is_contained(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let va = Value::new(a).unwrap();
+        let vb = Value::new(b).unwrap();
+        let m = va.midpoint(vb);
+        prop_assert!(m >= va.min(vb));
+        prop_assert!(m <= va.max(vb));
+    }
+
+    #[test]
+    fn interval_hull_contains_members(xs in proptest::collection::vec(0.0f64..=1.0, 1..20)) {
+        let vals: Vec<Value> = xs.iter().map(|&x| Value::new(x).unwrap()).collect();
+        let hull = ValueInterval::of(vals.iter().copied()).unwrap();
+        for v in vals {
+            prop_assert!(hull.contains(v));
+        }
+    }
+
+    #[test]
+    fn pend_formula_is_sufficient(eps in 1e-9f64..1.0, n in 1usize..40) {
+        let params = Params::fault_free(n.max(1), eps).unwrap();
+        let pend = params.dac_pend();
+        // After pend halvings the unit range is within eps (tolerating the
+        // 1e-9 integer-snap of the formula).
+        prop_assert!(0.5f64.powi(pend as i32) <= eps * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn quorum_intersection_guarantee(n in 2usize..100) {
+        // Two DAC quorums always intersect: 2 * (floor(n/2)+1) > n.
+        let params = Params::fault_free(n, 0.5).unwrap();
+        prop_assert!(2 * params.dac_quorum() > n);
+    }
+
+    #[test]
+    fn dbac_quorum_leaves_enough_honest(f in 0usize..20) {
+        // At n = 5f+1 the quorum is reachable from honest senders alone:
+        // quorum <= (n - f - 1) + 1.
+        let n = 5 * f + 1;
+        if n >= 1 && f < n {
+            let params = Params::new(n, f, 0.5).unwrap();
+            prop_assert!(params.dbac_quorum() <= n - f);
+        }
+    }
+}

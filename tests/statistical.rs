@@ -1,0 +1,144 @@
+//! Statistical validation over many seeds: the theoretical constants show
+//! up in aggregate exactly where the paper puts them.
+
+use anondyn::analysis::{series, Summary};
+use anondyn::prelude::*;
+
+const MANY_SEEDS: u64 = 30;
+
+#[test]
+fn dac_complete_graph_rounds_equal_pend_always() {
+    // On the complete graph DAC advances one phase per round, so rounds
+    // == pend for every seed and every input vector.
+    let n = 8;
+    let eps = 1e-4;
+    let params = Params::fault_free(n, eps).unwrap();
+    for seed in 0..MANY_SEEDS {
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .algorithm(factories::dac(params))
+            .run();
+        assert_eq!(outcome.rounds(), params.dac_pend(), "seed={seed}");
+        assert!(outcome.eps_agreement(eps));
+    }
+}
+
+#[test]
+fn dac_effective_rate_concentrates_below_half() {
+    let n = 9;
+    let eps = 1e-6;
+    let params = Params::fault_free(n, eps).unwrap();
+    let mut rates = Summary::new();
+    for seed in 0..MANY_SEEDS {
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .run();
+        let ranges: Vec<f64> = outcome
+            .phase_ranges()
+            .into_iter()
+            .take_while(|&r| r > 0.0)
+            .collect();
+        if let Some(r) = series::effective_rate(&ranges) {
+            rates.add(r);
+        }
+    }
+    assert!(rates.count() >= MANY_SEEDS / 2, "enough measurable runs");
+    assert!(
+        rates.max().unwrap() <= 0.5 + 1e-9,
+        "max effective rate {}",
+        rates.max().unwrap()
+    );
+    assert!(
+        rates.mean() > 0.3,
+        "rate should be near the bound, got mean {}",
+        rates.mean()
+    );
+}
+
+#[test]
+fn output_midpoint_is_unbiased_under_symmetric_inputs() {
+    // Symmetric input *multiset* around 0.5, but with the node-to-value
+    // assignment shuffled per seed: across seeds the mean output must sit
+    // near 0.5. (Without the shuffle there is a measurable bias — node
+    // index correlates with value under `inputs_spread`, and the
+    // ascending-sender delivery order then favors low values in quorum
+    // completion; that artifact is itself pinned by
+    // `low_index_low_value_assignment_is_biased` below.)
+    let n = 9;
+    let eps = 1e-4;
+    let params = Params::fault_free(n, eps).unwrap();
+    let mut outs = Summary::new();
+    for seed in 0..MANY_SEEDS {
+        let mut inputs = workload::spread(n);
+        anondyn::types::rng::SplitMix64::new(seed ^ 0xABCD).shuffle(&mut inputs);
+        let outcome = Simulation::builder(params)
+            .inputs(inputs)
+            .adversary(AdversarySpec::Random { p: 0.6 }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .max_rounds(50_000)
+            .run();
+        outs.add(outcome.honest_outputs()[0].get());
+    }
+    assert!(
+        (outs.mean() - 0.5).abs() < 0.05,
+        "biased outputs: mean {}",
+        outs.mean()
+    );
+}
+
+#[test]
+fn low_index_low_value_assignment_is_biased() {
+    // The artifact documented above: identical runs with the *sorted*
+    // assignment show a clear downward pull. This is not a correctness
+    // property (agreement/validity hold regardless) — it documents that
+    // midpoint dynamics are sensitive to intra-round processing order.
+    let n = 9;
+    let eps = 1e-4;
+    let params = Params::fault_free(n, eps).unwrap();
+    let mut outs = Summary::new();
+    for seed in 0..MANY_SEEDS {
+        let outcome = Simulation::builder(params)
+            .inputs_spread()
+            .adversary(AdversarySpec::Random { p: 0.6 }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .max_rounds(50_000)
+            .run();
+        assert!(outcome.eps_agreement(eps));
+        assert!(outcome.validity());
+        outs.add(outcome.honest_outputs()[0].get());
+    }
+    assert!(outs.mean() < 0.48, "expected the documented pull, mean {}", outs.mean());
+}
+
+#[test]
+fn dbac_agreement_rate_is_total_across_seed_sweep() {
+    // 30 seeds of DBAC under the threshold adversary + two-faced attack:
+    // zero failures allowed.
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    let mut ok = 0;
+    for seed in 0..MANY_SEEDS {
+        let mut builder = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+            .algorithm(factories::dbac_with_pend(params, 50))
+            .max_rounds(20_000);
+        for b in 0..f {
+            builder = builder.byzantine(
+                NodeId::new(1 + 4 * b),
+                Box::new(anondyn::faults::strategies::TwoFaced::zero_one(n / 2)),
+            );
+        }
+        let outcome = builder.run();
+        ok += usize::from(
+            outcome.reason() == StopReason::AllOutput
+                && outcome.eps_agreement(eps)
+                && outcome.validity(),
+        );
+    }
+    assert_eq!(ok as u64, MANY_SEEDS);
+}

@@ -1,0 +1,112 @@
+//! Behavioral tests for DAC's jump rule: a straggler isolated for many
+//! rounds catches up in a single message on rejoining, and
+//! eventually-stable networks converge from stabilization onward.
+
+use anondyn::adversary::{Eventually, Isolate};
+use anondyn::prelude::*;
+
+#[test]
+fn isolated_node_catches_up_with_one_jump() {
+    let n = 7;
+    let eps = 1e-4;
+    let params = Params::fault_free(n, eps).unwrap();
+    let victim = NodeId::new(6);
+    // Victim cut off for rounds 1..=8 — the rest of the flock completes
+    // several phases meanwhile (complete graph: one phase per round).
+    let mut sim = Simulation::builder(params)
+        .inputs_spread()
+        .adversary(Box::new(Isolate::new(victim, Round::new(1), 8)))
+        .algorithm(factories::dac(params))
+        .build();
+
+    // Run through the isolation window.
+    for _ in 0..9 {
+        sim.step();
+    }
+    let stuck_phase = sim.phase_of(victim).unwrap();
+    let others_phase = sim.phase_of(NodeId::new(0)).unwrap();
+    assert!(
+        stuck_phase < others_phase,
+        "victim must have fallen behind: {stuck_phase} vs {others_phase}"
+    );
+
+    // One round after rejoining, the victim has jumped to the frontier
+    // (or beyond-with-quorum): the gap closes in a single delivery.
+    sim.step();
+    let caught_up = sim.phase_of(victim).unwrap();
+    assert!(
+        caught_up >= others_phase,
+        "jump rule must close the gap at once: {caught_up} vs {others_phase}"
+    );
+
+    // And the execution still finishes correctly.
+    while sim.stopped().is_none() {
+        sim.step();
+    }
+    let outcome = sim.finish();
+    assert_eq!(outcome.reason(), StopReason::AllOutput);
+    assert!(outcome.eps_agreement(eps));
+    assert!(outcome.validity());
+}
+
+#[test]
+fn dbac_straggler_needs_no_jump_but_still_recovers() {
+    // DBAC has no jump; the straggler contributes its backlog gradually.
+    // With future-phase acceptance the rest of the flock keeps moving and
+    // the straggler's quorums fill with future values.
+    let n = 11;
+    let f = 2;
+    let eps = 1e-2;
+    let params = Params::new(n, f, eps).unwrap();
+    let victim = NodeId::new(10);
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .adversary(Box::new(Isolate::new(victim, Round::new(1), 6)))
+        .algorithm(factories::dbac_with_pend(params, 30))
+        .max_rounds(10_000)
+        .run();
+    assert_eq!(outcome.reason(), StopReason::AllOutput);
+    assert!(outcome.eps_agreement(eps));
+    assert!(outcome.validity());
+}
+
+#[test]
+fn eventually_stable_network_converges_after_stabilization() {
+    let n = 6;
+    let eps = 1e-3;
+    let params = Params::fault_free(n, eps).unwrap();
+    let stabilize = 25u64;
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .adversary(Box::new(Eventually::new(Round::new(stabilize))))
+        .algorithm(factories::dac(params))
+        .max_rounds(10_000)
+        .run();
+    assert_eq!(outcome.reason(), StopReason::AllOutput);
+    // Total rounds = silent prefix + pend phases at one per round.
+    assert_eq!(outcome.rounds(), stabilize + params.dac_pend());
+    assert!(outcome.eps_agreement(eps));
+    // The trace shows zero progress before stabilization.
+    let pre = &outcome.traces()[..stabilize as usize];
+    assert!(pre.iter().all(|t| t.max_phase == Phase::ZERO));
+}
+
+#[test]
+fn long_isolation_does_not_inflate_phase_count() {
+    // The victim skips phases via jump; the observer must fill skipped
+    // phases per Def. 6, keeping the containment chain intact.
+    let n = 5;
+    let params = Params::fault_free(n, 1e-5).unwrap();
+    let outcome = Simulation::builder(params)
+        .inputs_spread()
+        .adversary(Box::new(Isolate::new(NodeId::new(4), Round::new(0), 12)))
+        .algorithm(factories::dac(params))
+        .max_rounds(10_000)
+        .run();
+    assert_eq!(outcome.reason(), StopReason::AllOutput);
+    assert!(outcome.phase_containment_ok());
+    // Every phase record contains all n nodes (skips filled).
+    for (p, rec) in outcome.phase_records().iter().enumerate() {
+        assert_eq!(rec.len(), n, "phase {p} incomplete: {}", rec.len());
+    }
+}
