@@ -16,16 +16,19 @@ pub struct Complete;
 
 impl Adversary for Complete {
     fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
-        let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
-        for v in NodeId::all(n) {
+        let mut e = EdgeSet::empty(view.params.n());
+        self.edges_into(view, &mut e);
+        e
+    }
+
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
+        for v in NodeId::all(view.params.n()) {
             for u in view.deliverers.iter() {
                 if u != v {
-                    e.insert(u, v);
+                    out.insert(u, v);
                 }
             }
         }
-        e
     }
 
     fn name(&self) -> &'static str {
@@ -43,6 +46,8 @@ impl Adversary for Silence {
     fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
         EdgeSet::empty(view.params.n())
     }
+
+    fn edges_into(&mut self, _view: &AdversaryView<'_>, _out: &mut EdgeSet) {}
 
     fn name(&self) -> &'static str {
         "silence"

@@ -82,12 +82,31 @@ impl AdversaryView<'_> {
     pub fn senders_for(&self, receiver: adn_types::NodeId) -> Vec<adn_types::NodeId> {
         self.deliverers.iter().filter(|&u| u != receiver).collect()
     }
+
+    /// Allocation-free form of [`AdversaryView::senders_for`]: writes the
+    /// delivering senders into a caller-owned scratch vector.
+    pub fn senders_for_into(&self, receiver: adn_types::NodeId, out: &mut Vec<adn_types::NodeId>) {
+        out.clear();
+        out.extend(self.deliverers.iter().filter(|&u| u != receiver));
+    }
 }
 
 /// A dynamic message adversary: one link-set choice per round.
 pub trait Adversary: fmt::Debug {
     /// Chooses the reliable links `E(t)` for the round described by `view`.
     fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet;
+
+    /// Writes the round's links into a caller-owned edge set that the
+    /// round engine reuses across rounds (passed cleared).
+    ///
+    /// The default forwards to [`Adversary::edges`], allocating one
+    /// `EdgeSet` per round — correct for every adversary. Strategies on
+    /// the steady-state path ([`Complete`], [`Rotating`] and the threshold
+    /// adversaries built on it) override this with an in-place fill so
+    /// `Simulation::step` stays allocation free.
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
+        *out = self.edges(view);
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

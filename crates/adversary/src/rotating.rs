@@ -10,9 +10,11 @@ use crate::{Adversary, AdversaryView};
 /// This is the canonical "sufficient but annoying" adversary for the
 /// sufficiency experiments: it meets the paper's bound with equality every
 /// round yet maximizes churn between rounds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Rotating {
     d: usize,
+    /// Reusable per-receiver scratch of candidate senders.
+    senders: Vec<NodeId>,
 }
 
 impl Rotating {
@@ -23,7 +25,10 @@ impl Rotating {
     /// Panics if `d == 0` (use [`crate::Silence`] for zero degree).
     pub fn new(d: usize) -> Self {
         assert!(d > 0, "degree must be positive");
-        Rotating { d }
+        Rotating {
+            d,
+            senders: Vec::new(),
+        }
     }
 
     /// The per-round degree granted.
@@ -34,24 +39,28 @@ impl Rotating {
 
 impl Adversary for Rotating {
     fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let mut e = EdgeSet::empty(view.params.n());
+        self.edges_into(view, &mut e);
+        e
+    }
+
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
         let t = view.round.as_u64() as usize;
         for v in NodeId::all(n) {
-            let senders = view.senders_for(v);
-            if senders.is_empty() {
+            view.senders_for_into(v, &mut self.senders);
+            if self.senders.is_empty() {
                 continue;
             }
-            let d = self.d.min(senders.len());
+            let d = self.d.min(self.senders.len());
             // Rotate the window start by round and receiver so neighbor
             // sets differ across rounds *and* across receivers.
-            let start = (t * d + v.index()) % senders.len();
+            let start = (t * d + v.index()) % self.senders.len();
             for k in 0..d {
-                let u = senders[(start + k) % senders.len()];
-                e.insert(u, v);
+                let u = self.senders[(start + k) % self.senders.len()];
+                out.insert(u, v);
             }
         }
-        e
     }
 
     fn name(&self) -> &'static str {

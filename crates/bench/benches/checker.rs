@@ -1,8 +1,7 @@
-//! Criterion: the (T, D)-dynaDegree checker over recorded schedules —
-//! the post-hoc verification cost as recordings and windows grow.
+//! The (T, D)-dynaDegree checker over recorded schedules — the post-hoc
+//! verification cost as recordings and windows grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use adn_bench::harness::Runner;
 use adn_graph::{checker, generators, Schedule};
 use adn_types::rng::SplitMix64;
 
@@ -15,20 +14,15 @@ fn random_schedule(n: usize, rounds: usize, seed: u64) -> Schedule {
     s
 }
 
-fn bench_checker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dyna_degree_checker");
+fn main() {
+    let mut r = Runner::new("dyna_degree_checker");
     for &(n, rounds) in &[(16usize, 64usize), (32, 128), (64, 256)] {
         let schedule = random_schedule(n, rounds, 9);
         for &t in &[1usize, 4, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}_r{rounds}"), t),
-                &t,
-                |b, &t| b.iter(|| checker::max_dyna_degree(&schedule, t, &[])),
-            );
+            r.bench(&format!("n{n}_r{rounds}/{t}"), || {
+                checker::max_dyna_degree(&schedule, t, &[])
+            });
         }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_checker);
-criterion_main!(benches);

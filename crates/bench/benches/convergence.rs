@@ -1,10 +1,8 @@
-//! Criterion: wall-clock cost of a full execution to ε-agreement, per
-//! algorithm and adversary — the end-to-end figure a user of the library
-//! cares about.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Wall-clock cost of a full execution to ε-agreement, per algorithm and
+//! adversary — the end-to-end figure a user of the library cares about.
 
 use adn_adversary::AdversarySpec;
+use adn_bench::harness::Runner;
 use adn_core::AlgorithmFactory;
 use adn_sim::{factories, Simulation};
 use adn_types::Params;
@@ -19,8 +17,8 @@ fn full_run(params: Params, spec: AdversarySpec, factory: AlgorithmFactory) -> u
     outcome.rounds()
 }
 
-fn bench_convergence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("to_eps_agreement");
+fn main() {
+    let mut r = Runner::new("to_eps_agreement");
     let n = 15;
     let params = Params::fault_free(n, 1e-3).unwrap();
     let cases: Vec<(&str, AdversarySpec)> = vec![
@@ -30,34 +28,27 @@ fn bench_convergence(c: &mut Criterion) {
         ("random_p05", AdversarySpec::Random { p: 0.5 }),
     ];
     for (name, spec) in cases {
-        group.bench_with_input(BenchmarkId::new("dac", name), &spec, |b, &spec| {
-            b.iter(|| full_run(params, spec, factories::dac(params)))
+        r.bench(&format!("dac/{name}"), || {
+            full_run(params, spec, factories::dac(params))
         });
     }
     let paramsb = Params::new(n, 2, 1e-3).unwrap();
-    group.bench_function(BenchmarkId::new("dbac", "rotating_threshold"), |b| {
-        b.iter(|| {
-            full_run(
-                paramsb,
-                AdversarySpec::DbacThreshold,
-                factories::dbac_with_pend(paramsb, 40),
-            )
-        })
+    r.bench("dbac/rotating_threshold", || {
+        full_run(
+            paramsb,
+            AdversarySpec::DbacThreshold,
+            factories::dbac_with_pend(paramsb, 40),
+        )
     });
-    group.bench_function(BenchmarkId::new("full_exchange_k2", "staggered"), |b| {
-        b.iter(|| {
-            full_run(
-                paramsb,
-                AdversarySpec::Staggered {
-                    d: paramsb.dbac_dyna_degree(),
-                    groups: 3,
-                },
-                factories::full_exchange(paramsb, 2),
-            )
-        })
+    r.bench("full_exchange_k2/staggered", || {
+        full_run(
+            paramsb,
+            AdversarySpec::Staggered {
+                d: paramsb.dbac_dyna_degree(),
+                groups: 3,
+            },
+            factories::full_exchange(paramsb, 2),
+        )
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_convergence);
-criterion_main!(benches);

@@ -1,53 +1,80 @@
-//! Criterion: cost of one simulated round as the system grows — the raw
-//! throughput of the substrate (broadcast + adversary + delivery + state
+//! Cost of one simulated round as the system grows — the raw throughput
+//! of the substrate (broadcast + adversary + delivery + state
 //! transitions) for each algorithm.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Two configurations per algorithm/size:
+//!
+//! * the **default** cases keep schedule recording and phase observation
+//!   on — the cost a user of `Outcome`-based analysis actually pays (and
+//!   the configuration of the pre-refactor baseline in
+//!   `BENCH_round_throughput.json`, which predates the lean knobs);
+//! * the **`_lean`** cases disable both recordings, isolating the
+//!   allocation-free message plane that `tests/alloc_free.rs` pins.
+//!
+//! Termination is disabled (`pend = u64::MAX`) so every measured round is
+//! steady state. Each timed call steps one simulation `BATCH` rounds; the
+//! harness creates a fresh simulation per sample, so the recorded
+//! schedule of a default-case simulation grows for the length of one
+//! sample at most. Set `ADN_BENCH_OUT=path` to append JSON records (the
+//! source of `BENCH_round_throughput.json`).
 
 use adn_adversary::AdversarySpec;
+use adn_bench::harness::Runner;
 use adn_sim::{factories, Simulation};
 use adn_types::Params;
 
-fn bench_round_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("round_step");
-    for &n in &[8usize, 16, 32, 64, 128] {
+/// Rounds stepped per timed call.
+const BATCH: u64 = 64;
+
+fn main() {
+    let mut r = Runner::new("round_step");
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
         let params = Params::fault_free(n, 1e-6).unwrap();
-        group.bench_with_input(BenchmarkId::new("dac_complete", n), &n, |b, _| {
-            b.iter_batched(
+        for lean in [false, true] {
+            // Lean variants only at the sizes tracked in
+            // BENCH_round_throughput.json.
+            if lean && !matches!(n, 16 | 64 | 256) {
+                continue;
+            }
+            let suffix = if lean { "_lean" } else { "" };
+            r.bench_batched(
+                &format!("dac_complete{suffix}/{n}"),
+                BATCH,
                 || {
                     Simulation::builder(params)
                         .inputs_random(1)
-                        .algorithm(factories::dac(params))
+                        .algorithm(factories::dac_with_pend(params, u64::MAX))
+                        .record_schedule(!lean)
+                        .observe_phases(!lean)
                         .max_rounds(u64::MAX)
                         .build()
                 },
-                |mut sim| {
-                    sim.step();
-                    sim
+                |sim| {
+                    for _ in 0..BATCH {
+                        sim.step();
+                    }
                 },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("dbac_rotating", n), &n, |b, _| {
-            b.iter_batched(
+            );
+            r.bench_batched(
+                &format!("dbac_rotating{suffix}/{n}"),
+                BATCH,
                 || {
                     Simulation::builder(params)
                         .inputs_random(1)
                         .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
                         .algorithm(factories::dbac_with_pend(params, u64::MAX))
+                        .record_schedule(!lean)
+                        .observe_phases(!lean)
                         .max_rounds(u64::MAX)
                         .build()
                 },
-                |mut sim| {
-                    sim.step();
-                    sim
+                |sim| {
+                    for _ in 0..BATCH {
+                        sim.step();
+                    }
                 },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+            );
+        }
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_round_step);
-criterion_main!(benches);

@@ -1,11 +1,25 @@
-//! Runs every experiment in order and prints a combined report — the
-//! source of EXPERIMENTS.md's measured sections.
+//! Runs every experiment and prints a combined report — the source of
+//! EXPERIMENTS.md's measured sections.
+//!
+//! Experiments are independent pure functions, so all but the last
+//! execute on a [`TrialPool`] (one trial per experiment, on top of each
+//! experiment's own internal parallelism). E18 — the scale experiment,
+//! whose wall-clock column would be inflated by contention — runs alone
+//! after the pool drains. Reports print strictly in registry order, so
+//! the output is byte-identical to a serial run (E18's wall-ms column
+//! excepted: it is nondeterministic between any two runs).
+
+use adn_sim::TrialPool;
 
 fn main() {
-    for (id, title, runner) in adn_bench::all() {
+    let registry = adn_bench::all();
+    let (pooled, timed_tail) = registry.split_at(registry.len() - 1);
+    let mut reports = TrialPool::new().run(pooled, |(_, _, runner)| runner());
+    reports.extend(timed_tail.iter().map(|(_, _, runner)| runner()));
+    for ((id, title, _), report) in registry.iter().zip(reports) {
         println!("==================================================================");
         println!("{id}: {title}");
         println!("==================================================================");
-        println!("{}", runner());
+        println!("{report}");
     }
 }

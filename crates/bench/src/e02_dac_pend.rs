@@ -6,7 +6,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, Simulation, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -21,31 +21,38 @@ pub fn run() -> String {
         "rounds",
         "out range",
     ]);
+    let mut configs: Vec<(f64, usize, AdversarySpec)> = Vec::new();
     for &eps in &[1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6] {
         for &n in &[5usize, 9, 15] {
             for spec in [
                 AdversarySpec::Complete,
                 AdversarySpec::Rotating { d: n / 2 },
             ] {
-                let params = Params::fault_free(n, eps).expect("valid params");
-                let outcome = Simulation::builder(params)
-                    .inputs_spread()
-                    .adversary(spec.build(n, 0, 3))
-                    .algorithm(factories::dac(params))
-                    .run();
-                assert!(outcome.all_honest_output(), "DAC must terminate");
-                assert!(outcome.eps_agreement(eps), "eps-agreement must hold");
-                t.row([
-                    format!("{eps:.0e}"),
-                    n.to_string(),
-                    spec.to_string(),
-                    params.dac_pend().to_string(),
-                    outcome.max_phase().to_string(),
-                    outcome.rounds().to_string(),
-                    format!("{:.2e}", outcome.output_range()),
-                ]);
+                configs.push((eps, n, spec));
             }
         }
+    }
+    let rows = TrialPool::new().run(&configs, |&(eps, n, spec)| {
+        let params = Params::fault_free(n, eps).expect("valid params");
+        let outcome = Simulation::builder(params)
+            .inputs_spread()
+            .adversary(spec.build(n, 0, 3))
+            .algorithm(factories::dac(params))
+            .run();
+        assert!(outcome.all_honest_output(), "DAC must terminate");
+        assert!(outcome.eps_agreement(eps), "eps-agreement must hold");
+        [
+            format!("{eps:.0e}"),
+            n.to_string(),
+            spec.to_string(),
+            params.dac_pend().to_string(),
+            outcome.max_phase().to_string(),
+            outcome.rounds().to_string(),
+            format!("{:.2e}", outcome.output_range()),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

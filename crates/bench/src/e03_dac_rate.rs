@@ -7,7 +7,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::{series, Summary, Table};
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, Simulation, TrialPool};
 use adn_types::Params;
 
 use crate::SEEDS;
@@ -23,28 +23,42 @@ pub fn run() -> String {
         "effective rate (mean)",
         "bound",
     ]);
-    for spec in [
+    let specs = [
         AdversarySpec::Complete,
         AdversarySpec::Rotating { d: n / 2 },
         AdversarySpec::Spread { t: 3, d: n / 2 },
         AdversarySpec::AdaptiveClosest { d: n / 2 },
         AdversarySpec::AlternatingComplete { period: 2 },
-    ] {
+    ];
+    // One trial per (adversary, seed); per-spec aggregation folds the
+    // results back in seed order, so the report is bit-identical to the
+    // serial sweep.
+    let trials: Vec<(AdversarySpec, u64)> = specs
+        .iter()
+        .flat_map(|&spec| SEEDS.iter().map(move |&seed| (spec, seed)))
+        .collect();
+    let results = TrialPool::new().run(&trials, |&(spec, seed)| {
+        let params = Params::fault_free(n, eps).expect("valid params");
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(spec.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .run();
+        assert!(outcome.all_honest_output());
+        (
+            outcome.worst_rate(),
+            series::effective_rate(&outcome.phase_ranges()),
+        )
+    });
+    for (si, spec) in specs.iter().enumerate() {
         let mut worst = f64::MIN;
         let mut eff = Summary::new();
-        for &seed in &SEEDS {
-            let params = Params::fault_free(n, eps).expect("valid params");
-            let outcome = Simulation::builder(params)
-                .inputs_random(seed)
-                .adversary(spec.build(n, 0, seed))
-                .algorithm(factories::dac(params))
-                .run();
-            assert!(outcome.all_honest_output());
-            if let Some(w) = outcome.worst_rate() {
-                worst = worst.max(w);
+        for (w, e) in results.iter().skip(si * SEEDS.len()).take(SEEDS.len()) {
+            if let Some(w) = w {
+                worst = worst.max(*w);
             }
-            if let Some(e) = series::effective_rate(&outcome.phase_ranges()) {
-                eff.add(e);
+            if let Some(e) = e {
+                eff.add(*e);
             }
         }
         t.row([

@@ -7,7 +7,7 @@ use std::fmt::Write;
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
 use adn_graph::checker;
-use adn_sim::{factories, workload, Simulation, StopReason};
+use adn_sim::{factories, workload, Simulation, StopReason, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -21,7 +21,8 @@ pub fn run() -> String {
         "strawman range",
         "violation",
     ]);
-    for &n in &[6usize, 8, 12, 16] {
+    let sizes = [6usize, 8, 12, 16];
+    let rows = TrialPool::new().run(&sizes, |&n| {
         let params = Params::fault_free(n, 1e-2).expect("valid params");
         let dac = Simulation::builder(params)
             .inputs(workload::split01(n, n / 2))
@@ -38,14 +39,17 @@ pub fn run() -> String {
             .run();
         assert_eq!(dac.reason(), StopReason::MaxRounds, "DAC must block");
         assert!(!strawman.eps_agreement(1e-2), "strawman must violate");
-        t.row([
+        [
             n.to_string(),
             realized.to_string(),
             params.dac_dyna_degree().to_string(),
             format!("blocked@{}", dac.rounds()),
             format!("{:.3}", strawman.output_range()),
             "yes".to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -11,7 +11,7 @@ use adn_analysis::Table;
 use adn_faults::{CrashSchedule, CrashSurvivors};
 use adn_types::{NodeId, Params, Round};
 
-use adn_sim::{factories, workload, Simulation, StopReason};
+use adn_sim::{factories, workload, Simulation, StopReason, TrialPool};
 
 /// Crashes `f` nodes from the *middle* of the index range before round 0,
 /// so the survivors of the two input halves are separated by the
@@ -36,7 +36,8 @@ pub fn run() -> String {
         "strawman range",
         "violation",
     ]);
-    for &(n, f) in &[(4usize, 2usize), (6, 3), (8, 4), (5, 2), (7, 3)] {
+    let cases = [(4usize, 2usize), (6, 3), (8, 4), (5, 2), (7, 3)];
+    let rows = TrialPool::new().run(&cases, |&(n, f)| {
         let params = Params::new(n, f, 1e-2).expect("valid params");
         let resilient = params.dac_resilient();
 
@@ -68,14 +69,17 @@ pub fn run() -> String {
         } else {
             assert_eq!(dac.reason(), StopReason::MaxRounds, "n={n} f={f}");
         }
-        t.row([
+        [
             n.to_string(),
             f.to_string(),
             resilient.to_string(),
             verdict,
             format!("{:.3}", strawman.output_range()),
             (!strawman.eps_agreement(1e-2)).to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

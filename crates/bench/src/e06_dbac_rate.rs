@@ -14,7 +14,7 @@ use std::fmt::Write;
 use adn_adversary::AdversarySpec;
 use adn_analysis::{series, Table};
 use adn_faults::strategies::{Extreme, FlipFlop};
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::{NodeId, Params, Value};
 
 /// Runs the experiment and returns the report.
@@ -59,7 +59,8 @@ pub fn run() -> String {
         "measured eff. rate",
         "oracle rounds",
     ]);
-    for &n in &[6usize, 11, 16, 21] {
+    let sizes = [6usize, 11, 16, 21];
+    let rows = TrialPool::new().run(&sizes, |&n| {
         let f = (n - 1) / 5;
         let params = Params::new(n, f, eps).expect("valid params");
         // The adaptive adversary (each node fed only values near its own)
@@ -96,7 +97,7 @@ pub fn run() -> String {
             .collect();
         let eff = series::effective_rate(&ranges).unwrap_or(0.0);
         let pend = params.dbac_pend();
-        t.row([
+        [
             n.to_string(),
             f.to_string(),
             format!("{:.6}", params.dbac_rate_bound()),
@@ -107,7 +108,10 @@ pub fn run() -> String {
             },
             format!("{eff:.4}"),
             outcome.rounds().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -9,14 +9,15 @@ use adn_adversary::{AdversarySpec, Theorem10Split};
 use adn_analysis::Table;
 use adn_faults::strategies::TwoFaced;
 use adn_graph::checker;
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::{NodeId, Params, Value};
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let mut out = String::new();
     let mut t = Table::new(["n", "f", "setting", "realized D", "verdict", "output range"]);
-    for &(n, f) in &[(8usize, 1usize), (11, 2), (16, 3)] {
+    let cases = [(8usize, 1usize), (11, 2), (16, 3)];
+    let rows = TrialPool::new().run(&cases, |&(n, f)| {
         let params = Params::new(n, f, 1e-2).expect("valid params");
         let byz_block = Theorem10Split::byzantine_block(n, f);
         let inputs: Vec<Value> = (0..n)
@@ -39,14 +40,14 @@ pub fn run() -> String {
         )
         .expect("recorded");
         assert!(!below.eps_agreement(1e-2), "n={n} f={f} must split");
-        t.row([
+        let below_row = [
             n.to_string(),
             f.to_string(),
             "below threshold".to_string(),
             d_below.to_string(),
             "splits".to_string(),
             format!("{:.3}", below.output_range()),
-        ]);
+        ];
 
         // (b) At threshold: same two-faced attackers, DBAC, rotating
         // adversary granting exactly floor((n+3f)/2).
@@ -68,14 +69,20 @@ pub fn run() -> String {
             &byz_block.map(NodeId::new).collect::<Vec<_>>(),
         )
         .expect("recorded");
-        t.row([
+        let at_row = [
             n.to_string(),
             f.to_string(),
             "at threshold (DBAC)".to_string(),
             d_at.to_string(),
             format!("agrees@{}", at.rounds()),
             format!("{:.2e}", at.output_range()),
-        ]);
+        ];
+        [below_row, at_row]
+    });
+    for pair in rows {
+        for row in pair {
+            t.row(row);
+        }
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -8,7 +8,7 @@ use std::fmt::Write;
 use adn_analysis::Table;
 use adn_faults::strategies::{PhaseForger, Silent};
 use adn_faults::CrashSchedule;
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::{NodeId, Params, Round, Value};
 
 /// Runs the experiment and returns the report.
@@ -18,7 +18,9 @@ pub fn run() -> String {
 
     // --- DAC vs crash count. ---
     let mut t = Table::new(["algo", "n", "f", "resilient?", "verdict"]);
-    for &(n, f) in &[(5usize, 1usize), (5, 2), (4, 2), (6, 3), (7, 3), (9, 4)] {
+    let pool = TrialPool::new();
+    let dac_cases = [(5usize, 1usize), (5, 2), (4, 2), (6, 3), (7, 3), (9, 4)];
+    let dac_rows = pool.run(&dac_cases, |&(n, f)| {
         let params = Params::new(n, f, eps).expect("valid params");
         let crashes = CrashSchedule::at_rounds(
             n,
@@ -33,7 +35,7 @@ pub fn run() -> String {
             && outcome.eps_agreement(eps)
             && outcome.validity();
         assert_eq!(ok, params.dac_resilient(), "DAC n={n} f={f}");
-        t.row([
+        [
             "DAC/crash".to_string(),
             n.to_string(),
             f.to_string(),
@@ -43,7 +45,10 @@ pub fn run() -> String {
             } else {
                 format!("blocked@{}", outcome.rounds())
             },
-        ]);
+        ]
+    });
+    for row in dac_rows {
+        t.row(row);
     }
 
     // --- DBAC vs Byzantine count. The attack is f *silent* Byzantine
@@ -51,7 +56,8 @@ pub fn run() -> String {
     // floor((n+3f)/2)+1 exceeds the n-f nodes that ever transmit, so DBAC
     // blocks; with n >= 5f+1 the honest senders alone suffice. (Two-faced
     // equivocation below the threshold is E07's subject.) ---
-    for &(n, f) in &[(6usize, 1usize), (5, 1), (11, 2), (10, 2), (16, 3)] {
+    let dbac_cases = [(6usize, 1usize), (5, 1), (11, 2), (10, 2), (16, 3)];
+    let dbac_rows = pool.run(&dbac_cases, |&(n, f)| {
         let params = Params::new(n, f, eps).expect("valid params");
         let mut builder = Simulation::builder(params)
             .algorithm(factories::dbac_with_pend(params, 40))
@@ -64,7 +70,7 @@ pub fn run() -> String {
             && outcome.eps_agreement(eps)
             && outcome.validity();
         assert_eq!(ok, params.dbac_resilient(), "DBAC n={n} f={f}");
-        t.row([
+        [
             "DBAC/byz".to_string(),
             n.to_string(),
             f.to_string(),
@@ -74,7 +80,10 @@ pub fn run() -> String {
             } else {
                 format!("blocked@{}", outcome.rounds())
             },
-        ]);
+        ]
+    });
+    for row in dbac_rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
 

@@ -8,7 +8,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -19,7 +19,8 @@ pub fn run() -> String {
     let params = Params::fault_free(n, eps).expect("valid params");
     let pend = params.dac_pend();
     let mut t = Table::new(["T", "D", "rounds (DAC)", "T*pend bound", "within bound"]);
-    for &t_window in &[1usize, 2, 4, 8, 16] {
+    let windows = [1usize, 2, 4, 8, 16];
+    let rows = TrialPool::new().run(&windows, |&t_window| {
         let d = params.dac_dyna_degree();
         let outcome = Simulation::builder(params)
             .inputs_spread()
@@ -33,13 +34,16 @@ pub fn run() -> String {
         let bound = t_window as u64 * pend + t_window as u64;
         let within = outcome.rounds() <= bound;
         assert!(within, "T={t_window}: {} > {bound}", outcome.rounds());
-        t.row([
+        [
             t_window.to_string(),
             d.to_string(),
             outcome.rounds().to_string(),
             format!("{}", t_window as u64 * pend),
             within.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

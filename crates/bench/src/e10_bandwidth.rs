@@ -7,7 +7,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, Simulation, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -25,19 +25,26 @@ pub fn run() -> String {
         "total bits",
         "peak link bits/round",
     ]);
-    let runs: Vec<(&str, adn_core::AlgorithmFactory)> = vec![
-        ("dac", factories::dac(params)),
-        ("dbac", factories::dbac_with_pend(params, u64::MAX)),
-        (
-            "dbac-piggyback(k=2)",
-            factories::dbac_piggyback(params, 2, u64::MAX),
-        ),
-        (
-            "dbac-piggyback(k=6)",
-            factories::dbac_piggyback(params, 6, u64::MAX),
-        ),
+    // Algorithm factories are not Sync, so trials carry a tag and build
+    // the factory inside the worker.
+    #[derive(Clone, Copy)]
+    enum Algo {
+        Dac,
+        Dbac,
+        Piggyback(usize),
+    }
+    let runs: [(&str, Algo); 4] = [
+        ("dac", Algo::Dac),
+        ("dbac", Algo::Dbac),
+        ("dbac-piggyback(k=2)", Algo::Piggyback(2)),
+        ("dbac-piggyback(k=6)", Algo::Piggyback(6)),
     ];
-    for (name, factory) in runs {
+    let rows = TrialPool::new().run(&runs, |&(name, algo)| {
+        let factory = match algo {
+            Algo::Dac => factories::dac(params),
+            Algo::Dbac => factories::dbac_with_pend(params, u64::MAX),
+            Algo::Piggyback(k) => factories::dbac_piggyback(params, k, u64::MAX),
+        };
         let outcome = Simulation::builder(params)
             .inputs_spread()
             .adversary(AdversarySpec::DbacThreshold.build(n, f, 5))
@@ -46,13 +53,16 @@ pub fn run() -> String {
             .max_rounds(50_000)
             .run();
         let traffic = outcome.traffic();
-        t.row([
+        [
             name.to_string(),
             outcome.rounds().to_string(),
             traffic.deliveries().to_string(),
             traffic.bits().to_string(),
             traffic.peak_link_bits().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -10,7 +10,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
-use adn_sim::{factories, workload, Simulation, StopReason};
+use adn_sim::{factories, workload, Simulation, StopReason, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -27,36 +27,42 @@ pub fn run() -> String {
         AdversarySpec::PartitionHalves,
     ];
     let mut t = Table::new(["adversary", "algorithm", "verdict", "output range"]);
-    for spec in adversaries {
-        let algos: Vec<(&str, adn_core::AlgorithmFactory)> = vec![
-            ("dac", factories::dac(params)),
-            ("reliable-ac", factories::reliable_ac(params)),
-            ("bac", factories::bac(params)),
-        ];
-        for (name, factory) in algos {
-            let outcome = Simulation::builder(params)
-                .inputs(workload::split01(n, n / 2))
-                .adversary(spec.build(n, 0, 7))
-                .algorithm(factory)
-                .max_rounds(1_000)
-                .run();
-            let verdict = match outcome.reason() {
-                StopReason::AllOutput => {
-                    if outcome.eps_agreement(eps) {
-                        format!("ok@{}", outcome.rounds())
-                    } else {
-                        format!("VIOLATES@{}", outcome.rounds())
-                    }
+    let algo_names = ["dac", "reliable-ac", "bac"];
+    let trials: Vec<(AdversarySpec, &str)> = adversaries
+        .iter()
+        .flat_map(|&spec| algo_names.iter().map(move |&name| (spec, name)))
+        .collect();
+    let rows = TrialPool::new().run(&trials, |&(spec, name)| {
+        let factory = match name {
+            "dac" => factories::dac(params),
+            "reliable-ac" => factories::reliable_ac(params),
+            _ => factories::bac(params),
+        };
+        let outcome = Simulation::builder(params)
+            .inputs(workload::split01(n, n / 2))
+            .adversary(spec.build(n, 0, 7))
+            .algorithm(factory)
+            .max_rounds(1_000)
+            .run();
+        let verdict = match outcome.reason() {
+            StopReason::AllOutput => {
+                if outcome.eps_agreement(eps) {
+                    format!("ok@{}", outcome.rounds())
+                } else {
+                    format!("VIOLATES@{}", outcome.rounds())
                 }
-                _ => format!("blocked@{}", outcome.rounds()),
-            };
-            t.row([
-                spec.to_string(),
-                name.to_string(),
-                verdict,
-                format!("{:.3}", outcome.output_range()),
-            ]);
-        }
+            }
+            _ => format!("blocked@{}", outcome.rounds()),
+        };
+        [
+            spec.to_string(),
+            name.to_string(),
+            verdict,
+            format!("{:.3}", outcome.output_range()),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -6,7 +6,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::{Summary, Table};
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::{NodeId, Params};
 
 use crate::SEEDS;
@@ -19,34 +19,43 @@ pub fn run() -> String {
     let eps = 1e-3;
 
     let mut t = Table::new(["p", "DAC rounds (mean +- sd)", "DBAC rounds (mean +- sd)"]);
-    for &p in &[0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
+    let ps = [0.2, 0.35, 0.5, 0.65, 0.8, 0.95];
+    let trials: Vec<(f64, u64)> = ps
+        .iter()
+        .flat_map(|&p| SEEDS.iter().map(move |&seed| (p, seed)))
+        .collect();
+    let results = TrialPool::new().run(&trials, |&(p, seed)| {
+        let params = Params::fault_free(n, eps).expect("valid params");
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Random { p }.build(n, 0, seed))
+            .algorithm(factories::dac(params))
+            .max_rounds(100_000)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "p={p}");
+        let dac_rounds = outcome.rounds() as f64;
+
+        let paramsb = Params::new(n, f, eps).expect("valid params");
+        let outcome = Simulation::builder(paramsb)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Random { p }.build(n, f, seed * 7 + 1))
+            .byzantine(
+                NodeId::new(n - 1),
+                Box::new(adn_faults::strategies::FlipFlop),
+            )
+            .algorithm(factories::dbac_with_pend(paramsb, u64::MAX))
+            .stop_when_range_below(eps)
+            .max_rounds(100_000)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::RangeConverged, "p={p}");
+        (dac_rounds, outcome.rounds() as f64)
+    });
+    for (pi, &p) in ps.iter().enumerate() {
         let mut dac_rounds = Summary::new();
         let mut dbac_rounds = Summary::new();
-        for &seed in &SEEDS {
-            let params = Params::fault_free(n, eps).expect("valid params");
-            let outcome = Simulation::builder(params)
-                .inputs_random(seed)
-                .adversary(AdversarySpec::Random { p }.build(n, 0, seed))
-                .algorithm(factories::dac(params))
-                .max_rounds(100_000)
-                .run();
-            assert_eq!(outcome.reason(), StopReason::AllOutput, "p={p}");
-            dac_rounds.add(outcome.rounds() as f64);
-
-            let paramsb = Params::new(n, f, eps).expect("valid params");
-            let outcome = Simulation::builder(paramsb)
-                .inputs_random(seed)
-                .adversary(AdversarySpec::Random { p }.build(n, f, seed * 7 + 1))
-                .byzantine(
-                    NodeId::new(n - 1),
-                    Box::new(adn_faults::strategies::FlipFlop),
-                )
-                .algorithm(factories::dbac_with_pend(paramsb, u64::MAX))
-                .stop_when_range_below(eps)
-                .max_rounds(100_000)
-                .run();
-            assert_eq!(outcome.reason(), StopReason::RangeConverged, "p={p}");
-            dbac_rounds.add(outcome.rounds() as f64);
+        for (dac, dbac) in results.iter().skip(pi * SEEDS.len()).take(SEEDS.len()) {
+            dac_rounds.add(*dac);
+            dbac_rounds.add(*dbac);
         }
         t.row([
             format!("{p:.2}"),

@@ -18,7 +18,7 @@ use std::fmt::Write;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::{Summary, Table};
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::Params;
 
 use crate::SEEDS;
@@ -48,45 +48,66 @@ pub fn run() -> String {
         "verdict",
         "rounds to output (mean)",
     ]);
-    type FactoryMaker = Box<dyn Fn() -> adn_core::AlgorithmFactory>;
-    let configs: Vec<(String, String, FactoryMaker)> = vec![
+    // Algorithm factories are not Sync, so trials carry a tag and build
+    // the factory inside the worker.
+    #[derive(Clone, Copy)]
+    enum Algo {
+        FullExchange(usize),
+        Dbac,
+    }
+    let configs: Vec<(String, String, Algo)> = vec![
         (
             "full-exchange(k=0)".into(),
             "blocks".into(),
-            Box::new(move || factories::full_exchange(params, 0)),
+            Algo::FullExchange(0),
         ),
         (
             "full-exchange(k=1)".into(),
             "0.5".into(),
-            Box::new(move || factories::full_exchange(params, 1)),
+            Algo::FullExchange(1),
         ),
         (
             "full-exchange(k=3)".into(),
             "0.5".into(),
-            Box::new(move || factories::full_exchange(params, 3)),
+            Algo::FullExchange(3),
         ),
         (
             "dbac".into(),
             format!("{:.6}", params.dbac_rate_bound()),
-            Box::new(move || factories::dbac_with_pend(params, u64::MAX)),
+            Algo::Dbac,
         ),
     ];
-    for (name, rate, make) in configs {
+    let trials: Vec<(Algo, u64)> = configs
+        .iter()
+        .flat_map(|&(_, _, algo)| SEEDS.iter().map(move |&seed| (algo, seed)))
+        .collect();
+    let results = TrialPool::new().run(&trials, |&(algo, seed)| {
+        let factory = match algo {
+            Algo::FullExchange(k) => factories::full_exchange(params, k),
+            Algo::Dbac => factories::dbac_with_pend(params, u64::MAX),
+        };
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(adversary(seed))
+            .algorithm(factory)
+            .stop_when_range_below(eps)
+            .max_rounds(3_000)
+            .run();
+        let finished = outcome.reason() != StopReason::MaxRounds;
+        (
+            outcome.traffic().peak_link_bits(),
+            finished.then(|| outcome.rounds() as f64),
+        )
+    });
+    for (ci, (name, rate, _)) in configs.into_iter().enumerate() {
         let mut rounds = Summary::new();
         let mut peak = 0u64;
         let mut blocked = 0usize;
-        for &seed in &SEEDS {
-            let outcome = Simulation::builder(params)
-                .inputs_random(seed)
-                .adversary(adversary(seed))
-                .algorithm(make())
-                .stop_when_range_below(eps)
-                .max_rounds(3_000)
-                .run();
-            peak = peak.max(outcome.traffic().peak_link_bits());
-            match outcome.reason() {
-                StopReason::MaxRounds => blocked += 1,
-                _ => rounds.add(outcome.rounds() as f64),
+        for (p, r) in results.iter().skip(ci * SEEDS.len()).take(SEEDS.len()) {
+            peak = peak.max(*p);
+            match r {
+                Some(r) => rounds.add(*r),
+                None => blocked += 1,
             }
         }
         let verdict = if blocked == SEEDS.len() {

@@ -8,7 +8,7 @@ use std::fmt::Write;
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
 use adn_faults::strategies;
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, Simulation, TrialPool};
 use adn_types::{NodeId, Params};
 
 use crate::SEEDS;
@@ -28,39 +28,51 @@ pub fn run() -> String {
         "validity ok",
         "agreement ok",
     ]);
-    for attack in [
+    let attacks = [
         "two-faced",
         "extreme-high",
         "random-noise",
         "flip-flop",
         "mimic",
-    ] {
+    ];
+    let trials: Vec<(&str, u64)> = attacks
+        .iter()
+        .flat_map(|&attack| SEEDS.iter().map(move |&seed| (attack, seed)))
+        .collect();
+    let results = TrialPool::new().run(&trials, |&(attack, seed)| {
+        let mut builder = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
+            .algorithm(factories::dbac_with_pend(params, 60))
+            .max_rounds(20_000);
+        for b in 0..f {
+            builder = builder.byzantine(
+                NodeId::new(2 + b * 3),
+                strategies::by_name(attack, n, seed + b as u64),
+            );
+        }
+        let outcome = builder.run();
+        (
+            outcome.phase_containment_ok(),
+            outcome.validity(),
+            outcome.eps_agreement(eps),
+        )
+    });
+    for (ai, attack) in attacks.iter().enumerate() {
         let mut containment = 0;
         let mut validity = 0;
         let mut agreement = 0;
-        for &seed in &SEEDS {
-            let mut builder = Simulation::builder(params)
-                .inputs_random(seed)
-                .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
-                .algorithm(factories::dbac_with_pend(params, 60))
-                .max_rounds(20_000);
-            for b in 0..f {
-                builder = builder.byzantine(
-                    NodeId::new(2 + b * 3),
-                    strategies::by_name(attack, n, seed + b as u64),
-                );
-            }
-            let outcome = builder.run();
-            containment += usize::from(outcome.phase_containment_ok());
-            validity += usize::from(outcome.validity());
-            agreement += usize::from(outcome.eps_agreement(eps));
+        for (c, v, a) in results.iter().skip(ai * SEEDS.len()).take(SEEDS.len()) {
+            containment += usize::from(*c);
+            validity += usize::from(*v);
+            agreement += usize::from(*a);
         }
         let total = SEEDS.len();
         assert_eq!(containment, total, "{attack}: containment failed");
         assert_eq!(validity, total, "{attack}: validity failed");
         assert_eq!(agreement, total, "{attack}: agreement failed");
         t.row([
-            attack.to_string(),
+            (*attack).to_string(),
             total.to_string(),
             format!("{containment}/{total}"),
             format!("{validity}/{total}"),

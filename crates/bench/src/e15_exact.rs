@@ -14,7 +14,7 @@ use std::fmt::Write;
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
 use adn_graph::checker;
-use adn_sim::{factories, workload, Simulation};
+use adn_sim::{factories, workload, Simulation, TrialPool};
 use adn_types::{Params, Value};
 
 /// Runs the experiment and returns the report.
@@ -28,7 +28,8 @@ pub fn run() -> String {
         "exact agreement",
         "range",
     ]);
-    for &n in &[4usize, 6, 10] {
+    let sizes = [4usize, 6, 10];
+    let rows = TrialPool::new().run(&sizes, |&n| {
         let params = Params::fault_free(n, 1e-9).expect("valid params");
         // One node holds 0, the rest hold 1 (binary inputs).
         let inputs = workload::split01(n, 1);
@@ -41,14 +42,14 @@ pub fn run() -> String {
             .run();
         let all_zero = complete.honest_outputs().iter().all(|&v| v == Value::ZERO);
         assert!(all_zero, "n={n}: complete graph must flood the minimum");
-        t.row([
+        let complete_row = [
             n.to_string(),
             "complete".to_string(),
             (n - 1).to_string(),
             "min-flood".to_string(),
             "yes (all 0)".to_string(),
             format!("{:.1}", complete.output_range()),
-        ]);
+        ];
 
         // (b) OmitOne: exactly (1, n-2); the minimum never propagates.
         let omitted = Simulation::builder(params)
@@ -62,14 +63,14 @@ pub fn run() -> String {
             (omitted.output_range() - 1.0).abs() < 1e-12,
             "n={n}: the minimum's holder must disagree"
         );
-        t.row([
+        let omitted_row = [
             n.to_string(),
             "omit-lowest".to_string(),
             d.to_string(),
             "min-flood".to_string(),
             "NO (0 vs 1)".to_string(),
             format!("{:.1}", omitted.output_range()),
-        ]);
+        ];
 
         // (c) Same adversary, *approximate* consensus: DAC is fine —
         // (1, n-2) is far above its floor(n/2) requirement.
@@ -82,14 +83,20 @@ pub fn run() -> String {
             .run();
         assert!(dac.all_honest_output());
         assert!(dac.eps_agreement(eps), "n={n}: DAC must still converge");
-        t.row([
+        let dac_row = [
             n.to_string(),
             "omit-lowest".to_string(),
             (n - 2).to_string(),
             "dac (eps=1e-3)".to_string(),
             format!("eps-agrees@{}", dac.rounds()),
             format!("{:.1e}", dac.output_range()),
-        ]);
+        ];
+        [complete_row, omitted_row, dac_row]
+    });
+    for triple in rows {
+        for row in triple {
+            t.row(row);
+        }
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

@@ -9,7 +9,7 @@ use std::fmt::Write;
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
 use adn_graph::{checker, connectivity};
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, Simulation, TrialPool};
 use adn_types::Params;
 
 /// Runs the experiment and returns the report.
@@ -34,14 +34,14 @@ pub fn run() -> String {
         AdversarySpec::PartitionHalves,
         AdversarySpec::OmitLowest,
     ];
-    for spec in specs {
+    let rows = TrialPool::new().run(&specs, |&spec| {
         let outcome = Simulation::builder(params)
             .adversary(spec.build(n, 0, 3))
             .algorithm(factories::dac(params))
             .max_rounds(rounds)
             .run();
         let sched = outcome.schedule();
-        t.row([
+        [
             spec.to_string(),
             checker::max_dyna_degree(sched, 2, &[]).map_or("-".into(), |d| d.to_string()),
             connectivity::t_interval_connected(sched, 2).to_string(),
@@ -51,7 +51,10 @@ pub fn run() -> String {
             } else {
                 "blocked".to_string()
             },
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     writeln!(out, "{t}").unwrap();
 

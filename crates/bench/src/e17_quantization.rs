@@ -17,7 +17,7 @@ use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
 use adn_net::codec::Precision;
 use adn_sim::quantized::quantized_factory;
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::Params;
 
 use crate::SEEDS;
@@ -37,19 +37,27 @@ pub fn run() -> String {
         "worst range (seeds)",
         "met eps",
     ]);
-    for &bits in &[2u8, 4, 6, 8, 10, 11, 16, 24] {
+    let all_bits = [2u8, 4, 6, 8, 10, 11, 16, 24];
+    let trials: Vec<(u8, u64)> = all_bits
+        .iter()
+        .flat_map(|&bits| SEEDS.iter().map(move |&seed| (bits, seed)))
+        .collect();
+    let ranges = TrialPool::new().run(&trials, |&(bits, seed)| {
+        let precision = Precision::new(bits);
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, seed))
+            .algorithm(quantized_factory(factories::dac(params), precision))
+            .max_rounds(5_000)
+            .run();
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "B={bits}");
+        outcome.output_range()
+    });
+    for (bi, &bits) in all_bits.iter().enumerate() {
         let precision = Precision::new(bits);
         let mut worst: f64 = 0.0;
         let mut met = 0usize;
-        for &seed in &SEEDS {
-            let outcome = Simulation::builder(params)
-                .inputs_random(seed)
-                .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, seed))
-                .algorithm(quantized_factory(factories::dac(params), precision))
-                .max_rounds(5_000)
-                .run();
-            assert_eq!(outcome.reason(), StopReason::AllOutput, "B={bits}");
-            let range = outcome.output_range();
+        for &range in ranges.iter().skip(bi * SEEDS.len()).take(SEEDS.len()) {
             worst = worst.max(range);
             met += usize::from(range <= eps + 1e-12);
         }

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use adn_adversary::AdversarySpec;
 use adn_analysis::Table;
-use adn_sim::{factories, Simulation, StopReason};
+use adn_sim::{factories, Simulation, StopReason, TrialPool};
 use adn_types::{NodeId, Params};
 
 /// Runs the experiment and returns the report.
@@ -26,7 +26,11 @@ pub fn run() -> String {
         "links delivered",
         "wall ms",
     ]);
-    for &n in &[16usize, 32, 64, 128, 256] {
+    let sizes = [16usize, 32, 64, 128, 256];
+    // One worker on purpose: this experiment *times* each run, and
+    // concurrent trials would contend for cores and inflate the wall-ms
+    // column. The TrialPool contract (input-ordered results) still holds.
+    let rows = TrialPool::with_threads(1).run(&sizes, |&n| {
         // DAC, fault-free, threshold adversary.
         let params = Params::fault_free(n, eps).expect("valid params");
         let started = Instant::now();
@@ -39,7 +43,7 @@ pub fn run() -> String {
         let wall = started.elapsed().as_millis();
         assert_eq!(outcome.reason(), StopReason::AllOutput, "n={n}");
         assert!(outcome.eps_agreement(eps));
-        t.row([
+        let dac_row = [
             n.to_string(),
             "0".to_string(),
             "dac".to_string(),
@@ -47,7 +51,7 @@ pub fn run() -> String {
             outcome.max_phase().to_string(),
             outcome.traffic().deliveries().to_string(),
             wall.to_string(),
-        ]);
+        ];
 
         // DBAC with the full Byzantine budget.
         let f = (n - 1) / 5;
@@ -68,7 +72,7 @@ pub fn run() -> String {
         let outcome = builder.run();
         let wall = started.elapsed().as_millis();
         assert_eq!(outcome.reason(), StopReason::RangeConverged, "n={n}");
-        t.row([
+        let dbac_row = [
             n.to_string(),
             f.to_string(),
             "dbac".to_string(),
@@ -76,7 +80,13 @@ pub fn run() -> String {
             outcome.max_phase().to_string(),
             outcome.traffic().deliveries().to_string(),
             wall.to_string(),
-        ]);
+        ];
+        [dac_row, dbac_row]
+    });
+    for pair in rows {
+        for row in pair {
+            t.row(row);
+        }
     }
     writeln!(out, "{t}").unwrap();
     writeln!(

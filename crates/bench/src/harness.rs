@@ -1,0 +1,199 @@
+//! Minimal, dependency-free benchmark harness for the `[[bench]]` targets
+//! (`harness = false`).
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! Criterion is out; this module provides the small subset we need:
+//! warmup, repeated timed samples, median-of-samples reporting, and a
+//! name filter taken from the command line (so
+//! `cargo bench round_step/dac` works the way users expect). Results can
+//! additionally be appended as JSON lines to the file named by the
+//! `ADN_BENCH_OUT` environment variable, which is how
+//! `BENCH_round_throughput.json` is produced.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark id, e.g. `round_step/dac_complete/16`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+}
+
+impl Record {
+    /// Iterations per second implied by the median sample.
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.median_ns
+    }
+}
+
+/// A benchmark group: runs closures, prints a libtest-style report line
+/// per benchmark, and collects [`Record`]s.
+#[derive(Debug)]
+pub struct Runner {
+    group: String,
+    filter: Option<String>,
+    samples: usize,
+    min_sample_time: Duration,
+    records: Vec<Record>,
+}
+
+impl Runner {
+    /// Creates a group named `group`, reading the name filter from the
+    /// first free command-line argument (cargo passes `--bench`-style
+    /// flags, which are ignored).
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Runner {
+            group: group.to_string(),
+            filter,
+            samples: 11,
+            min_sample_time: Duration::from_millis(40),
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed samples (default 11).
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `op`, where one call of `op` performs `batch` logical
+    /// iterations (e.g. rounds); reports per-iteration cost.
+    ///
+    /// Each sample calls `setup` once (untimed) and then times `op` on the
+    /// setup's output repeatedly until the sample's time budget is spent.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        batch: u64,
+        mut setup: impl FnMut() -> S,
+        mut op: impl FnMut(&mut S) -> T,
+    ) {
+        let id = format!("{}/{}", self.group, name);
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: how many op() calls fit in one sample budget?
+        let mut state = setup();
+        let started = Instant::now();
+        let mut calls = 0u64;
+        while started.elapsed() < self.min_sample_time {
+            std::hint::black_box(op(&mut state));
+            calls += 1;
+        }
+        let calls_per_sample = calls.max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut state = setup();
+            let started = Instant::now();
+            for _ in 0..calls_per_sample {
+                std::hint::black_box(op(&mut state));
+            }
+            let elapsed = started.elapsed().as_nanos() as f64;
+            per_iter.push(elapsed / (calls_per_sample * batch) as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "bench {id:<48} {:>12}/iter (median of {}, {} iters/sample)",
+            format_ns(median),
+            per_iter.len(),
+            calls_per_sample * batch,
+        );
+        self.records.push(Record {
+            id,
+            median_ns: median,
+            mean_ns: mean,
+            iters_per_sample: calls_per_sample * batch,
+        });
+    }
+
+    /// Times `op` directly (batch of 1, trivial setup).
+    pub fn bench<T>(&mut self, name: &str, mut op: impl FnMut() -> T) {
+        self.bench_batched(name, 1, || (), |()| op());
+    }
+
+    /// The records measured so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Prints a one-line summary and, when `ADN_BENCH_OUT` is set,
+    /// appends one JSON line per record to that file.
+    pub fn finish(self) {
+        if self.records.is_empty() {
+            println!("bench {}: no benchmark matched the filter", self.group);
+            return;
+        }
+        let Ok(path) = std::env::var("ADN_BENCH_OUT") else {
+            return;
+        };
+        let mut out = String::new();
+        for r in &self.records {
+            writeln!(
+                out,
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"per_sec\":{:.1}}}",
+                r.id,
+                r.median_ns,
+                r.mean_ns,
+                r.per_sec()
+            )
+            .expect("writing to a String cannot fail");
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("ADN_BENCH_OUT={path}: {e}"));
+        file.write_all(out.as_bytes())
+            .unwrap_or_else(|e| panic!("ADN_BENCH_OUT={path}: {e}"));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_per_sec_inverts_median() {
+        let r = Record {
+            id: "g/x".into(),
+            median_ns: 200.0,
+            mean_ns: 210.0,
+            iters_per_sample: 8,
+        };
+        assert!((r.per_sec() - 5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 us");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+}

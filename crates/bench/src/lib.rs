@@ -3,7 +3,10 @@
 //! Every experiment is a pure function returning its report as a `String`;
 //! the `exp*` binaries print it, and `run_all` concatenates everything
 //! (this is how EXPERIMENTS.md's measured columns are generated).
-//! Experiments are fully deterministic: fixed seeds, fixed sweeps.
+//! Experiments are fully deterministic: fixed seeds, fixed sweeps — and
+//! since PR 1 they execute their sweeps on [`adn_sim::TrialPool`], which
+//! merges per-trial results in input order, so the parallel reports stay
+//! byte-identical to the historical serial ones.
 
 #![deny(missing_docs)]
 
@@ -26,6 +29,7 @@ pub mod e15_exact;
 pub mod e16_property_zoo;
 pub mod e17_quantization;
 pub mod e18_scale;
+pub mod harness;
 
 /// Seeds used by every multi-seed experiment (deterministic sweep).
 pub const SEEDS: [u64; 5] = [11, 23, 37, 53, 71];

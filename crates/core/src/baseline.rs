@@ -9,7 +9,7 @@
 //! exactly such algorithms, and the experiments exhibit the violation
 //! (E04, E05, E07).
 
-use adn_types::{Message, Params, Phase, Port, Value};
+use adn_types::{Batch, Message, Params, Phase, Port, Value};
 
 use crate::Algorithm;
 
@@ -52,8 +52,8 @@ impl ReliableAc {
 }
 
 impl Algorithm for ReliableAc {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, Phase::new(self.rounds_done)));
     }
 
     fn receive(&mut self, _port: Port, batch: &[Message]) {
@@ -149,8 +149,8 @@ impl Bac {
 }
 
 impl Algorithm for Bac {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, self.phase)]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, self.phase));
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {
@@ -234,8 +234,8 @@ impl LocalAverager {
 }
 
 impl Algorithm for LocalAverager {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, Phase::new(self.rounds_done)));
     }
 
     fn receive(&mut self, _port: Port, batch: &[Message]) {
@@ -319,8 +319,8 @@ impl TrimmedLocalAverager {
 }
 
 impl Algorithm for TrimmedLocalAverager {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, Phase::new(self.rounds_done)));
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {
@@ -397,8 +397,8 @@ impl MinFlood {
 }
 
 impl Algorithm for MinFlood {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, Phase::new(self.rounds_done))]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, Phase::new(self.rounds_done)));
     }
 
     fn receive(&mut self, _port: Port, batch: &[Message]) {

@@ -1,4 +1,4 @@
-use adn_types::{Message, Params, Phase, Port, Value};
+use adn_types::{Batch, Message, Params, Phase, Port, Value};
 
 use crate::Algorithm;
 
@@ -154,8 +154,8 @@ impl Dac {
 }
 
 impl Algorithm for Dac {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, self.phase)]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, self.phase));
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {

@@ -1,4 +1,4 @@
-use adn_types::{Message, Params, Phase, Port, Value};
+use adn_types::{Batch, Message, Params, Phase, Port, Value};
 
 use crate::Algorithm;
 
@@ -56,6 +56,8 @@ pub struct Dbac {
     low: Vec<Value>,
     /// The `f + 1` largest accepted values of the current phase.
     high: Vec<Value>,
+    /// Reusable scratch for sorting piggybacked batches in `receive`.
+    sort_scratch: Vec<Message>,
     output: Option<Value>,
 }
 
@@ -79,6 +81,7 @@ impl Dbac {
             seen_count: 0,
             low: Vec::with_capacity(params.dbac_list_len()),
             high: Vec::with_capacity(params.dbac_list_len()),
+            sort_scratch: Vec::new(),
             output: None,
         };
         node.reset();
@@ -190,8 +193,8 @@ fn min_index(vs: &[Value]) -> Option<usize> {
 }
 
 impl Algorithm for Dbac {
-    fn broadcast(&mut self) -> Vec<Message> {
-        vec![Message::new(self.value, self.phase)]
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, self.phase));
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {
@@ -202,11 +205,16 @@ impl Algorithm for Dbac {
         if batch.len() == 1 {
             self.process(port, batch[0]);
         } else {
-            let mut sorted: Vec<Message> = batch.to_vec();
+            // Reuse the node-owned scratch so piggybacked deliveries stay
+            // allocation-free once its capacity covers the history depth.
+            let mut sorted = std::mem::take(&mut self.sort_scratch);
+            sorted.clear();
+            sorted.extend_from_slice(batch);
             sorted.sort();
-            for msg in sorted {
+            for &msg in &sorted {
                 self.process(port, msg);
             }
+            self.sort_scratch = sorted;
         }
     }
 

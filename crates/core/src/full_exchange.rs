@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use adn_types::{Message, Params, Phase, Port, Value};
+use adn_types::{Batch, Message, Params, Phase, Port, Value};
 
 use crate::Algorithm;
 
@@ -85,10 +85,9 @@ impl FullExchange {
 }
 
 impl Algorithm for FullExchange {
-    fn broadcast(&mut self) -> Vec<Message> {
-        let mut batch = vec![Message::new(self.value, self.phase)];
-        batch.extend(self.history.iter().copied());
-        batch
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        out.push(Message::new(self.value, self.phase));
+        out.extend(self.history.iter().copied());
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {

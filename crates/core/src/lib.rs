@@ -23,7 +23,9 @@
 //! An [`Algorithm`] instance is one node's deterministic state machine.
 //! Each synchronous round the simulator:
 //!
-//! 1. calls [`Algorithm::broadcast`] to obtain the node's message batch;
+//! 1. calls [`Algorithm::broadcast_into`] with a reusable [`Batch`] the
+//!    node fills with its message batch (the engine keeps one buffer per
+//!    node alive across rounds, so steady-state rounds allocate nothing);
 //! 2. delivers batches from in-neighbors chosen by the adversary via
 //!    [`Algorithm::receive`], identified only by local port;
 //! 3. calls [`Algorithm::end_round`].
@@ -36,18 +38,22 @@
 //!
 //! ```
 //! use adn_core::{Algorithm, Dac};
-//! use adn_types::{Params, Port, Value};
+//! use adn_types::{Batch, Params, Port, Value};
 //!
 //! let params = Params::fault_free(3, 0.25)?;
 //! let mut node = Dac::new(params, Value::ZERO);
-//! // Receive same-phase values from two distinct ports: quorum for n = 3
-//! // is floor(3/2) + 1 = 2 (self + 1), so one foreign value suffices.
-//! let msg = node.broadcast()[0];
 //! let mut peer = Dac::new(params, Value::ONE);
-//! let peer_msg = peer.broadcast()[0];
-//! node.receive(Port::new(1), &[peer_msg]);
+//!
+//! // The round engine owns one reusable batch per node and refills it
+//! // every round; plain DAC stages exactly one message.
+//! let mut batch = Batch::new();
+//! peer.broadcast_into(&mut batch);
+//! assert_eq!(batch.len(), 1);
+//!
+//! // Receive same-phase values from distinct ports: quorum for n = 3 is
+//! // floor(3/2) + 1 = 2 (self + 1), so one foreign value suffices.
+//! node.receive(Port::new(1), &batch);
 //! assert_eq!(node.current_value(), Value::HALF); // midpoint of 0 and 1
-//! # drop(msg);
 //! # Ok::<(), adn_types::Error>(())
 //! ```
 
@@ -67,7 +73,7 @@ pub use piggyback::DbacPiggyback;
 
 use std::fmt;
 
-use adn_types::{Message, Phase, Port, Value};
+use adn_types::{Batch, Message, Phase, Port, Value};
 
 /// One node's deterministic per-round state machine.
 ///
@@ -75,10 +81,24 @@ use adn_types::{Message, Phase, Port, Value};
 /// must be deterministic: identical call sequences produce identical
 /// states (the simulator's replay tests rely on it).
 pub trait Algorithm: fmt::Debug {
-    /// The batch of messages this node broadcasts this round. Plain DAC and
-    /// DBAC send exactly one message; piggybacking variants send several;
-    /// an empty batch means staying silent.
-    fn broadcast(&mut self) -> Vec<Message>;
+    /// Writes the batch of messages this node broadcasts this round into
+    /// `out`. Plain DAC and DBAC stage exactly one message; piggybacking
+    /// variants stage several; staging nothing means staying silent.
+    ///
+    /// The caller passes `out` empty and reuses the same buffer across
+    /// rounds, so implementations must only append — never allocate their
+    /// own vector — to keep the steady-state message plane allocation
+    /// free.
+    fn broadcast_into(&mut self, out: &mut Batch);
+
+    /// Convenience form of [`Algorithm::broadcast_into`] that allocates a
+    /// fresh vector per call. Prefer `broadcast_into` on hot paths; this
+    /// shim exists for tests, examples, and exploratory code.
+    fn broadcast(&mut self) -> Vec<Message> {
+        let mut out = Batch::new();
+        self.broadcast_into(&mut out);
+        out.into_vec()
+    }
 
     /// Delivers the batch a single in-neighbor sent this round, identified
     /// by the local `port` it arrived on. Called at most once per port per

@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use adn_types::{Message, Params, Phase, Port, Value};
+use adn_types::{Batch, Message, Params, Phase, Port, Value};
 
 use crate::{Algorithm, Dbac};
 
@@ -84,10 +84,9 @@ impl DbacPiggyback {
 }
 
 impl Algorithm for DbacPiggyback {
-    fn broadcast(&mut self) -> Vec<Message> {
-        let mut batch = self.inner.broadcast();
-        batch.extend(self.history.iter().copied());
-        batch
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        self.inner.broadcast_into(out);
+        out.extend(self.history.iter().copied());
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {

@@ -17,7 +17,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use adn_types::{Message, NodeId, Value};
+use adn_types::{Batch, Message, NodeId, Value};
 
 use crate::{ByzContext, ByzantineStrategy};
 
@@ -92,9 +92,9 @@ pub struct CoalitionMember {
 }
 
 impl ByzantineStrategy for CoalitionMember {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
         let value = self.coalition.borrow().value_for(self.rank, ctx);
-        vec![Message::new(value, ctx.phase_of(dest))]
+        out.push(Message::new(value, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {

@@ -28,7 +28,7 @@ pub use crash::{CrashSchedule, CrashSurvivors};
 
 use std::fmt;
 
-use adn_types::{Message, NodeId, Params, Phase, Round, Value};
+use adn_types::{Batch, Message, NodeId, Params, Phase, Round, Value};
 
 /// Everything a Byzantine node gets to see when fabricating a message.
 ///
@@ -70,13 +70,27 @@ impl ByzContext<'_> {
 /// A Byzantine node's behavior: one (possibly different) message batch per
 /// destination per round.
 ///
-/// Returning an empty vector means sending nothing to that destination in
+/// Leaving the batch empty means sending nothing to that destination in
 /// that round. A batch with several messages models a (maliciously crafted)
 /// piggybacked transmission.
 pub trait ByzantineStrategy: fmt::Debug {
     /// Fabricates the messages this node sends to `dest` in the current
-    /// round.
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message>;
+    /// round, appending them to `out`.
+    ///
+    /// The round engine passes `out` empty and reuses one scratch buffer
+    /// for every fabrication of the round, so implementations must only
+    /// append — never allocate their own vector — to keep the steady-state
+    /// message plane allocation free.
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch);
+
+    /// Convenience form of [`ByzantineStrategy::messages_into`] that
+    /// allocates a fresh vector per call. Prefer `messages_into` on hot
+    /// paths; this shim exists for tests and exploratory code.
+    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+        let mut out = Batch::new();
+        self.messages_into(ctx, dest, &mut out);
+        out.into_vec()
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

@@ -7,7 +7,7 @@
 //! E08, and the test matrix.
 
 use adn_types::rng::SplitMix64;
-use adn_types::{Message, NodeId, Phase, Value};
+use adn_types::{Batch, Message, NodeId, Phase, Value};
 
 use crate::{ByzContext, ByzantineStrategy};
 
@@ -41,13 +41,13 @@ impl TwoFaced {
 }
 
 impl ByzantineStrategy for TwoFaced {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
         let value = if dest.index() < self.split {
             self.low_value
         } else {
             self.high_value
         };
-        vec![Message::new(value, ctx.phase_of(dest))]
+        out.push(Message::new(value, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {
@@ -67,8 +67,8 @@ pub struct Extreme {
 }
 
 impl ByzantineStrategy for Extreme {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
-        vec![Message::new(self.value, ctx.phase_of(dest))]
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
+        out.push(Message::new(self.value, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {
@@ -92,9 +92,9 @@ impl RandomNoise {
 }
 
 impl ByzantineStrategy for RandomNoise {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
         let v = Value::saturating(self.rng.next_f64());
-        vec![Message::new(v, ctx.phase_of(dest))]
+        out.push(Message::new(v, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {
@@ -118,9 +118,9 @@ pub struct PhaseForger {
 }
 
 impl ByzantineStrategy for PhaseForger {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, _dest: NodeId) -> Vec<Message> {
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, _dest: NodeId, out: &mut Batch) {
         let forged = Phase::new(ctx.max_phase().as_u64() + self.lead);
-        vec![Message::new(self.value, forged)]
+        out.push(Message::new(self.value, forged));
     }
 
     fn name(&self) -> &'static str {
@@ -134,9 +134,7 @@ impl ByzantineStrategy for PhaseForger {
 pub struct Silent;
 
 impl ByzantineStrategy for Silent {
-    fn messages_for(&mut self, _ctx: &ByzContext<'_>, _dest: NodeId) -> Vec<Message> {
-        Vec::new()
-    }
+    fn messages_into(&mut self, _ctx: &ByzContext<'_>, _dest: NodeId, _out: &mut Batch) {}
 
     fn name(&self) -> &'static str {
         "silent"
@@ -155,14 +153,18 @@ impl ByzantineStrategy for Silent {
 /// (mimics stay within the honest hull), so any test failure under `Mimic`
 /// points at quorum accounting rather than value trimming.
 #[derive(Debug, Clone, Default)]
-pub struct Mimic;
+pub struct Mimic {
+    /// Reusable scratch for the median computation.
+    scratch: Vec<Value>,
+}
 
 impl ByzantineStrategy for Mimic {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
-        let mut vals: Vec<Value> = ctx.values.to_vec();
-        vals.sort();
-        let median = vals[vals.len() / 2];
-        vec![Message::new(median, ctx.phase_of(dest))]
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(ctx.values);
+        self.scratch.sort();
+        let median = self.scratch[self.scratch.len() / 2];
+        out.push(Message::new(median, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {
@@ -178,13 +180,13 @@ impl ByzantineStrategy for Mimic {
 pub struct FlipFlop;
 
 impl ByzantineStrategy for FlipFlop {
-    fn messages_for(&mut self, ctx: &ByzContext<'_>, dest: NodeId) -> Vec<Message> {
+    fn messages_into(&mut self, ctx: &ByzContext<'_>, dest: NodeId, out: &mut Batch) {
         let v = if ctx.round.as_u64().is_multiple_of(2) {
             Value::ZERO
         } else {
             Value::ONE
         };
-        vec![Message::new(v, ctx.phase_of(dest))]
+        out.push(Message::new(v, ctx.phase_of(dest)));
     }
 
     fn name(&self) -> &'static str {
@@ -214,7 +216,7 @@ pub fn by_name(name: &str, n: usize, seed: u64) -> Box<dyn ByzantineStrategy> {
             value: Value::ONE,
         }),
         "silent" => Box::new(Silent),
-        "mimic" => Box::new(Mimic),
+        "mimic" => Box::new(Mimic::default()),
         "flip-flop" => Box::new(FlipFlop),
         other => panic!("unknown byzantine strategy: {other}"),
     }
@@ -323,7 +325,7 @@ mod tests {
             Value::new(0.4).unwrap(),
         ];
         let c = ctx(&phases, &values);
-        let got = Mimic.messages_for(&c, NodeId::new(0));
+        let got = Mimic::default().messages_for(&c, NodeId::new(0));
         assert_eq!(got[0].value().get(), 0.4);
     }
 

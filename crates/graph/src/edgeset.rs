@@ -94,6 +94,14 @@ impl EdgeSet {
         self.in_neighbors[v.index()].remove(u)
     }
 
+    /// Removes every link, keeping the allocated per-receiver sets — the
+    /// reuse primitive of the round engine's `RoundBuffers`.
+    pub fn clear(&mut self) {
+        for inn in &mut self.in_neighbors {
+            inn.clear();
+        }
+    }
+
     /// Whether the directed link `(u, v)` is present.
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
         v.index() < self.n && self.in_neighbors[v.index()].contains(u)
@@ -211,6 +219,16 @@ mod tests {
         );
         assert!(e.remove(NodeId::new(0), NodeId::new(1)));
         assert_eq!(e.edge_count(), 0);
+    }
+
+    #[test]
+    fn clear_empties_without_resizing() {
+        let mut e = EdgeSet::complete(4);
+        assert_eq!(e.edge_count(), 12);
+        e.clear();
+        assert_eq!(e.edge_count(), 0);
+        assert_eq!(e.n(), 4);
+        assert!(e.insert(NodeId::new(0), NodeId::new(1)));
     }
 
     #[test]

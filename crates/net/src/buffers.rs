@@ -1,0 +1,167 @@
+//! The round engine's reusable memory arena.
+//!
+//! A synchronous round touches `O(n²)` messages; doing that with per-round
+//! allocations (one `Vec<Message>` per broadcaster, fresh snapshot arrays,
+//! a fresh realized edge set, per-receiver in-neighbor lists, and a clone
+//! of every delivered batch) dominates the simulator's runtime long before
+//! the algorithms do. [`RoundBuffers`] owns every per-round buffer once,
+//! for the lifetime of a simulation; each round begins with
+//! [`RoundBuffers::begin_round`], which *clears* (capacity-preserving)
+//! instead of reallocating. Combined with `Algorithm::broadcast_into`,
+//! `ByzantineStrategy::messages_into`, and `Adversary::edges_into`, the
+//! steady-state message plane performs no heap allocation at all.
+//!
+//! Fields are public by design: the engine needs simultaneous disjoint
+//! borrows (e.g. an algorithm writing into its batch while the snapshot
+//! arrays are read), which accessor methods would forbid.
+
+use adn_graph::{EdgeSet, NodeSet};
+use adn_types::{Batch, NodeId, Phase, Value};
+
+/// Per-round scratch memory, persisted across rounds by the engine.
+///
+/// ```
+/// use adn_net::RoundBuffers;
+/// use adn_types::{Message, Phase, Value};
+///
+/// let mut buffers = RoundBuffers::new(3);
+/// buffers.begin_round();
+/// buffers.batches[0].push(Message::new(Value::HALF, Phase::ZERO));
+/// buffers.present[0] = true;
+/// let caps = buffers.batch_capacities();
+/// buffers.begin_round(); // everything cleared, nothing freed
+/// assert!(buffers.batches[0].is_empty());
+/// assert!(!buffers.present[0]);
+/// assert_eq!(buffers.batch_capacities(), caps);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundBuffers {
+    n: usize,
+    /// One broadcast batch per node, refilled via
+    /// `Algorithm::broadcast_into` each round.
+    pub batches: Vec<Batch>,
+    /// `present[i]` — whether node `i` staged a broadcast this round
+    /// (crashed-silent and Byzantine slots stay `false`).
+    pub present: Vec<bool>,
+    /// Scratch batch for per-destination Byzantine fabrications
+    /// (`ByzantineStrategy::messages_into`); one suffices because
+    /// fabrications are consumed delivery by delivery.
+    pub byz_scratch: Batch,
+    /// Start-of-round phase snapshot (Byzantine slots hold the default).
+    pub phases: Vec<Phase>,
+    /// Start-of-round value snapshot (Byzantine slots hold the default).
+    pub values: Vec<Value>,
+    /// Nodes that transmit this round.
+    pub deliverers: NodeSet,
+    /// Non-crashed, non-Byzantine nodes this round.
+    pub honest: NodeSet,
+    /// The adversary's chosen links `E(t)`, filled via
+    /// `Adversary::edges_into`.
+    pub chosen: EdgeSet,
+    /// The realized delivery graph (chosen links whose sender actually
+    /// delivered something).
+    pub realized: EdgeSet,
+    /// Per-receiver in-neighbor scratch, reordered per the delivery
+    /// order.
+    pub in_neighbors: Vec<NodeId>,
+    /// Scratch for the fault-free value trace.
+    pub ff_values: Vec<Value>,
+}
+
+impl RoundBuffers {
+    /// Allocates the arena for a system of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RoundBuffers {
+            n,
+            batches: (0..n).map(|_| Batch::with_capacity(1)).collect(),
+            present: vec![false; n],
+            byz_scratch: Batch::with_capacity(1),
+            phases: vec![Phase::ZERO; n],
+            values: vec![Value::HALF; n],
+            deliverers: NodeSet::new(n),
+            honest: NodeSet::new(n),
+            chosen: EdgeSet::empty(n),
+            realized: EdgeSet::empty(n),
+            in_neighbors: Vec::with_capacity(n),
+            ff_values: Vec::with_capacity(n),
+        }
+    }
+
+    /// The system size this arena serves.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resets every buffer for the next round, preserving capacity.
+    ///
+    /// Snapshot arrays are reset to their defaults (`Phase::ZERO`,
+    /// `Value::HALF`) so slots without a state machine — Byzantine nodes —
+    /// read the same values every round rather than stale data.
+    pub fn begin_round(&mut self) {
+        for b in &mut self.batches {
+            b.clear();
+        }
+        self.present.fill(false);
+        self.byz_scratch.clear();
+        self.phases.fill(Phase::ZERO);
+        self.values.fill(Value::HALF);
+        self.deliverers.clear();
+        self.honest.clear();
+        self.chosen.clear();
+        self.realized.clear();
+        self.in_neighbors.clear();
+        self.ff_values.clear();
+    }
+
+    /// Current capacity of every per-node batch, for reuse assertions in
+    /// tests: once warmed up, steady-state rounds must not change these.
+    pub fn batch_capacities(&self) -> Vec<usize> {
+        self.batches.iter().map(Batch::capacity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adn_types::Message;
+
+    #[test]
+    fn begin_round_clears_everything_and_keeps_capacity() {
+        let mut b = RoundBuffers::new(4);
+        b.begin_round();
+        b.batches[2].push(Message::new(Value::ONE, Phase::new(3)));
+        b.present[2] = true;
+        b.phases[2] = Phase::new(3);
+        b.values[2] = Value::ONE;
+        b.deliverers.insert(NodeId::new(2));
+        b.honest.insert(NodeId::new(1));
+        b.chosen.insert(NodeId::new(0), NodeId::new(1));
+        b.realized.insert(NodeId::new(0), NodeId::new(1));
+        b.in_neighbors.push(NodeId::new(0));
+        b.ff_values.push(Value::ONE);
+
+        let caps = b.batch_capacities();
+        b.begin_round();
+
+        assert!(b.batches[2].is_empty());
+        assert!(!b.present[2]);
+        assert_eq!(b.phases[2], Phase::ZERO);
+        assert_eq!(b.values[2], Value::HALF);
+        assert!(b.deliverers.is_empty());
+        assert!(b.honest.is_empty());
+        assert_eq!(b.chosen.edge_count(), 0);
+        assert_eq!(b.realized.edge_count(), 0);
+        assert!(b.in_neighbors.is_empty());
+        assert!(b.ff_values.is_empty());
+        assert_eq!(b.batch_capacities(), caps, "clear must not free");
+    }
+
+    #[test]
+    fn arena_dimensions_match_n() {
+        let b = RoundBuffers::new(7);
+        assert_eq!(b.n(), 7);
+        assert_eq!(b.batches.len(), 7);
+        assert_eq!(b.phases.len(), 7);
+        assert_eq!(b.chosen.n(), 7);
+    }
+}

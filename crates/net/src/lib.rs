@@ -9,6 +9,10 @@
 //! `R_i` and DBAC's `R_i` rely on. The substrate also guarantees reliable
 //! self-delivery (a node can always send a message to itself).
 //!
+//! [`RoundBuffers`] is the round engine's reusable memory arena: per-node
+//! broadcast batches, state snapshots, and the chosen/realized edge sets,
+//! persisted across rounds so the steady-state message plane never
+//! allocates.
 //! [`codec`] provides the concrete byte encoding (quantized fixed-point
 //! value + varint phase) that makes the `O(log n)` bound measurable.
 //! [`PortNumbering`] materializes all `n` bijections (identity for tests,
@@ -20,9 +24,11 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod buffers;
 pub mod codec;
 mod ports;
 mod traffic;
 
+pub use buffers::RoundBuffers;
 pub use ports::PortNumbering;
 pub use traffic::Traffic;

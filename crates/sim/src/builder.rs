@@ -35,6 +35,8 @@ pub struct SimBuilder {
     pub(crate) max_rounds: u64,
     pub(crate) range_oracle: Option<f64>,
     pub(crate) record_events: bool,
+    pub(crate) record_schedule: bool,
+    pub(crate) observe_phases: bool,
     pub(crate) delivery_order: DeliveryOrder,
 }
 
@@ -63,6 +65,8 @@ impl SimBuilder {
             max_rounds: 100_000,
             range_oracle: None,
             record_events: false,
+            record_schedule: true,
+            observe_phases: true,
             delivery_order: DeliveryOrder::AscendingSenders,
         }
     }
@@ -163,6 +167,25 @@ impl SimBuilder {
     /// (default: off; logs grow with rounds × links).
     pub fn record_events(mut self, on: bool) -> Self {
         self.record_events = on;
+        self
+    }
+
+    /// Records the realized per-round delivery schedule for the
+    /// dynaDegree checker (default: on). Disable for throughput runs:
+    /// the recording clones one edge set per round, which is both the
+    /// memory growth and the last per-round allocation of a steady-state
+    /// `step`.
+    pub fn record_schedule(mut self, on: bool) -> Self {
+        self.record_schedule = on;
+        self
+    }
+
+    /// Records the per-phase value multisets `V(p)` (Defs. 5–6) used by
+    /// convergence-rate measurements (default: on). Disable for
+    /// throughput runs; `Outcome::worst_rate` and friends then report
+    /// nothing.
+    pub fn observe_phases(mut self, on: bool) -> Self {
+        self.observe_phases = on;
         self
     }
 

@@ -1,9 +1,9 @@
 use adn_adversary::{Adversary, AdversaryView};
 use adn_core::Algorithm;
 use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
-use adn_graph::{EdgeSet, NodeSet, Schedule};
-use adn_net::{PortNumbering, Traffic};
-use adn_types::{NodeId, Params, Phase, Round, Value, ValueInterval};
+use adn_graph::Schedule;
+use adn_net::{PortNumbering, RoundBuffers, Traffic};
+use adn_types::{Message, NodeId, Params, Phase, Round, Value, ValueInterval};
 
 use adn_types::rng::SplitMix64;
 
@@ -49,6 +49,11 @@ pub struct Simulation {
     range_oracle: Option<f64>,
     observer: Observer,
     schedule: Schedule,
+    record_schedule: bool,
+    observe_phases: bool,
+    /// Reusable per-round arena: batches, snapshots, link sets, scratch.
+    /// Persisted across rounds so steady-state `step`s never allocate.
+    buffers: RoundBuffers,
     traffic: Traffic,
     events: Option<EventLog>,
     /// Which nodes had already decided before the current round (for
@@ -105,7 +110,9 @@ impl Simulation {
                 let alg = factory(i, b.inputs[i]);
                 // Every non-Byzantine node contributes its input to V(0)
                 // (Def. 5; crash-faulty nodes count until they crash).
-                observer.record_enter(NodeId::new(i), Phase::ZERO, alg.current_value());
+                if b.observe_phases {
+                    observer.record_enter(NodeId::new(i), Phase::ZERO, alg.current_value());
+                }
                 algs[i] = Some(alg);
             }
         }
@@ -128,6 +135,9 @@ impl Simulation {
             range_oracle: b.range_oracle,
             observer,
             schedule: Schedule::new(n),
+            record_schedule: b.record_schedule,
+            observe_phases: b.observe_phases,
+            buffers: RoundBuffers::new(n),
             traffic: Traffic::new(),
             events: b.record_events.then(EventLog::new),
             was_decided: vec![false; n],
@@ -144,6 +154,12 @@ impl Simulation {
     /// Whether the run has stopped, and why.
     pub fn stopped(&self) -> Option<StopReason> {
         self.done
+    }
+
+    /// The persistent round arena — exposed so tests can assert buffer
+    /// reuse (stable capacities, no stale messages) across rounds.
+    pub fn buffers(&self) -> &RoundBuffers {
+        &self.buffers
     }
 
     /// Phase of a non-Byzantine node (`None` for Byzantine slots).
@@ -170,65 +186,63 @@ impl Simulation {
         let n = self.params.n();
         let t = self.round;
 
+        // --- Reset the persistent arena (capacity-preserving clears). ---
+        self.buffers.begin_round();
+
         // --- Snapshot states for the adversary and Byzantine context. ---
-        let mut phases = vec![Phase::ZERO; n];
-        let mut values = vec![Value::HALF; n];
         for i in 0..n {
             if let Some(alg) = &self.algs[i] {
-                phases[i] = alg.phase();
-                values[i] = alg.current_value();
+                self.buffers.phases[i] = alg.phase();
+                self.buffers.values[i] = alg.current_value();
             }
         }
 
         // --- Who transmits this round; who still executes. ---
-        let mut deliverers = NodeSet::new(n);
-        let mut honest_now = NodeSet::new(n);
         for i in 0..n {
             let id = NodeId::new(i);
             match &self.byz[i] {
                 Some(strategy) => {
                     if strategy.transmits() {
-                        deliverers.insert(id);
+                        self.buffers.deliverers.insert(id);
                     }
                 }
                 None => {
                     if !self.crash.is_silent(id, t) {
-                        deliverers.insert(id);
+                        self.buffers.deliverers.insert(id);
                     }
                     if !self.crash.has_crashed_by(id, t) {
-                        honest_now.insert(id);
+                        self.buffers.honest.insert(id);
                     }
                 }
             }
         }
 
-        // --- Adversary picks E(t). ---
+        // --- Adversary picks E(t), writing into the reused edge set. ---
         let view = AdversaryView {
             round: t,
             params: self.params,
-            phases: &phases,
-            values: &values,
-            deliverers: &deliverers,
-            honest: &honest_now,
+            phases: &self.buffers.phases,
+            values: &self.buffers.values,
+            deliverers: &self.buffers.deliverers,
+            honest: &self.buffers.honest,
         };
-        let chosen = self.adversary.edges(&view);
+        self.adversary.edges_into(&view, &mut self.buffers.chosen);
 
-        // --- Broadcasts from transmitting non-Byzantine nodes. ---
-        let mut broadcasts: Vec<Option<Vec<adn_types::Message>>> = (0..n).map(|_| None).collect();
-        #[allow(clippy::needless_range_loop)] // parallel arrays byz/algs/broadcasts
+        // --- Broadcasts from transmitting non-Byzantine nodes, staged
+        // into the per-node persistent batches. ---
         for i in 0..n {
             let id = NodeId::new(i);
             if self.byz[i].is_none() && !self.crash.is_silent(id, t) {
                 if let Some(alg) = self.algs[i].as_mut() {
-                    let batch = alg.broadcast();
+                    alg.broadcast_into(&mut self.buffers.batches[i]);
+                    self.buffers.present[i] = true;
                     if let Some(log) = self.events.as_mut() {
                         log.push(Event::Broadcast {
                             round: t,
                             node: id,
-                            batch_len: batch.len(),
+                            batch_len: self.buffers.batches[i].len(),
                         });
                     }
-                    broadcasts[i] = Some(batch);
                 }
             }
         }
@@ -248,8 +262,9 @@ impl Simulation {
             }
         }
 
-        // --- Delivery along chosen links, ascending sender order. ---
-        let mut realized = EdgeSet::empty(n);
+        // --- Delivery along chosen links, ascending sender order. No
+        // batch is ever cloned: honest deliveries borrow the sender's
+        // staged batch, Byzantine fabrications reuse one scratch batch. ---
         for v_idx in 0..n {
             let v = NodeId::new(v_idx);
             // Byzantine "receivers" have no state machine; nodes that have
@@ -258,45 +273,46 @@ impl Simulation {
             if self.byz[v_idx].is_some() || self.crash.has_crashed_by(v, t) {
                 continue;
             }
-            let mut in_neighbors: Vec<NodeId> = chosen.in_neighbors(v).iter().collect();
+            self.buffers.in_neighbors.clear();
+            let (in_neighbors, chosen) = (&mut self.buffers.in_neighbors, &self.buffers.chosen);
+            in_neighbors.extend(chosen.in_neighbors(v).iter());
             match self.delivery_order {
                 DeliveryOrder::AscendingSenders => {}
-                DeliveryOrder::DescendingSenders => in_neighbors.reverse(),
+                DeliveryOrder::DescendingSenders => self.buffers.in_neighbors.reverse(),
                 DeliveryOrder::Shuffled(seed) => {
                     let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20) ^ v_idx as u64);
-                    rng.shuffle(&mut in_neighbors);
+                    rng.shuffle(&mut self.buffers.in_neighbors);
                 }
             }
-            for u in in_neighbors {
+            for k in 0..self.buffers.in_neighbors.len() {
+                let u = self.buffers.in_neighbors[k];
                 let u_idx = u.index();
-                let batch: Option<Vec<adn_types::Message>> = match &mut self.byz[u_idx] {
+                let deliver = match &mut self.byz[u_idx] {
                     Some(strategy) => {
+                        self.buffers.byz_scratch.clear();
                         let ctx = ByzContext {
                             round: t,
                             self_id: u,
                             params: self.params,
-                            phases: &phases,
-                            values: &values,
+                            phases: &self.buffers.phases,
+                            values: &self.buffers.values,
                         };
-                        let fabricated = strategy.messages_for(&ctx, v);
-                        if fabricated.is_empty() {
-                            None
-                        } else {
-                            Some(fabricated)
-                        }
+                        strategy.messages_into(&ctx, v, &mut self.buffers.byz_scratch);
+                        !self.buffers.byz_scratch.is_empty()
                     }
-                    None => {
-                        if self.crash.is_silent(u, t) || !self.crash.delivers(u, t, v) {
-                            None
-                        } else {
-                            broadcasts[u_idx].clone()
-                        }
-                    }
+                    // `present` implies the sender staged a batch this
+                    // round (non-Byzantine, not crash-silent).
+                    None => self.buffers.present[u_idx] && self.crash.delivers(u, t, v),
                 };
-                if let Some(batch) = batch {
+                if deliver {
+                    let batch: &[Message] = if self.byz[u_idx].is_some() {
+                        &self.buffers.byz_scratch
+                    } else {
+                        &self.buffers.batches[u_idx]
+                    };
                     let port = self.ports.port_of(v, u);
                     self.traffic.record_delivery(batch.len());
-                    realized.insert(u, v);
+                    self.buffers.realized.insert(u, v);
                     if let Some(log) = self.events.as_mut() {
                         log.push(Event::Delivery {
                             round: t,
@@ -309,11 +325,13 @@ impl Simulation {
                     self.algs[v_idx]
                         .as_mut()
                         .expect("non-byzantine receiver has a state machine")
-                        .receive(port, &batch);
+                        .receive(port, batch);
                 }
             }
         }
-        self.schedule.push(realized);
+        if self.record_schedule {
+            self.schedule.push(self.buffers.realized.clone());
+        }
 
         // --- End-of-round hooks for executing nodes. ---
         for i in 0..n {
@@ -334,10 +352,12 @@ impl Simulation {
             if let Some(alg) = &self.algs[i] {
                 let new_phase = alg.phase();
                 let old_phase = self.last_phase[i];
-                let mut p = old_phase;
-                while p < new_phase {
-                    p = p.next();
-                    self.observer.record_enter(id, p, alg.current_value());
+                if self.observe_phases {
+                    let mut p = old_phase;
+                    while p < new_phase {
+                        p = p.next();
+                        self.observer.record_enter(id, p, alg.current_value());
+                    }
                 }
                 if new_phase > old_phase {
                     if let Some(log) = self.events.as_mut() {
@@ -366,13 +386,14 @@ impl Simulation {
             }
         }
 
-        // --- Trace over fault-free nodes. ---
-        let ff_values: Vec<Value> = self
-            .fault_free
-            .iter()
-            .filter_map(|&id| self.value_of(id))
-            .collect();
-        let range = ValueInterval::of(ff_values.iter().copied()).map_or(0.0, ValueInterval::range);
+        // --- Trace over fault-free nodes (reused scratch). ---
+        for &id in &self.fault_free {
+            if let Some(alg) = self.algs[id.index()].as_ref() {
+                self.buffers.ff_values.push(alg.current_value());
+            }
+        }
+        let range = ValueInterval::of(self.buffers.ff_values.iter().copied())
+            .map_or(0.0, ValueInterval::range);
         let (min_phase, max_phase) = self
             .fault_free
             .iter()

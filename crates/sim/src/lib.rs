@@ -3,16 +3,18 @@
 //! `adn-sim` wires every substrate together into the execution model of
 //! §II-A and runs it deterministically:
 //!
-//! 1. **Broadcast** — every live fault-free node produces its message
-//!    batch; nodes in their crash round broadcast one last (possibly
-//!    partial) time.
+//! 1. **Broadcast** — every live fault-free node stages its message batch
+//!    into an engine-owned, round-persistent buffer
+//!    ([`adn_net::RoundBuffers`]); nodes in their crash round broadcast
+//!    one last (possibly partial) time.
 //! 2. **Adversary** — the message adversary inspects all states and picks
 //!    the links `E(t)`.
 //! 3. **Delivery** — links from silent senders realize nothing; Byzantine
-//!    senders fabricate per-destination batches; each delivery arrives on
-//!    the receiver's private port. Self-delivery is internal to the
-//!    algorithms (they count themselves), so the engine never loops a
-//!    message back.
+//!    senders fabricate per-destination batches into a reused scratch;
+//!    each delivery borrows the sender's staged batch (never cloned) and
+//!    arrives on the receiver's private port. Self-delivery is internal
+//!    to the algorithms (they count themselves), so the engine never
+//!    loops a message back.
 //! 4. **Transition** — receivers process deliveries in ascending sender
 //!    index order, then `end_round` fires.
 //!
@@ -48,6 +50,7 @@ mod engine;
 pub mod factories;
 mod observer;
 mod outcome;
+mod pool;
 pub mod quantized;
 pub mod trace;
 pub mod workload;
@@ -56,4 +59,5 @@ pub use builder::SimBuilder;
 pub use engine::{DeliveryOrder, Simulation};
 pub use observer::{PhaseRecord, RoundTrace};
 pub use outcome::{Outcome, StopReason};
+pub use pool::TrialPool;
 pub use trace::{Event, EventLog};

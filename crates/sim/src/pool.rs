@@ -1,0 +1,192 @@
+//! Parallel multi-trial execution with deterministic, input-ordered
+//! results.
+//!
+//! Every multi-seed experiment runs the same shape of work: N independent
+//! simulations (different seeds or configurations), each fully
+//! deterministic, whose results are then aggregated *in input order* so
+//! that report text and floating-point folds are bit-identical to a serial
+//! run. [`TrialPool`] provides exactly that contract on top of
+//! `std::thread::scope` — no work-stealing library, no shared mutable
+//! state, no ordering surprises:
+//!
+//! * trials are claimed from an atomic cursor, so threads stay busy even
+//!   when per-trial runtimes vary wildly;
+//! * each worker keeps `(index, result)` pairs privately and the pool
+//!   re-assembles them by index afterwards, so the returned `Vec` is in
+//!   input order regardless of scheduling;
+//! * a panicking trial propagates its panic to the caller (after the
+//!   other workers finish their current trial), like the serial loop
+//!   would.
+//!
+//! Simulations themselves are built *inside* the trial closure — they are
+//! not `Send` (coalition strategies share `Rc` state) and never cross a
+//! thread boundary.
+//!
+//! ```
+//! use adn_sim::{factories, Simulation, TrialPool};
+//! use adn_types::Params;
+//!
+//! let params = Params::fault_free(5, 1e-3).unwrap();
+//! let rounds = TrialPool::new().run_seeds(&[1, 2, 3], |seed| {
+//!     Simulation::builder(params)
+//!         .inputs_random(seed)
+//!         .algorithm(factories::dac(params))
+//!         .run()
+//!         .rounds()
+//! });
+//! assert_eq!(rounds.len(), 3); // one result per seed, in seed order
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scoped thread pool for independent deterministic trials.
+#[derive(Debug, Clone)]
+pub struct TrialPool {
+    threads: usize,
+}
+
+impl TrialPool {
+    /// A pool sized to the machine (`available_parallelism`, min 1).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        TrialPool { threads }
+    }
+
+    /// A pool with an explicit worker count (1 = serial execution on the
+    /// calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        TrialPool { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `run` once per trial and returns the results **in input
+    /// order** — parallel execution is observationally identical to
+    /// `trials.iter().map(run).collect()`.
+    pub fn run<T, R, F>(&self, trials: &[T], run: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || trials.len() <= 1 {
+            return trials.iter().map(run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(trials.len());
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(trials.len(), || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut got: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= trials.len() {
+                                break;
+                            }
+                            got.push((i, run(&trials[i])));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(pairs) => {
+                        for (i, r) in pairs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every trial index was claimed exactly once"))
+            .collect()
+    }
+
+    /// [`TrialPool::run`] specialized to the ubiquitous seed sweep.
+    pub fn run_seeds<R, F>(&self, seeds: &[u64], run: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(u64) -> R + Sync,
+    {
+        self.run(seeds, |&s| run(s))
+    }
+}
+
+impl Default for TrialPool {
+    fn default() -> Self {
+        TrialPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Reverse the natural completion order: early trials sleep longest.
+        let trials: Vec<u64> = (0..16).collect();
+        let got = TrialPool::with_threads(4).run(&trials, |&i| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - i));
+            i * 10
+        });
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let trials: Vec<u64> = (0..40).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = TrialPool::with_threads(1).run(&trials, f);
+        let parallel = TrialPool::with_threads(8).run(&trials, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = TrialPool::new();
+        assert!(pool.run(&[] as &[u64], |&x| x).is_empty());
+        assert_eq!(pool.run(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_reports_thread_count() {
+        assert_eq!(TrialPool::with_threads(3).threads(), 3);
+        assert!(TrialPool::new().threads() >= 1);
+        assert!(TrialPool::default().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let trials: Vec<u64> = (0..8).collect();
+        TrialPool::with_threads(4).run(&trials, |&i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = TrialPool::with_threads(0);
+    }
+}

@@ -11,7 +11,7 @@
 
 use adn_core::{Algorithm, AlgorithmFactory};
 use adn_net::codec::{dequantize, quantize, Precision};
-use adn_types::{Message, Phase, Port, Value};
+use adn_types::{Batch, Message, Phase, Port, Value};
 
 /// Wraps an algorithm so its broadcasts are quantized to `precision`.
 ///
@@ -38,15 +38,14 @@ impl Quantized {
 }
 
 impl Algorithm for Quantized {
-    fn broadcast(&mut self) -> Vec<Message> {
-        self.inner
-            .broadcast()
-            .into_iter()
-            .map(|m| {
-                let snapped = dequantize(quantize(m.value(), self.precision), self.precision);
-                Message::new(snapped, m.phase())
-            })
-            .collect()
+    fn broadcast_into(&mut self, out: &mut Batch) {
+        self.inner.broadcast_into(out);
+        // Snap the staged values in place — the wire boundary, without
+        // re-staging or allocating.
+        for m in out.iter_mut() {
+            let snapped = dequantize(quantize(m.value(), self.precision), self.precision);
+            *m = Message::new(snapped, m.phase());
+        }
     }
 
     fn receive(&mut self, port: Port, batch: &[Message]) {

@@ -1,0 +1,179 @@
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use crate::Message;
+
+/// A reusable buffer of [`Message`]s — one sender's transmission for one
+/// round.
+///
+/// `Batch` is the unit of the allocation-free message plane: algorithms
+/// write their broadcast into a caller-owned `Batch`
+/// (`Algorithm::broadcast_into`), Byzantine strategies fabricate
+/// per-destination batches the same way (`ByzantineStrategy::
+/// messages_into`), and the round engine keeps one `Batch` per node alive
+/// across rounds so steady-state rounds never touch the allocator: the
+/// buffer is [`clear`](Batch::clear)ed (capacity retained) and refilled.
+///
+/// Plain DAC/DBAC write exactly one message; piggybacking variants write
+/// `1 + k`; an empty batch means staying silent this round.
+///
+/// ```
+/// use adn_types::{Batch, Message, Phase, Value};
+///
+/// let mut b = Batch::new();
+/// b.push(Message::new(Value::HALF, Phase::ZERO));
+/// assert_eq!(b.len(), 1);
+/// let cap = b.capacity();
+/// b.clear(); // ready for the next round, capacity retained
+/// assert!(b.is_empty());
+/// assert_eq!(b.capacity(), cap);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    msgs: Vec<Message>,
+}
+
+impl Batch {
+    /// Creates an empty batch with no allocation yet.
+    pub const fn new() -> Self {
+        Batch { msgs: Vec::new() }
+    }
+
+    /// Creates an empty batch that can hold `cap` messages without
+    /// reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Batch {
+            msgs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Empties the batch, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+    }
+
+    /// Appends one message.
+    pub fn push(&mut self, msg: Message) {
+        self.msgs.push(msg);
+    }
+
+    /// The messages as a slice (also available via deref).
+    pub fn as_slice(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Current allocated capacity in messages.
+    pub fn capacity(&self) -> usize {
+        self.msgs.capacity()
+    }
+
+    /// Consumes the batch into its backing vector (used by the
+    /// `Vec`-returning compatibility shims).
+    pub fn into_vec(self) -> Vec<Message> {
+        self.msgs
+    }
+}
+
+impl Deref for Batch {
+    type Target = [Message];
+
+    fn deref(&self) -> &[Message] {
+        &self.msgs
+    }
+}
+
+impl DerefMut for Batch {
+    /// Mutable access to the staged messages — wrappers like the
+    /// quantized encoder snap values in place instead of re-staging.
+    fn deref_mut(&mut self) -> &mut [Message] {
+        &mut self.msgs
+    }
+}
+
+impl Extend<Message> for Batch {
+    fn extend<I: IntoIterator<Item = Message>>(&mut self, iter: I) {
+        self.msgs.extend(iter);
+    }
+}
+
+impl From<Vec<Message>> for Batch {
+    fn from(msgs: Vec<Message>) -> Self {
+        Batch { msgs }
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+impl fmt::Debug for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.msgs.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, Value};
+
+    fn msg(p: u64) -> Message {
+        Message::new(Value::HALF, Phase::new(p))
+    }
+
+    #[test]
+    fn push_clear_retains_capacity() {
+        let mut b = Batch::new();
+        for p in 0..8 {
+            b.push(msg(p));
+        }
+        let cap = b.capacity();
+        assert!(cap >= 8);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "clear must not shrink");
+        b.push(msg(9));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.capacity(), cap, "refill within capacity: no realloc");
+    }
+
+    #[test]
+    fn deref_exposes_slice_ops() {
+        let mut b = Batch::with_capacity(2);
+        b.push(msg(0));
+        b.push(msg(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[1], msg(1));
+        assert_eq!(b.iter().count(), 2);
+        for m in &b {
+            assert_eq!(m.value(), Value::HALF);
+        }
+    }
+
+    #[test]
+    fn deref_mut_edits_in_place() {
+        let mut b = Batch::new();
+        b.push(msg(0));
+        b[0] = msg(7);
+        assert_eq!(b.as_slice(), &[msg(7)]);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let b: Batch = vec![msg(0), msg(1)].into();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.into_vec(), vec![msg(0), msg(1)]);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut b = Batch::new();
+        b.extend([msg(0), msg(1)]);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod batch;
 mod error;
 mod ids;
 mod message;
@@ -41,6 +42,7 @@ mod params;
 pub mod rng;
 mod value;
 
+pub use batch::Batch;
 pub use error::Error;
 pub use ids::{NodeId, Phase, Port, Round};
 pub use message::Message;

@@ -56,6 +56,8 @@ pub mod prelude {
     pub use adn_faults::{ByzantineStrategy, CrashSchedule, CrashSurvivors};
     pub use adn_graph::{checker, EdgeSet, NodeSet, Schedule};
     pub use adn_net::PortNumbering;
-    pub use adn_sim::{factories, workload, Outcome, SimBuilder, Simulation, StopReason};
-    pub use adn_types::{Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
+    pub use adn_sim::{
+        factories, workload, Outcome, SimBuilder, Simulation, StopReason, TrialPool,
+    };
+    pub use adn_types::{Batch, Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 }

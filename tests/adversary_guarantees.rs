@@ -2,10 +2,13 @@
 //! the (T, D)-dynaDegree it promises on the *realized* schedule, including
 //! in the presence of crashed and silent-Byzantine senders (the live-sender
 //! discipline of DESIGN.md §5.1).
+//!
+//! Randomized cases are driven by the workspace's own deterministic
+//! [`SplitMix64`] stream (the container builds offline, so no proptest).
 
 use anondyn::faults::strategies::Silent;
 use anondyn::prelude::*;
-use proptest::prelude::*;
+use anondyn::types::rng::SplitMix64;
 
 /// Runs DAC under the spec (long enough to record a useful schedule) and
 /// returns the outcome.
@@ -20,44 +23,81 @@ fn record(n: usize, f: usize, spec: AdversarySpec, seed: u64, crashes: CrashSche
         .run()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn rotating_promise_holds(n in 3usize..12, seed in any::<u64>(), d in 1usize..6) {
-        let d = d.min(n - 1);
-        let outcome = record(n, 0, AdversarySpec::Rotating { d }, seed, CrashSchedule::new(n));
+#[test]
+fn rotating_promise_holds() {
+    for case in 0u64..32 {
+        let mut rng = SplitMix64::new(0x407 ^ case);
+        let n = 3 + rng.next_index(9); // 3..12
+        let seed = rng.next_u64();
+        let d = (1 + rng.next_index(5)).min(n - 1); // 1..6, capped
+        let outcome = record(
+            n,
+            0,
+            AdversarySpec::Rotating { d },
+            seed,
+            CrashSchedule::new(n),
+        );
         let got = checker::max_dyna_degree(outcome.schedule(), 1, &[]).unwrap();
-        prop_assert!(got >= d, "promised (1,{}), realized (1,{})", d, got);
+        assert!(
+            got >= d,
+            "case {case}: promised (1,{d}), realized (1,{got})"
+        );
     }
+}
 
-    #[test]
-    fn spread_promise_holds(n in 4usize..12, seed in any::<u64>(), t in 1usize..5, d in 1usize..6) {
-        let d = d.min(n - 1);
-        let outcome = record(n, 0, AdversarySpec::Spread { t, d }, seed, CrashSchedule::new(n));
+#[test]
+fn spread_promise_holds() {
+    for case in 0u64..32 {
+        let mut rng = SplitMix64::new(0x5B8 ^ case);
+        let n = 4 + rng.next_index(8); // 4..12
+        let seed = rng.next_u64();
+        let t = 1 + rng.next_index(4); // 1..5
+        let d = (1 + rng.next_index(5)).min(n - 1); // 1..6, capped
+        let outcome = record(
+            n,
+            0,
+            AdversarySpec::Spread { t, d },
+            seed,
+            CrashSchedule::new(n),
+        );
         let got = checker::max_dyna_degree(outcome.schedule(), t, &[]).unwrap();
-        prop_assert!(got >= d, "promised ({},{}), realized ({},{})", t, d, t, got);
+        assert!(
+            got >= d,
+            "case {case}: promised ({t},{d}), realized ({t},{got})"
+        );
     }
+}
 
-    #[test]
-    fn staggered_promise_holds(n in 4usize..12, seed in any::<u64>(), groups in 1usize..4) {
+#[test]
+fn staggered_promise_holds() {
+    for case in 0u64..32 {
+        let mut rng = SplitMix64::new(0x57A ^ case);
+        let n = 4 + rng.next_index(8); // 4..12
+        let seed = rng.next_u64();
+        let groups = 1 + rng.next_index(3); // 1..4
         let d = (n / 2).max(1);
         let outcome = record(
-            n, 0,
+            n,
+            0,
             AdversarySpec::Staggered { d, groups },
             seed,
             CrashSchedule::new(n),
         );
         let got = checker::max_dyna_degree(outcome.schedule(), groups, &[]).unwrap();
-        prop_assert!(got >= d, "promised ({},{}), realized ({},{})", groups, d, groups, got);
+        assert!(
+            got >= d,
+            "case {case}: promised ({groups},{d}), realized ({groups},{got})"
+        );
     }
+}
 
-    #[test]
-    fn rotating_routes_around_crashed_senders(
-        f in 1usize..4,
-        seed in any::<u64>(),
-        crash_round in 0u64..5,
-    ) {
+#[test]
+fn rotating_routes_around_crashed_senders() {
+    for case in 0u64..32 {
+        let mut rng = SplitMix64::new(0xC4A ^ case);
+        let f = 1 + rng.next_index(3); // 1..4
+        let seed = rng.next_u64();
+        let crash_round = rng.next_below(5);
         // n = 2f + 1; f nodes crash mid-run. The realized schedule for the
         // fault-free receivers must still reach D = floor(n/2) every round
         // after the crashes (and a fortiori over any window).
@@ -68,9 +108,9 @@ proptest! {
         );
         let faulty: Vec<NodeId> = (0..f).map(|k| NodeId::new(n - 1 - k)).collect();
         let outcome = record(n, f, AdversarySpec::DacThreshold, seed, crashes);
-        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "case {case}");
         let got = checker::max_dyna_degree(outcome.schedule(), 1, &faulty).unwrap();
-        prop_assert!(got >= n / 2, "realized only {}", got);
+        assert!(got >= n / 2, "case {case}: realized only {got}");
     }
 }
 

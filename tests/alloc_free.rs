@@ -1,0 +1,95 @@
+//! Proves the allocation-free steady state of the batched message plane
+//! with a counting global allocator: after warmup, `Simulation::step`
+//! performs **zero** heap allocations per round for DAC and DBAC runs in
+//! lean observability mode (no schedule recording, no phase multisets —
+//! both are history *recording*, inherently growing, and both default to
+//! on for analysis runs).
+//!
+//! This file contains exactly one `#[test]` so no concurrent test can
+//! pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use anondyn::prelude::*;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn lean_dac(n: usize) -> Simulation {
+    let params = Params::fault_free(n, 1e-6).unwrap();
+    Simulation::builder(params)
+        .inputs_random(1)
+        .algorithm(factories::dac_with_pend(params, u64::MAX))
+        .record_schedule(false)
+        .observe_phases(false)
+        .max_rounds(u64::MAX)
+        .build()
+}
+
+fn lean_dbac(n: usize) -> Simulation {
+    let params = Params::fault_free(n, 1e-6).unwrap();
+    Simulation::builder(params)
+        .inputs_random(1)
+        .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
+        .algorithm(factories::dbac_with_pend(params, u64::MAX))
+        .record_schedule(false)
+        .observe_phases(false)
+        .max_rounds(u64::MAX)
+        .build()
+}
+
+#[test]
+fn steady_state_step_performs_zero_allocations() {
+    for (name, mut sim) in [("dac", lean_dac(32)), ("dbac", lean_dbac(32))] {
+        // Warmup: grow every buffer to its steady-state capacity. 70
+        // rounds also pushes the internal round-trace vector past a
+        // power-of-two boundary (cap 128), so the measured window below
+        // (30 rounds) cannot hit an amortized doubling.
+        for _ in 0..70 {
+            sim.step();
+        }
+        let caps = sim.buffers().batch_capacities();
+        let before = allocations();
+        for _ in 0..30 {
+            sim.step();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: steady-state step allocated ({} allocations over 30 rounds)",
+            after - before
+        );
+        assert_eq!(
+            sim.buffers().batch_capacities(),
+            caps,
+            "{name}: batch capacities changed in the measured window"
+        );
+        assert!(sim.stopped().is_none(), "{name}: must still be running");
+    }
+}

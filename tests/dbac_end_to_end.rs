@@ -176,7 +176,7 @@ fn dbac_outputs_identical_under_complete_views() {
     let params = Params::new(n, f, 1e-3).unwrap();
     let outcome = Simulation::builder(params)
         .inputs_random(77)
-        .byzantine(NodeId::new(0), Box::new(strategies::Mimic))
+        .byzantine(NodeId::new(0), Box::new(strategies::Mimic::default()))
         .algorithm(factories::dbac_with_pend(params, 25))
         .run();
     let outs = outcome.honest_outputs();

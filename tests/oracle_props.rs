@@ -1,12 +1,14 @@
 //! Differential property tests: the optimized data structures against
 //! naive oracles built from std collections.
+//!
+//! Randomized cases are driven by the workspace's own deterministic
+//! [`SplitMix64`] stream (the container builds offline, so no proptest).
 
 use std::collections::HashSet;
 
 use anondyn::net::codec::{self, Precision};
 use anondyn::prelude::*;
 use anondyn::types::rng::SplitMix64;
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // NodeSet (bitset) vs HashSet.
@@ -18,57 +20,68 @@ enum SetOp {
     Remove(usize),
 }
 
-fn arb_ops(n: usize) -> impl Strategy<Value = Vec<SetOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..n).prop_map(SetOp::Insert),
-            (0..n).prop_map(SetOp::Remove),
-        ],
-        0..60,
-    )
+fn random_ops(rng: &mut SplitMix64, n: usize) -> Vec<SetOp> {
+    let len = rng.next_index(60);
+    (0..len)
+        .map(|_| {
+            if rng.next_bool(0.5) {
+                SetOp::Insert(rng.next_index(n))
+            } else {
+                SetOp::Remove(rng.next_index(n))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn nodeset_matches_hashset(ops in arb_ops(70)) {
-        let n = 70;
+#[test]
+fn nodeset_matches_hashset() {
+    let n = 70;
+    for case in 0u64..128 {
+        let mut rng = SplitMix64::new(0x5E7 ^ case);
         let mut fast = NodeSet::new(n);
         let mut oracle: HashSet<usize> = HashSet::new();
-        for op in ops {
+        for op in random_ops(&mut rng, n) {
             match op {
                 SetOp::Insert(i) => {
                     let fresh = fast.insert(NodeId::new(i));
-                    prop_assert_eq!(fresh, oracle.insert(i));
+                    assert_eq!(fresh, oracle.insert(i), "case {case}");
                 }
                 SetOp::Remove(i) => {
                     let present = fast.remove(NodeId::new(i));
-                    prop_assert_eq!(present, oracle.remove(&i));
+                    assert_eq!(present, oracle.remove(&i), "case {case}");
                 }
             }
-            prop_assert_eq!(fast.len(), oracle.len());
+            assert_eq!(fast.len(), oracle.len(), "case {case}");
         }
         let listed: Vec<usize> = fast.iter().map(|id| id.index()).collect();
         let mut expect: Vec<usize> = oracle.into_iter().collect();
         expect.sort_unstable();
-        prop_assert_eq!(listed, expect);
+        assert_eq!(listed, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn nodeset_union_difference_match_hashset(
-        a in proptest::collection::hash_set(0usize..80, 0..40),
-        b in proptest::collection::hash_set(0usize..80, 0..40),
-    ) {
-        let n = 80;
+#[test]
+fn nodeset_union_difference_match_hashset() {
+    let n = 80;
+    for case in 0u64..128 {
+        let mut rng = SplitMix64::new(0xD1F ^ case);
+        let random_set = |rng: &mut SplitMix64| -> HashSet<usize> {
+            (0..rng.next_index(40)).map(|_| rng.next_index(n)).collect()
+        };
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
         let mk = |s: &HashSet<usize>| NodeSet::from_ids(n, s.iter().map(|&i| NodeId::new(i)));
         let mut u = mk(&a);
         u.union_with(&mk(&b));
-        prop_assert_eq!(u.len(), a.union(&b).count());
+        assert_eq!(u.len(), a.union(&b).count(), "case {case}");
         let mut d = mk(&a);
         d.difference_with(&mk(&b));
-        prop_assert_eq!(d.len(), a.difference(&b).count());
-        prop_assert_eq!(mk(&a).intersection_len(&mk(&b)), a.intersection(&b).count());
+        assert_eq!(d.len(), a.difference(&b).count(), "case {case}");
+        assert_eq!(
+            mk(&a).intersection_len(&mk(&b)),
+            a.intersection(&b).count(),
+            "case {case}"
+        );
     }
 }
 
@@ -76,13 +89,13 @@ proptest! {
 // Schedule window union vs naive per-pair recomputation.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn window_union_matches_naive(seed in any::<u64>(), rounds in 1usize..10, t in 1usize..5) {
+#[test]
+fn window_union_matches_naive() {
+    for case in 0u64..48 {
+        let mut rng = SplitMix64::new(0x9A7 ^ case);
         let n = 6;
-        let mut rng = SplitMix64::new(seed);
+        let rounds = 1 + rng.next_index(9); // 1..10
+        let t = 1 + rng.next_index(4); // 1..5
         let mut sched = Schedule::new(n);
         for _ in 0..rounds {
             sched.push(anondyn::graph::generators::gnp(n, 0.35, &mut rng));
@@ -92,11 +105,12 @@ proptest! {
             // Naive: test membership of every possible pair.
             for u in NodeId::all(n) {
                 for v in NodeId::all(n) {
-                    if u == v { continue; }
-                    let expect = (start..(start + t).min(rounds)).any(|k| {
-                        sched.round(Round::new(k as u64)).unwrap().contains(u, v)
-                    });
-                    prop_assert_eq!(fast.contains(u, v), expect, "({}, {})", u, v);
+                    if u == v {
+                        continue;
+                    }
+                    let expect = (start..(start + t).min(rounds))
+                        .any(|k| sched.round(Round::new(k as u64)).unwrap().contains(u, v));
+                    assert_eq!(fast.contains(u, v), expect, "case {case} ({u}, {v})");
                 }
             }
         }
@@ -119,28 +133,29 @@ fn codec_grid_points_roundtrip_exactly() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn codec_roundtrip_random_messages(
-        v in 0.0f64..=1.0,
-        phase in 0u64..1_000_000,
-        bits in 1u8..30,
-    ) {
+#[test]
+fn codec_roundtrip_random_messages() {
+    let mut rng = SplitMix64::new(0xC0D);
+    for case in 0u64..256 {
+        let v = rng.next_f64();
+        let phase = rng.next_below(1_000_000);
+        let bits = 1 + rng.next_index(29) as u8; // 1..30
         let p = Precision::new(bits);
-        let msg = Message::new(Value::new(v).unwrap(), Phase::new(phase));
+        let msg = Message::new(Value::saturating(v), Phase::new(phase));
         let mut buf = Vec::new();
         codec::encode(msg, p, &mut buf);
         let (decoded, used) = codec::decode(&buf, p).expect("well-formed");
-        prop_assert_eq!(used, buf.len());
-        prop_assert_eq!(decoded.phase().as_u64(), phase);
+        assert_eq!(used, buf.len(), "case {case}");
+        assert_eq!(decoded.phase().as_u64(), phase, "case {case}");
         // Error at most half a grid step.
-        prop_assert!(decoded.value().distance(msg.value()) <= p.resolution() / 2.0 + 1e-15);
+        assert!(
+            decoded.value().distance(msg.value()) <= p.resolution() / 2.0 + 1e-15,
+            "case {case}"
+        );
         // Re-encoding the decoded message is a fixed point.
         let mut buf2 = Vec::new();
         codec::encode(decoded, p, &mut buf2);
-        prop_assert_eq!(buf, buf2);
+        assert_eq!(buf, buf2, "case {case}");
     }
 }
 
@@ -148,11 +163,12 @@ proptest! {
 // Traffic model vs event log (cross-subsystem consistency).
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn traffic_equals_event_log_deliveries(seed in any::<u64>(), p in 0.2f64..0.9) {
+#[test]
+fn traffic_equals_event_log_deliveries() {
+    for case in 0u64..16 {
+        let mut rng = SplitMix64::new(0x7AF ^ case);
+        let seed = rng.next_u64();
+        let p = 0.2 + 0.7 * rng.next_f64();
         let n = 7;
         let params = Params::fault_free(n, 1e-2).unwrap();
         let outcome = Simulation::builder(params)
@@ -168,7 +184,11 @@ proptest! {
             .iter()
             .filter(|e| matches!(e, anondyn::sim::Event::Delivery { .. }))
             .count() as u64;
-        prop_assert_eq!(deliveries, outcome.traffic().deliveries());
-        prop_assert_eq!(deliveries, outcome.schedule().total_edges() as u64);
+        assert_eq!(deliveries, outcome.traffic().deliveries(), "case {case}");
+        assert_eq!(
+            deliveries,
+            outcome.schedule().total_edges() as u64,
+            "case {case}"
+        );
     }
 }

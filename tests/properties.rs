@@ -1,10 +1,14 @@
-//! Property-based tests (proptest) over the core invariants: the
-//! dynaDegree checker against a brute-force oracle, DAC/DBAC safety under
-//! randomized systems, and the value/parameter algebra.
+//! Property-style tests over the core invariants: the dynaDegree checker
+//! against a brute-force oracle, DAC/DBAC safety under randomized
+//! systems, and the value/parameter algebra.
+//!
+//! Randomized cases are driven by the workspace's own deterministic
+//! [`SplitMix64`] stream (the container builds offline, so no proptest);
+//! every failure message includes the case seed for replay.
 
 use anondyn::faults::strategies;
 use anondyn::prelude::*;
-use proptest::prelude::*;
+use anondyn::types::rng::SplitMix64;
 
 // ---------------------------------------------------------------------
 // Checker vs brute force.
@@ -35,43 +39,46 @@ fn brute_force_min_degree(schedule: &Schedule, t_window: usize) -> Option<usize>
     Some(min)
 }
 
-fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    // n in 2..7, rounds in 1..12, random edges.
-    (2usize..7, 1usize..12, any::<u64>()).prop_map(|(n, rounds, seed)| {
-        let mut rng = anondyn::types::rng::SplitMix64::new(seed);
-        let mut s = Schedule::new(n);
-        for _ in 0..rounds {
-            let mut e = EdgeSet::empty(n);
-            for u in 0..n {
-                for v in 0..n {
-                    if u != v && rng.next_bool(0.4) {
-                        e.insert(NodeId::new(u), NodeId::new(v));
-                    }
+fn random_schedule(rng: &mut SplitMix64) -> Schedule {
+    let n = 2 + rng.next_index(5); // 2..7
+    let rounds = 1 + rng.next_index(11); // 1..12
+    let mut s = Schedule::new(n);
+    for _ in 0..rounds {
+        let mut e = EdgeSet::empty(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.next_bool(0.4) {
+                    e.insert(NodeId::new(u), NodeId::new(v));
                 }
             }
-            s.push(e);
         }
-        s
-    })
+        s.push(e);
+    }
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn checker_matches_brute_force(schedule in arb_schedule(), t in 1usize..6) {
+#[test]
+fn checker_matches_brute_force() {
+    for case in 0u64..64 {
+        let mut rng = SplitMix64::new(0xC0DE ^ case);
+        let schedule = random_schedule(&mut rng);
+        let t = 1 + rng.next_index(5); // 1..6
         let expected = brute_force_min_degree(&schedule, t);
         let got = checker::max_dyna_degree(&schedule, t, &[]);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}, t={t}");
     }
+}
 
-    #[test]
-    fn checker_is_monotone_in_window(schedule in arb_schedule()) {
-        // Larger windows can only aggregate more distinct neighbors.
+#[test]
+fn checker_is_monotone_in_window() {
+    // Larger windows can only aggregate more distinct neighbors.
+    for case in 0u64..64 {
+        let mut rng = SplitMix64::new(0xBEEF ^ case);
+        let schedule = random_schedule(&mut rng);
         let mut prev = 0;
         for t in 1..=schedule.len() {
             if let Some(d) = checker::max_dyna_degree(&schedule, t, &[]) {
-                prop_assert!(d >= prev, "window {} dropped {} -> {}", t, prev, d);
+                assert!(d >= prev, "case {case}: window {t} dropped {prev} -> {d}");
                 prev = d;
             }
         }
@@ -82,15 +89,13 @@ proptest! {
 // DAC safety under randomized systems.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dac_safety_randomized(
-        n in 3usize..12,
-        seed in any::<u64>(),
-        extra_degree in 0usize..3,
-    ) {
+#[test]
+fn dac_safety_randomized() {
+    for case in 0u64..24 {
+        let mut rng = SplitMix64::new(0xDAC0 ^ case);
+        let n = 3 + rng.next_index(9); // 3..12
+        let seed = rng.next_u64();
+        let extra_degree = rng.next_index(3);
         let eps = 1e-2;
         let params = Params::fault_free(n, eps).unwrap();
         let d = (params.dac_dyna_degree() + extra_degree).min(n - 1);
@@ -100,21 +105,23 @@ proptest! {
             .algorithm(factories::dac(params))
             .max_rounds(10_000)
             .run();
-        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
-        prop_assert!(outcome.eps_agreement(eps));
-        prop_assert!(outcome.validity());
-        prop_assert!(outcome.phase_containment_ok());
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "case {case}");
+        assert!(outcome.eps_agreement(eps), "case {case}");
+        assert!(outcome.validity(), "case {case}");
+        assert!(outcome.phase_containment_ok(), "case {case}");
         if let Some(w) = outcome.worst_rate() {
-            prop_assert!(w <= 0.5 + 1e-9);
+            assert!(w <= 0.5 + 1e-9, "case {case}: rate {w}");
         }
     }
+}
 
-    #[test]
-    fn dac_crash_safety_randomized(
-        f in 1usize..4,
-        seed in any::<u64>(),
-        crash_round in 0u64..6,
-    ) {
+#[test]
+fn dac_crash_safety_randomized() {
+    for case in 0u64..24 {
+        let mut rng = SplitMix64::new(0xCAFE ^ case);
+        let f = 1 + rng.next_index(3); // 1..4
+        let seed = rng.next_u64();
+        let crash_round = rng.next_below(6);
         let n = 2 * f + 1;
         let eps = 1e-2;
         let params = Params::new(n, f, eps).unwrap();
@@ -123,7 +130,10 @@ proptest! {
             crashes.crash(
                 NodeId::new(n - 1 - k),
                 Round::new(crash_round + k as u64),
-                CrashSurvivors::Random { keep_probability: 0.5, seed },
+                CrashSurvivors::Random {
+                    keep_probability: 0.5,
+                    seed,
+                },
             );
         }
         let outcome = Simulation::builder(params)
@@ -133,9 +143,9 @@ proptest! {
             .algorithm(factories::dac(params))
             .max_rounds(10_000)
             .run();
-        prop_assert_eq!(outcome.reason(), StopReason::AllOutput);
-        prop_assert!(outcome.eps_agreement(eps));
-        prop_assert!(outcome.validity());
+        assert_eq!(outcome.reason(), StopReason::AllOutput, "case {case}");
+        assert!(outcome.eps_agreement(eps), "case {case}");
+        assert!(outcome.validity(), "case {case}");
     }
 }
 
@@ -143,19 +153,16 @@ proptest! {
 // DBAC safety under randomized attacks.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dbac_safety_randomized(
-        f in 1usize..3,
-        seed in any::<u64>(),
-        attack_idx in 0usize..8,
-    ) {
+#[test]
+fn dbac_safety_randomized() {
+    for case in 0u64..16 {
+        let mut rng = SplitMix64::new(0xDBAC ^ case);
+        let f = 1 + rng.next_index(2); // 1..3
+        let seed = rng.next_u64();
+        let attack = strategies::ALL_STRATEGY_NAMES[rng.next_index(8)];
         let n = 5 * f + 1;
         let eps = 1e-2;
         let params = Params::new(n, f, eps).unwrap();
-        let attack = strategies::ALL_STRATEGY_NAMES[attack_idx];
         let mut builder = Simulation::builder(params)
             .inputs_random(seed)
             .adversary(AdversarySpec::DbacThreshold.build(n, f, seed))
@@ -168,10 +175,17 @@ proptest! {
             );
         }
         let outcome = builder.run();
-        prop_assert_eq!(outcome.reason(), StopReason::AllOutput, "attack {}", attack);
-        prop_assert!(outcome.eps_agreement(eps));
-        prop_assert!(outcome.validity());
-        prop_assert!(outcome.phase_containment_ok());
+        assert_eq!(
+            outcome.reason(),
+            StopReason::AllOutput,
+            "case {case}, attack {attack}"
+        );
+        assert!(outcome.eps_agreement(eps), "case {case}, attack {attack}");
+        assert!(outcome.validity(), "case {case}, attack {attack}");
+        assert!(
+            outcome.phase_containment_ok(),
+            "case {case}, attack {attack}"
+        );
     }
 }
 
@@ -179,51 +193,66 @@ proptest! {
 // Value / parameter algebra.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn value_midpoint_is_contained(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
-        let va = Value::new(a).unwrap();
-        let vb = Value::new(b).unwrap();
+#[test]
+fn value_midpoint_is_contained() {
+    let mut rng = SplitMix64::new(0x111);
+    for _ in 0..256 {
+        let va = Value::saturating(rng.next_f64());
+        let vb = Value::saturating(rng.next_f64());
         let m = va.midpoint(vb);
-        prop_assert!(m >= va.min(vb));
-        prop_assert!(m <= va.max(vb));
+        assert!(m >= va.min(vb));
+        assert!(m <= va.max(vb));
     }
+}
 
-    #[test]
-    fn interval_hull_contains_members(xs in proptest::collection::vec(0.0f64..=1.0, 1..20)) {
-        let vals: Vec<Value> = xs.iter().map(|&x| Value::new(x).unwrap()).collect();
+#[test]
+fn interval_hull_contains_members() {
+    let mut rng = SplitMix64::new(0x222);
+    for _ in 0..256 {
+        let len = 1 + rng.next_index(19);
+        let vals: Vec<Value> = (0..len)
+            .map(|_| Value::saturating(rng.next_f64()))
+            .collect();
         let hull = ValueInterval::of(vals.iter().copied()).unwrap();
         for v in vals {
-            prop_assert!(hull.contains(v));
+            assert!(hull.contains(v));
         }
     }
+}
 
-    #[test]
-    fn pend_formula_is_sufficient(eps in 1e-9f64..1.0, n in 1usize..40) {
-        let params = Params::fault_free(n.max(1), eps).unwrap();
+#[test]
+fn pend_formula_is_sufficient() {
+    let mut rng = SplitMix64::new(0x333);
+    for _ in 0..256 {
+        // eps log-uniform in [1e-9, 1).
+        let eps = 10f64.powf(-9.0 * rng.next_f64()).min(1.0 - 1e-12);
+        let n = 1 + rng.next_index(39);
+        let params = Params::fault_free(n, eps).unwrap();
         let pend = params.dac_pend();
         // After pend halvings the unit range is within eps (tolerating the
         // 1e-9 integer-snap of the formula).
-        prop_assert!(0.5f64.powi(pend as i32) <= eps * (1.0 + 1e-6));
+        assert!(0.5f64.powi(pend as i32) <= eps * (1.0 + 1e-6));
     }
+}
 
-    #[test]
-    fn quorum_intersection_guarantee(n in 2usize..100) {
+#[test]
+fn quorum_intersection_guarantee() {
+    for n in 2usize..100 {
         // Two DAC quorums always intersect: 2 * (floor(n/2)+1) > n.
         let params = Params::fault_free(n, 0.5).unwrap();
-        prop_assert!(2 * params.dac_quorum() > n);
+        assert!(2 * params.dac_quorum() > n);
     }
+}
 
-    #[test]
-    fn dbac_quorum_leaves_enough_honest(f in 0usize..20) {
+#[test]
+fn dbac_quorum_leaves_enough_honest() {
+    for f in 0usize..20 {
         // At n = 5f+1 the quorum is reachable from honest senders alone:
         // quorum <= (n - f - 1) + 1.
         let n = 5 * f + 1;
         if n >= 1 && f < n {
             let params = Params::new(n, f, 0.5).unwrap();
-            prop_assert!(params.dbac_quorum() <= n - f);
+            assert!(params.dbac_quorum() <= n - f);
         }
     }
 }

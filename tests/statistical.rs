@@ -109,7 +109,11 @@ fn low_index_low_value_assignment_is_biased() {
         assert!(outcome.validity());
         outs.add(outcome.honest_outputs()[0].get());
     }
-    assert!(outs.mean() < 0.48, "expected the documented pull, mean {}", outs.mean());
+    assert!(
+        outs.mean() < 0.48,
+        "expected the documented pull, mean {}",
+        outs.mean()
+    );
 }
 
 #[test]
