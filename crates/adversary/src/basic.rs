@@ -22,12 +22,11 @@ impl Adversary for Complete {
     }
 
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
+        // One word-parallel row copy per receiver instead of one asserted
+        // insert per (deliverer, receiver) pair — this is the default
+        // adversary, so it sits on the round engine's critical path.
         for v in NodeId::all(view.params.n()) {
-            for u in view.deliverers.iter() {
-                if u != v {
-                    out.insert(u, v);
-                }
-            }
+            out.assign_in_neighbors(v, view.deliverers);
         }
     }
 

@@ -35,6 +35,21 @@ impl Rotating {
     pub fn degree(&self) -> usize {
         self.d
     }
+
+    /// Inserts the links of the full-list index run `[a, b)` into `v`'s
+    /// row. The run is contiguous in the ascending deliverer list, so it
+    /// covers exactly the deliverers in the id range
+    /// `[senders[a], senders[b-1]]` — one word-parallel range OR.
+    fn insert_run(
+        &self,
+        view: &AdversaryView<'_>,
+        out: &mut EdgeSet,
+        v: NodeId,
+        a: usize,
+        b: usize,
+    ) {
+        out.insert_range_from(v, view.deliverers, self.senders[a], self.senders[b - 1]);
+    }
 }
 
 impl Adversary for Rotating {
@@ -47,18 +62,45 @@ impl Adversary for Rotating {
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;
+        // Receiver v's candidate list is "deliverers minus v" in ascending
+        // order. Build the ascending deliverer list once per round; each
+        // receiver's list is that list with its own rank skipped, so the
+        // rotation window maps to at most two contiguous index runs — each
+        // OR'd into the receiver's row as a word-parallel id range instead
+        // of one asserted insert (plus two modulos) per link.
+        self.senders.clear();
+        self.senders.extend(view.deliverers.iter());
+        let m = self.senders.len();
+        if m == 0 {
+            return;
+        }
         for v in NodeId::all(n) {
-            view.senders_for_into(v, &mut self.senders);
-            if self.senders.is_empty() {
+            // Rank of v among the deliverers, if it is one.
+            let rank = self.senders.binary_search(&v).ok();
+            let len = m - usize::from(rank.is_some());
+            if len == 0 {
                 continue;
             }
-            let d = self.d.min(self.senders.len());
+            let d = self.d.min(len);
             // Rotate the window start by round and receiver so neighbor
             // sets differ across rounds *and* across receivers.
-            let start = (t * d + v.index()) % self.senders.len();
-            for k in 0..d {
-                let u = self.senders[(start + k) % self.senders.len()];
-                out.insert(u, v);
+            let start = (t * d + v.index()) % len;
+            // The window [start, start + d) mod len, split at the wrap.
+            let first = d.min(len - start);
+            for (a, b) in [(start, start + first), (0, d - first)] {
+                if a == b {
+                    continue;
+                }
+                // Map the reduced-list run [a, b) back onto the full
+                // list, stepping over v's own rank.
+                match rank {
+                    Some(p) if a < p && b > p => {
+                        self.insert_run(view, out, v, a, p);
+                        self.insert_run(view, out, v, p + 1, b + 1);
+                    }
+                    Some(p) if a >= p => self.insert_run(view, out, v, a + 1, b + 1),
+                    _ => self.insert_run(view, out, v, a, b),
+                }
             }
         }
     }

@@ -28,12 +28,12 @@ const BATCH: u64 = 64;
 
 fn main() {
     let mut r = Runner::new("round_step");
-    for &n in &[8usize, 16, 32, 64, 128, 256] {
+    for &n in &[8usize, 16, 32, 64, 128, 256, 512, 1024] {
         let params = Params::fault_free(n, 1e-6).unwrap();
         for lean in [false, true] {
             // Lean variants only at the sizes tracked in
             // BENCH_round_throughput.json.
-            if lean && !matches!(n, 16 | 64 | 256) {
+            if lean && !matches!(n, 16 | 64 | 256 | 512 | 1024) {
                 continue;
             }
             let suffix = if lean { "_lean" } else { "" };

@@ -166,16 +166,25 @@ impl Algorithm for Bac {
         }
         let quorum = self.params.n() - self.params.f();
         if self.collected.len() >= quorum {
-            let f = self.params.f();
-            let mut vals = std::mem::take(&mut self.collected);
-            vals.sort();
             // Trim f lowest and f highest; n >= 3f+1 keeps the middle
-            // non-empty in BAC's home setting.
-            let kept = &vals[f..vals.len() - f];
-            self.value = kept[0].midpoint(*kept.last().expect("kept non-empty"));
+            // non-empty in BAC's home setting. Only the two surviving
+            // extremes matter, so two O(len) selections replace the full
+            // sort, and the collection buffer is recycled in place —
+            // phase transitions allocate nothing.
+            let f = self.params.f();
+            let len = self.collected.len();
+            assert!(
+                len > 2 * f,
+                "trimming {f} from each side of {len} values leaves nothing: \
+                 BAC requires n >= 3f + 1"
+            );
+            let lo = *self.collected.select_nth_unstable(f).1;
+            let hi = *self.collected.select_nth_unstable(len - 1 - f).1;
+            self.value = lo.midpoint(hi);
             self.phase = self.phase.next();
             self.ports_seen.fill(false);
-            self.collected = vec![self.value];
+            self.collected.clear();
+            self.collected.push(self.value);
             if self.phase.as_u64() >= self.pend {
                 self.output = Some(self.value);
             }
@@ -299,6 +308,8 @@ pub struct TrimmedLocalAverager {
     value: Value,
     rounds_done: u64,
     decide_after: u64,
+    /// Reused collection buffer for the decision-time trimmed reduction.
+    scratch: Vec<Value>,
     output: Option<Value>,
 }
 
@@ -313,6 +324,7 @@ impl TrimmedLocalAverager {
             value: input,
             rounds_done: 0,
             decide_after,
+            scratch: Vec::with_capacity(n + 1),
             output: if decide_after == 0 { Some(input) } else { None },
         }
     }
@@ -338,13 +350,17 @@ impl Algorithm for TrimmedLocalAverager {
         }
         self.rounds_done += 1;
         if self.rounds_done >= self.decide_after {
-            let mut vals: Vec<Value> = self.per_port.iter().flatten().copied().collect();
-            vals.push(self.input);
-            vals.sort();
-            let lo = self.f.min(vals.len().saturating_sub(1));
-            let hi = vals.len().saturating_sub(self.f).max(lo + 1);
-            let kept = &vals[lo..hi];
-            self.value = kept[0].midpoint(*kept.last().expect("kept non-empty"));
+            self.scratch.clear();
+            self.scratch.extend(self.per_port.iter().flatten().copied());
+            self.scratch.push(self.input);
+            let len = self.scratch.len();
+            // Only the extremes of the trimmed middle matter: two O(len)
+            // selections instead of a full sort.
+            let lo_idx = self.f.min(len - 1);
+            let hi_idx = (len - self.f.min(len)).max(lo_idx + 1) - 1;
+            let lo = *self.scratch.select_nth_unstable(lo_idx).1;
+            let hi = *self.scratch.select_nth_unstable(hi_idx).1;
+            self.value = lo.midpoint(hi);
             self.output = Some(self.value);
         }
     }

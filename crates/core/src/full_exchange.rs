@@ -105,11 +105,19 @@ impl Algorithm for FullExchange {
         }
         let quorum = self.params.n() - self.params.f();
         if self.collected.len() >= quorum {
+            // Only the extremes of the trimmed middle matter: two O(len)
+            // selections replace the full sort, and the collection buffer
+            // is recycled in place — phase transitions allocate nothing.
             let f = self.params.f();
-            let mut vals = std::mem::take(&mut self.collected);
-            vals.sort();
-            let kept = &vals[f..vals.len() - f];
-            let new_value = kept[0].midpoint(*kept.last().expect("kept non-empty"));
+            let len = self.collected.len();
+            assert!(
+                len > 2 * f,
+                "trimming {f} from each side of {len} values leaves nothing: \
+                 the construction requires n >= 3f + 1"
+            );
+            let lo = *self.collected.select_nth_unstable(f).1;
+            let hi = *self.collected.select_nth_unstable(len - 1 - f).1;
+            let new_value = lo.midpoint(hi);
             // Archive the completed phase's state for retransmission.
             if self.history_len > 0 {
                 self.history
@@ -119,7 +127,8 @@ impl Algorithm for FullExchange {
             self.value = new_value;
             self.phase = self.phase.next();
             self.ports_seen.fill(false);
-            self.collected = vec![self.value];
+            self.collected.clear();
+            self.collected.push(self.value);
             if self.phase.as_u64() >= self.pend {
                 self.output = Some(self.value);
             }

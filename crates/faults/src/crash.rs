@@ -134,6 +134,23 @@ impl CrashSchedule {
         }
     }
 
+    /// Whether `node`'s round-`round` broadcast reaches **every** receiver
+    /// the adversary links (no per-destination filtering at all): the node
+    /// is fault-free, crashes later, or crashes this round with
+    /// [`CrashSurvivors::All`].
+    ///
+    /// The round engine classifies such senders once per round and skips
+    /// the per-link [`CrashSchedule::delivers`] check on its fast path; a
+    /// `false` here only means "consult `delivers` per destination".
+    pub fn delivers_to_all(&self, node: NodeId, round: Round) -> bool {
+        match &self.events[node.index()] {
+            None => true,
+            Some((r, _)) if *r > round => true,
+            Some((r, CrashSurvivors::All)) if *r == round => true,
+            _ => false,
+        }
+    }
+
     /// Whether `node`'s round-`round` message reaches `dest`, assuming the
     /// adversary's link is present. Fault-free (or not-yet-crashed) nodes
     /// always deliver.
@@ -205,6 +222,27 @@ mod tests {
         // After: silent.
         assert!(cs.is_silent(NodeId::new(0), Round::new(6)));
         assert!(!cs.delivers(NodeId::new(0), Round::new(6), NodeId::new(1)));
+    }
+
+    #[test]
+    fn delivers_to_all_tracks_crash_modes() {
+        let mut cs = CrashSchedule::new(4);
+        cs.crash(NodeId::new(0), Round::new(2), CrashSurvivors::All);
+        cs.crash(
+            NodeId::new(1),
+            Round::new(2),
+            CrashSurvivors::Subset(vec![NodeId::new(3)]),
+        );
+        // Fault-free: always.
+        assert!(cs.delivers_to_all(NodeId::new(2), Round::new(9)));
+        // Before the crash round: always.
+        assert!(cs.delivers_to_all(NodeId::new(0), Round::new(1)));
+        assert!(cs.delivers_to_all(NodeId::new(1), Round::new(1)));
+        // Crash round: only the All mode keeps the broadcast complete.
+        assert!(cs.delivers_to_all(NodeId::new(0), Round::new(2)));
+        assert!(!cs.delivers_to_all(NodeId::new(1), Round::new(2)));
+        // After: never.
+        assert!(!cs.delivers_to_all(NodeId::new(0), Round::new(3)));
     }
 
     #[test]

@@ -13,10 +13,33 @@
 //! the property and [`satisfies_dyna_degree`] returns `true` for them;
 //! callers that need a meaningful verdict should record at least `T`
 //! rounds.
+//!
+//! Overlapping windows share `T - 1` rounds, so the checker does not
+//! recompute each union from scratch (`O(L · T · |E|)` over an `L`-round
+//! recording): it slides one incremental [`WindowUnion`] across the
+//! recording, paying once per link occurrence plus `O(n)` per window, and
+//! allocating nothing beyond the reusable scratch
+//! (`tests/checker_window.rs` fuzzes it against the naive recompute).
 
-use adn_types::{NodeId, Round};
+use adn_types::NodeId;
 
-use crate::Schedule;
+use crate::{NodeSet, Schedule, WindowUnion};
+
+/// The fault-free node set: all of `0..n` except the listed faulty nodes.
+///
+/// Built once (O(n + |faulty|)) and shared by every window of a checker
+/// run, instead of an O(n · |faulty|) list scan per call site.
+///
+/// # Panics
+///
+/// Panics if a faulty id is `>= n`.
+pub fn honest_set(n: usize, faulty: &[NodeId]) -> NodeSet {
+    let mut honest = NodeSet::full(n);
+    for &id in faulty {
+        honest.remove(id);
+    }
+    honest
+}
 
 /// The strongest degree `D` such that the recording satisfies
 /// (T, D)-dynaDegree for the fault-free nodes (all nodes not listed in
@@ -38,23 +61,40 @@ use crate::Schedule;
 /// assert_eq!(checker::max_dyna_degree(&s, 1, &[]), Some(2));
 /// ```
 pub fn max_dyna_degree(schedule: &Schedule, t_window: usize, faulty: &[NodeId]) -> Option<usize> {
+    let mut scratch = WindowUnion::new(schedule.n());
+    max_dyna_degree_into(
+        &mut scratch,
+        schedule,
+        t_window,
+        &honest_set(schedule.n(), faulty),
+    )
+}
+
+/// [`max_dyna_degree`] with caller-owned scratch: one incremental
+/// [`WindowUnion::scan_degrees`] sweep across the recording instead of
+/// recomputing every overlapping window's union from scratch —
+/// `O(L · n² / 64)` word operations over an `L`-round recording instead of
+/// `O(L · T · |E|)` — performing **zero** steady-state heap allocations
+/// (pinned by `tests/alloc_free.rs`).
+///
+/// # Panics
+///
+/// Panics if `t_window == 0` or if the scratch or honest set is for a
+/// different node count.
+pub fn max_dyna_degree_into(
+    scratch: &mut WindowUnion,
+    schedule: &Schedule,
+    t_window: usize,
+    honest: &NodeSet,
+) -> Option<usize> {
     assert!(t_window > 0, "window must be at least 1 round");
-    let n = schedule.n();
-    if schedule.len() < t_window {
+    if schedule.len() < t_window || honest.is_empty() {
         return None;
     }
-    let honest: Vec<NodeId> = NodeId::all(n).filter(|id| !faulty.contains(id)).collect();
-    if honest.is_empty() {
-        return None;
-    }
-    let windows = schedule.len() - t_window + 1;
     let mut min_degree = usize::MAX;
-    for start in 0..windows {
-        for &v in &honest {
-            let inn = schedule.window_in_neighbors(v, Round::new(start as u64), t_window);
-            min_degree = min_degree.min(inn.len());
-        }
-    }
+    scratch.scan_degrees(schedule, t_window, honest, |_, min| {
+        min_degree = min_degree.min(min);
+    });
     Some(min_degree)
 }
 
@@ -92,8 +132,14 @@ pub fn min_window_for_degree(
     faulty: &[NodeId],
 ) -> Option<usize> {
     assert!(max_t > 0, "max_t must be at least 1");
-    (1..=max_t.min(schedule.len()))
-        .find(|&t| matches!(max_dyna_degree(schedule, t, faulty), Some(min) if min >= d))
+    let mut scratch = WindowUnion::new(schedule.n());
+    let honest = honest_set(schedule.n(), faulty);
+    (1..=max_t.min(schedule.len())).find(|&t| {
+        matches!(
+            max_dyna_degree_into(&mut scratch, schedule, t, &honest),
+            Some(min) if min >= d
+        )
+    })
 }
 
 /// Per-window minimum aggregated in-degree across fault-free nodes — the
@@ -105,24 +151,16 @@ pub fn min_window_for_degree(
 /// Panics if `t_window == 0`.
 pub fn window_degree_series(schedule: &Schedule, t_window: usize, faulty: &[NodeId]) -> Vec<usize> {
     assert!(t_window > 0, "window must be at least 1 round");
-    let n = schedule.n();
     if schedule.len() < t_window {
         return Vec::new();
     }
-    let honest: Vec<NodeId> = NodeId::all(n).filter(|id| !faulty.contains(id)).collect();
-    (0..=schedule.len() - t_window)
-        .map(|start| {
-            honest
-                .iter()
-                .map(|&v| {
-                    schedule
-                        .window_in_neighbors(v, Round::new(start as u64), t_window)
-                        .len()
-                })
-                .min()
-                .unwrap_or(0)
-        })
-        .collect()
+    let honest = honest_set(schedule.n(), faulty);
+    let mut series = vec![0; schedule.len() - t_window + 1];
+    let mut scratch = WindowUnion::new(schedule.n());
+    scratch.scan_degrees(schedule, t_window, &honest, |start, min| {
+        series[start] = min;
+    });
+    series
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 
 use adn_types::{NodeId, Round};
 
-use crate::{EdgeSet, Schedule};
+use crate::{EdgeSet, Schedule, WindowUnion};
 
 /// Whether the graph, links read as undirected, connects all `n` nodes.
 ///
@@ -29,10 +29,10 @@ pub fn is_connected_undirected(edges: &EdgeSet) -> bool {
     }
     // Undirected adjacency from the directed links.
     let mut adj = vec![Vec::new(); n];
-    for (u, v) in edges.edges() {
+    edges.for_each_edge(|u, v| {
         adj[u.index()].push(v.index());
         adj[v.index()].push(u.index());
-    }
+    });
     let mut seen = vec![false; n];
     let mut stack = vec![0usize];
     seen[0] = true;
@@ -56,9 +56,9 @@ pub fn roots(edges: &EdgeSet) -> Vec<NodeId> {
     let n = edges.n();
     // Forward adjacency (sender -> receivers).
     let mut adj = vec![Vec::new(); n];
-    for (u, v) in edges.edges() {
+    edges.for_each_edge(|u, v| {
         adj[u.index()].push(v.index());
-    }
+    });
     NodeId::all(n)
         .filter(|&r| {
             let mut seen = vec![false; n];
@@ -125,10 +125,30 @@ pub fn t_interval_connected(schedule: &Schedule, t_window: usize) -> bool {
     if schedule.len() < t_window {
         return true;
     }
-    (0..=schedule.len() - t_window).all(|start| {
-        let stable = window_intersection(schedule, Round::new(start as u64), t_window);
-        is_connected_undirected(&stable)
-    })
+    // Slide one multiplicity window across the recording: a link is in the
+    // window's stable subgraph iff its count equals the window length, and
+    // every stable link must appear in the window's first round — so each
+    // window is recovered by filtering that single round instead of
+    // re-intersecting all `t_window` rounds.
+    let mut counts = WindowUnion::new(schedule.n());
+    let mut stable = EdgeSet::empty(schedule.n());
+    for (t, edges) in schedule.iter() {
+        counts.push(edges);
+        if let Some(start) = (t.as_u64() + 1).checked_sub(t_window as u64) {
+            let first = schedule.round(Round::new(start)).expect("within recording");
+            stable.clear();
+            first.for_each_edge(|u, v| {
+                if counts.stable(u, v) {
+                    stable.insert(u, v);
+                }
+            });
+            if !is_connected_undirected(&stable) {
+                return false;
+            }
+            counts.pop(first);
+        }
+    }
+    true
 }
 
 /// Whether every recorded round's graph has a rooted spanning tree (a

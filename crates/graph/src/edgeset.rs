@@ -116,6 +116,13 @@ impl EdgeSet {
         &self.in_neighbors[v.index()]
     }
 
+    /// All per-receiver in-neighbor sets, indexed by receiver — the
+    /// zero-overhead bulk access path for word-parallel sweeps (no
+    /// per-row bounds check, iterator-fusable).
+    pub fn in_neighbor_sets(&self) -> &[NodeSet] {
+        &self.in_neighbors
+    }
+
     /// Number of distinct in-neighbors of `v`.
     pub fn in_degree(&self, v: NodeId) -> usize {
         self.in_neighbors[v.index()].len()
@@ -141,6 +148,75 @@ impl EdgeSet {
                 .iter()
                 .map(move |u| (u, NodeId::new(v)))
         })
+    }
+
+    /// Calls `f` for every `(sender, receiver)` pair, receiver-major and
+    /// ascending-sender within a receiver. Walks the in-neighbor bitsets a
+    /// word at a time, so only *realized* links cost work — the traversal
+    /// primitive of the delivery plane and the window checkers.
+    #[inline]
+    pub fn for_each_edge(&self, mut f: impl FnMut(NodeId, NodeId)) {
+        for (v_idx, inn) in self.in_neighbors.iter().enumerate() {
+            let v = NodeId::new(v_idx);
+            inn.for_each(|u| f(u, v));
+        }
+    }
+
+    /// Overwrites `v`'s in-neighbor set with `senders \ {v}` in one
+    /// word-parallel copy — the bulk form of [`EdgeSet::insert`] used by
+    /// broadcast-shaped adversaries, which would otherwise pay one
+    /// asserted insert per (sender, receiver) pair per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the universes differ.
+    pub fn assign_in_neighbors(&mut self, v: NodeId, senders: &NodeSet) {
+        let row = &mut self.in_neighbors[v.index()];
+        row.copy_from(senders);
+        row.remove(v);
+    }
+
+    /// Adds every link `(u, v)` with `u ∈ senders ∩ mask` in one
+    /// word-parallel sweep — the bulk form of [`EdgeSet::insert`] the
+    /// delivery plane uses to record the realized links of
+    /// unconditionally-delivering senders. Self-loops are stripped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the universes differ.
+    pub fn insert_from_masked(&mut self, v: NodeId, senders: &NodeSet, mask: &NodeSet) {
+        let row = &mut self.in_neighbors[v.index()];
+        assert_eq!(senders.universe(), self.n, "universe mismatch");
+        assert_eq!(mask.universe(), self.n, "universe mismatch");
+        row.union_masked(senders, mask);
+        row.remove(v);
+    }
+
+    /// Adds every link `(u, v)` with `u ∈ senders ∩ {lo, ..., hi}` (ids,
+    /// inclusive) in one word-parallel sweep. Self-loops are stripped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v`, `hi` is out of range, the universes differ, or
+    /// `lo > hi`.
+    pub fn insert_range_from(&mut self, v: NodeId, senders: &NodeSet, lo: NodeId, hi: NodeId) {
+        assert_eq!(senders.universe(), self.n, "universe mismatch");
+        let row = &mut self.in_neighbors[v.index()];
+        row.union_range(senders, lo, hi);
+        row.remove(v);
+    }
+
+    /// Overwrites this link set with the contents of `other`
+    /// (word-parallel row copies, no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn copy_from(&mut self, other: &EdgeSet) {
+        assert_eq!(self.n, other.n, "node count mismatch");
+        for (a, b) in self.in_neighbors.iter_mut().zip(&other.in_neighbors) {
+            a.copy_from(b);
+        }
     }
 
     /// In-place union: afterwards `self` contains every link of `other`.
@@ -243,6 +319,36 @@ mod tests {
         let listed: Vec<_> = e.edges().map(|(u, v)| (u.index(), v.index())).collect();
         assert_eq!(listed.len(), e.edge_count());
         assert!(listed.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn assign_in_neighbors_copies_and_strips_self() {
+        let mut e = EdgeSet::from_pairs(4, [(3, 1)]);
+        let senders = NodeSet::from_ids(4, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        e.assign_in_neighbors(NodeId::new(1), &senders);
+        assert_eq!(e.in_degree(NodeId::new(1)), 2, "self-loop stripped");
+        assert!(e.contains(NodeId::new(0), NodeId::new(1)));
+        assert!(!e.contains(NodeId::new(3), NodeId::new(1)), "overwritten");
+        assert!(!e.contains(NodeId::new(1), NodeId::new(1)));
+    }
+
+    #[test]
+    fn insert_from_masked_unions_intersection() {
+        let mut e = EdgeSet::from_pairs(4, [(3, 1)]);
+        let senders = NodeSet::from_ids(4, [NodeId::new(0), NodeId::new(2)]);
+        let mask = NodeSet::from_ids(4, [NodeId::new(2), NodeId::new(3)]);
+        e.insert_from_masked(NodeId::new(1), &senders, &mask);
+        assert!(e.contains(NodeId::new(3), NodeId::new(1)), "kept");
+        assert!(e.contains(NodeId::new(2), NodeId::new(1)), "added");
+        assert!(!e.contains(NodeId::new(0), NodeId::new(1)), "masked out");
+    }
+
+    #[test]
+    fn for_each_edge_matches_edges_iterator() {
+        let e = EdgeSet::from_pairs(70, [(0, 1), (65, 2), (1, 65)]);
+        let mut got = Vec::new();
+        e.for_each_edge(|u, v| got.push((u, v)));
+        assert_eq!(got, e.edges().collect::<Vec<_>>());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   hear from this round?");
 //! * [`Schedule`] — the recorded sequence `E(0), E(1), ...` of an
 //!   execution, supporting windowed unions `G_t = (V, ∪ E(t..t+T))`;
+//! * [`WindowUnion`] — incremental sliding-window link counters, the
+//!   allocation-free scratch behind the window checkers;
 //! * [`checker`] — the (T, D)-dynaDegree verifier (Def. 1);
 //! * [`connectivity`] — the prior stability properties the paper compares
 //!   against (§II-B): T-interval connectivity, rooted spanning trees;
@@ -45,7 +47,9 @@ mod edgeset;
 pub mod generators;
 mod nodeset;
 mod schedule;
+mod window;
 
 pub use edgeset::EdgeSet;
 pub use nodeset::NodeSet;
 pub use schedule::Schedule;
+pub use window::WindowUnion;

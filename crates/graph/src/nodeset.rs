@@ -38,8 +38,12 @@ impl NodeSet {
     /// Creates the full set `{0, ..., n-1}`.
     pub fn full(n: usize) -> Self {
         let mut s = NodeSet::new(n);
-        for i in 0..n {
-            s.insert(NodeId::new(i));
+        s.words.fill(u64::MAX);
+        if let Some(last) = s.words.last_mut() {
+            let used = n % 64;
+            if used != 0 {
+                *last = (1u64 << used) - 1;
+            }
         }
         s
     }
@@ -114,6 +118,21 @@ impl NodeSet {
         self.words.fill(0);
     }
 
+    /// Overwrites this set with the contents of `other` (word-parallel
+    /// copy, no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        assert_eq!(
+            self.n, other.n,
+            "universe mismatch: {} vs {}",
+            self.n, other.n
+        );
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// In-place union with another set over the same universe.
     ///
     /// # Panics
@@ -127,6 +146,47 @@ impl NodeSet {
         );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
+        }
+    }
+
+    /// In-place union with `a ∩ b`, without materializing the
+    /// intersection: `self |= a & b`, one word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_masked(&mut self, a: &NodeSet, b: &NodeSet) {
+        assert_eq!(self.n, a.n, "universe mismatch: {} vs {}", self.n, a.n);
+        assert_eq!(self.n, b.n, "universe mismatch: {} vs {}", self.n, b.n);
+        for ((w, wa), wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *w |= wa & wb;
+        }
+    }
+
+    /// In-place union with `src ∩ {lo, ..., hi}` (ids, inclusive), one
+    /// word at a time: `self |= src & [lo..=hi]` without materializing the
+    /// range set. The bulk primitive behind windowed adversaries, whose
+    /// per-receiver neighbor windows are contiguous id ranges of a
+    /// deliverer set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ, `lo > hi`, or `hi` is out of range.
+    pub fn union_range(&mut self, src: &NodeSet, lo: NodeId, hi: NodeId) {
+        assert_eq!(self.n, src.n, "universe mismatch: {} vs {}", self.n, src.n);
+        assert!(lo <= hi, "empty range: {lo} > {hi}");
+        self.check(hi);
+        let (lw, lb) = (lo.index() / 64, lo.index() % 64);
+        let (hw, hb) = (hi.index() / 64, hi.index() % 64);
+        for w in lw..=hw {
+            let mut mask = u64::MAX;
+            if w == lw {
+                mask &= u64::MAX << lb;
+            }
+            if w == hw {
+                mask &= u64::MAX >> (63 - hb);
+            }
+            self.words[w] |= src.words[w] & mask;
         }
     }
 
@@ -167,6 +227,73 @@ impl NodeSet {
     /// Iterates over members in ascending index order.
     pub fn iter(&self) -> Iter<'_> {
         Iter { set: self, next: 0 }
+    }
+
+    /// The backing bit words, 64 ids per word (bit `b` of word `w` is node
+    /// `w * 64 + b`; bits at or beyond `n` are always zero).
+    ///
+    /// This is the word-parallel access path of the delivery plane and the
+    /// sliding-window checker: probing 64 candidate senders costs one load
+    /// and one AND instead of 64 `contains` calls.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The `wi`-th bit word (see [`NodeSet::words`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi >= n.div_ceil(64)`.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.words[wi]
+    }
+
+    /// Iterates over `(word_index, word)` pairs, skipping empty words.
+    pub fn iter_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, w)| w != 0)
+    }
+
+    /// Calls `f` for every member in ascending order, walking whole words
+    /// (64 ids per probe) instead of testing each bit individually.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(NodeId)) {
+        for (wi, mut word) in self.iter_words() {
+            let base = wi * 64;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(NodeId::new(base + bit));
+            }
+        }
+    }
+
+    /// Calls `f` for every member of `self ∩ other` in ascending order,
+    /// without materializing the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn intersection_for_each(&self, other: &NodeSet, mut f: impl FnMut(NodeId)) {
+        assert_eq!(
+            self.n, other.n,
+            "universe mismatch: {} vs {}",
+            self.n, other.n
+        );
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut word = a & b;
+            let base = wi * 64;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(NodeId::new(base + bit));
+            }
+        }
     }
 
     fn check(&self, id: NodeId) {
@@ -302,6 +429,48 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_overwrites() {
+        let mut a = NodeSet::from_ids(10, ids(&[1, 2]));
+        let b = NodeSet::from_ids(10, ids(&[7]));
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_range_respects_bounds() {
+        let src = NodeSet::from_ids(200, ids(&[3, 64, 65, 130, 199]));
+        for (lo, hi, expect) in [
+            (0, 199, vec![3, 64, 65, 130, 199]),
+            (4, 129, vec![64, 65]),
+            (64, 64, vec![64]),
+            (65, 130, vec![65, 130]),
+            (131, 198, vec![]),
+        ] {
+            let mut s = NodeSet::new(200);
+            s.union_range(&src, NodeId::new(lo), NodeId::new(hi));
+            let got: Vec<usize> = s.iter().map(|i| i.index()).collect();
+            assert_eq!(got, expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn union_range_backwards_panics() {
+        let src = NodeSet::new(10);
+        NodeSet::new(10).union_range(&src, NodeId::new(5), NodeId::new(4));
+    }
+
+    #[test]
+    fn union_masked_adds_only_intersection() {
+        let mut s = NodeSet::from_ids(100, ids(&[0]));
+        let a = NodeSet::from_ids(100, ids(&[1, 2, 70]));
+        let b = NodeSet::from_ids(100, ids(&[2, 70, 99]));
+        s.union_masked(&a, &b);
+        let got: Vec<usize> = s.iter().map(|i| i.index()).collect();
+        assert_eq!(got, vec![0, 2, 70]);
+    }
+
+    #[test]
     fn intersection_len_counts() {
         let a = NodeSet::from_ids(100, ids(&[1, 2, 70, 80]));
         let b = NodeSet::from_ids(100, ids(&[2, 70, 99]));
@@ -340,6 +509,51 @@ mod tests {
         let s = NodeSet::new(0);
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn words_expose_bit_layout() {
+        let s = NodeSet::from_ids(130, ids(&[0, 63, 64, 129]));
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1 | (1 << 63));
+        assert_eq!(w[1], 1);
+        assert_eq!(s.word(2), 2);
+    }
+
+    #[test]
+    fn iter_words_skips_empty_words() {
+        let s = NodeSet::from_ids(200, ids(&[5, 130]));
+        let got: Vec<usize> = s.iter_words().map(|(wi, _)| wi).collect();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn for_each_matches_iter() {
+        let s = NodeSet::from_ids(200, ids(&[5, 0, 199, 64, 63, 128]));
+        let mut got = Vec::new();
+        s.for_each(|id| got.push(id));
+        assert_eq!(got, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn intersection_for_each_visits_common_members() {
+        let a = NodeSet::from_ids(100, ids(&[1, 2, 70, 80]));
+        let b = NodeSet::from_ids(100, ids(&[2, 70, 99]));
+        let mut got = Vec::new();
+        a.intersection_for_each(&b, |id| got.push(id.index()));
+        assert_eq!(got, vec![2, 70]);
+    }
+
+    #[test]
+    fn full_keeps_tail_bits_clear() {
+        for n in [1usize, 63, 64, 65, 127, 128, 130] {
+            let s = NodeSet::full(n);
+            assert_eq!(s.len(), n, "n = {n}");
+            let mut c = s.clone();
+            c.clear();
+            assert!(c.is_empty());
+        }
     }
 
     #[test]

@@ -18,6 +18,39 @@
 use adn_graph::{EdgeSet, NodeSet};
 use adn_types::{Batch, NodeId, Phase, Value};
 
+/// What a sender contributes to deliveries this round — computed **once**
+/// per sender per round, so the delivery plane's inner (sender, receiver)
+/// loop reads one byte instead of re-deriving "Byzantine? crashed?
+/// staged a batch?" per link.
+///
+/// The classes partition the senders by delivery behavior:
+///
+/// * [`Silent`](SenderClass::Silent) links deliver nothing and are skipped
+///   wholesale (masked out of the word walk);
+/// * [`Present`](SenderClass::Present) links always deliver the sender's
+///   staged batch — the fast path, no per-receiver checks at all;
+/// * [`Partial`](SenderClass::Partial) senders crash *this* round with a
+///   per-receiver survivor set, so each link still consults
+///   `CrashSchedule::delivers`;
+/// * [`Byzantine`](SenderClass::Byzantine) senders fabricate per
+///   destination (possibly nothing — the strategy decides link by link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SenderClass {
+    /// Delivers nothing this round: Byzantine-free slot with no staged
+    /// batch (crash-silent), the default before classification.
+    #[default]
+    Silent,
+    /// Non-Byzantine with a staged batch that reaches every chosen
+    /// receiver.
+    Present,
+    /// Non-Byzantine, staged a batch, but crashing this round with a
+    /// partial survivor set: per-receiver delivery checks required.
+    Partial,
+    /// Byzantine: per-destination fabrication via
+    /// `ByzantineStrategy::messages_into`.
+    Byzantine,
+}
+
 /// Per-round scratch memory, persisted across rounds by the engine.
 ///
 /// ```
@@ -66,6 +99,18 @@ pub struct RoundBuffers {
     pub in_neighbors: Vec<NodeId>,
     /// Scratch for the fault-free value trace.
     pub ff_values: Vec<Value>,
+    /// Per-sender delivery class, computed once per round after broadcast
+    /// staging (see [`SenderClass`]).
+    pub classes: Vec<SenderClass>,
+    /// Senders whose links can deliver anything this round (every class
+    /// but [`SenderClass::Silent`]) — the word-level mask the delivery
+    /// walk intersects with each receiver's chosen in-neighbors.
+    pub active: NodeSet,
+    /// The [`SenderClass::Present`] subset of `active`: senders whose
+    /// chosen links *all* deliver, so their realized links are recorded
+    /// with one word-parallel OR per receiver row instead of one insert
+    /// per delivery.
+    pub unconditional: NodeSet,
 }
 
 impl RoundBuffers {
@@ -84,6 +129,9 @@ impl RoundBuffers {
             realized: EdgeSet::empty(n),
             in_neighbors: Vec::with_capacity(n),
             ff_values: Vec::with_capacity(n),
+            classes: vec![SenderClass::Silent; n],
+            active: NodeSet::new(n),
+            unconditional: NodeSet::new(n),
         }
     }
 
@@ -111,6 +159,9 @@ impl RoundBuffers {
         self.realized.clear();
         self.in_neighbors.clear();
         self.ff_values.clear();
+        self.classes.fill(SenderClass::Silent);
+        self.active.clear();
+        self.unconditional.clear();
     }
 
     /// Current capacity of every per-node batch, for reuse assertions in
@@ -139,6 +190,8 @@ mod tests {
         b.realized.insert(NodeId::new(0), NodeId::new(1));
         b.in_neighbors.push(NodeId::new(0));
         b.ff_values.push(Value::ONE);
+        b.classes[1] = SenderClass::Byzantine;
+        b.active.insert(NodeId::new(1));
 
         let caps = b.batch_capacities();
         b.begin_round();
@@ -153,6 +206,8 @@ mod tests {
         assert_eq!(b.realized.edge_count(), 0);
         assert!(b.in_neighbors.is_empty());
         assert!(b.ff_values.is_empty());
+        assert_eq!(b.classes[1], SenderClass::Silent);
+        assert!(b.active.is_empty());
         assert_eq!(b.batch_capacities(), caps, "clear must not free");
     }
 

@@ -29,6 +29,6 @@ pub mod codec;
 mod ports;
 mod traffic;
 
-pub use buffers::RoundBuffers;
+pub use buffers::{RoundBuffers, SenderClass};
 pub use ports::PortNumbering;
 pub use traffic::Traffic;

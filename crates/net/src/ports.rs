@@ -30,8 +30,12 @@ use adn_types::{NodeId, Port};
 #[derive(Clone, PartialEq, Eq)]
 pub struct PortNumbering {
     n: usize,
-    /// `map[receiver][sender] = port index`.
-    map: Vec<Vec<usize>>,
+    /// Flat row-major table: `map[receiver * n + sender] = port`.
+    ///
+    /// One indexed load per lookup — `port_of` sits in the delivery
+    /// plane's inner loop, where the former `Vec<Vec<usize>>` cost a
+    /// second pointer chase per delivered message.
+    map: Vec<Port>,
 }
 
 impl PortNumbering {
@@ -43,7 +47,7 @@ impl PortNumbering {
     pub fn identity(n: usize) -> Self {
         PortNumbering {
             n,
-            map: (0..n).map(|_| (0..n).collect()).collect(),
+            map: (0..n).flat_map(|_| (0..n).map(Port::new)).collect(),
         }
     }
 
@@ -51,10 +55,11 @@ impl PortNumbering {
     /// deterministic in `seed`.
     pub fn random(n: usize, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
-        PortNumbering {
-            n,
-            map: (0..n).map(|_| rng.permutation(n)).collect(),
+        let mut map = Vec::with_capacity(n * n);
+        for _ in 0..n {
+            map.extend(rng.permutation(n).into_iter().map(Port::new));
         }
+        PortNumbering { n, map }
     }
 
     /// Number of nodes (and of ports per receiver).
@@ -67,8 +72,17 @@ impl PortNumbering {
     /// # Panics
     ///
     /// Panics if either node is out of range.
+    #[inline]
     pub fn port_of(&self, receiver: NodeId, sender: NodeId) -> Port {
-        Port::new(self.map[receiver.index()][sender.index()])
+        assert!(sender.index() < self.n, "sender {sender} out of range");
+        self.map[receiver.index() * self.n + sender.index()]
+    }
+
+    /// The whole flat `receiver * n + sender → port` table, row-major by
+    /// receiver — for consumers that want to hoist even the multiply out
+    /// of their inner loop.
+    pub fn table(&self) -> &[Port] {
+        &self.map
     }
 
     /// Inverse lookup: which sender occupies `port` at `receiver`?
@@ -78,10 +92,10 @@ impl PortNumbering {
     ///
     /// Panics if the receiver or port is out of range.
     pub fn sender_at(&self, receiver: NodeId, port: Port) -> NodeId {
-        let row = &self.map[receiver.index()];
+        let row = &self.map[receiver.index() * self.n..(receiver.index() + 1) * self.n];
         let sender = row
             .iter()
-            .position(|&p| p == port.index())
+            .position(|&p| p == port)
             .unwrap_or_else(|| panic!("port {port} out of range at receiver {receiver}"));
         NodeId::new(sender)
     }

@@ -2,7 +2,7 @@ use adn_adversary::{Adversary, AdversaryView};
 use adn_core::Algorithm;
 use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
 use adn_graph::Schedule;
-use adn_net::{PortNumbering, RoundBuffers, Traffic};
+use adn_net::{PortNumbering, RoundBuffers, SenderClass, Traffic};
 use adn_types::{Message, NodeId, Params, Phase, Round, Value, ValueInterval};
 
 use adn_types::rng::SplitMix64;
@@ -262,72 +262,91 @@ impl Simulation {
             }
         }
 
-        // --- Delivery along chosen links, ascending sender order. No
-        // batch is ever cloned: honest deliveries borrow the sender's
-        // staged batch, Byzantine fabrications reuse one scratch batch. ---
+        // --- Classify every sender once. The delivery loops below read
+        // one byte per link instead of re-deriving "Byzantine? crashed?
+        // staged a batch?" per (sender, receiver) pair. Byzantine senders
+        // stay active regardless of `transmits()`: the strategy decides
+        // link by link via `messages_into`, exactly as before. ---
+        for i in 0..n {
+            let class = if self.byz[i].is_some() {
+                SenderClass::Byzantine
+            } else if !self.buffers.present[i] {
+                SenderClass::Silent
+            } else if self.crash.delivers_to_all(NodeId::new(i), t) {
+                SenderClass::Present
+            } else {
+                SenderClass::Partial
+            };
+            self.buffers.classes[i] = class;
+            if class != SenderClass::Silent {
+                self.buffers.active.insert(NodeId::new(i));
+            }
+            if class == SenderClass::Present {
+                self.buffers.unconditional.insert(NodeId::new(i));
+            }
+        }
+
+        // --- Delivery along chosen links, ascending sender order by
+        // default. No batch is ever cloned: honest deliveries borrow the
+        // sender's staged batch, Byzantine fabrications reuse one scratch
+        // batch. The ascending path walks the chosen ∩ active bitsets one
+        // word at a time — 64 candidate senders per probe, links from
+        // silent senders masked out wholesale; the other orders keep the
+        // recorded-Vec path, whose permutation of the *full* chosen
+        // in-neighbor list is part of the determinism contract. ---
+        let words = n.div_ceil(64);
         for v_idx in 0..n {
             let v = NodeId::new(v_idx);
             // Byzantine "receivers" have no state machine; nodes that have
             // crashed no longer process input (a node crashing at t sends
-            // its final partial broadcast but does not transition).
-            if self.byz[v_idx].is_some() || self.crash.has_crashed_by(v, t) {
+            // its final partial broadcast but does not transition). Both
+            // are exactly the complement of the round's `honest` set.
+            if !self.buffers.honest.contains(v) {
                 continue;
             }
-            self.buffers.in_neighbors.clear();
-            let (in_neighbors, chosen) = (&mut self.buffers.in_neighbors, &self.buffers.chosen);
-            in_neighbors.extend(chosen.in_neighbors(v).iter());
+            let mut alg = self.algs[v_idx]
+                .take()
+                .expect("non-byzantine receiver has a state machine");
+            // A Present sender's chosen links all deliver, so its realized
+            // links are exactly chosen ∩ unconditional: record the whole
+            // row word-parallel here and skip the per-delivery insert.
+            self.buffers.realized.insert_from_masked(
+                v,
+                self.buffers.chosen.in_neighbors(v),
+                &self.buffers.unconditional,
+            );
             match self.delivery_order {
-                DeliveryOrder::AscendingSenders => {}
-                DeliveryOrder::DescendingSenders => self.buffers.in_neighbors.reverse(),
-                DeliveryOrder::Shuffled(seed) => {
-                    let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20) ^ v_idx as u64);
-                    rng.shuffle(&mut self.buffers.in_neighbors);
+                DeliveryOrder::AscendingSenders => {
+                    for wi in 0..words {
+                        let mut word = self.buffers.chosen.in_neighbors(v).word(wi)
+                            & self.buffers.active.word(wi);
+                        while word != 0 {
+                            let u = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
+                            word &= word - 1;
+                            self.deliver_one(t, u, v, &mut *alg);
+                        }
+                    }
+                }
+                DeliveryOrder::DescendingSenders | DeliveryOrder::Shuffled(_) => {
+                    self.buffers.in_neighbors.clear();
+                    let (in_neighbors, chosen) =
+                        (&mut self.buffers.in_neighbors, &self.buffers.chosen);
+                    in_neighbors.extend(chosen.in_neighbors(v).iter());
+                    match self.delivery_order {
+                        DeliveryOrder::AscendingSenders => unreachable!(),
+                        DeliveryOrder::DescendingSenders => self.buffers.in_neighbors.reverse(),
+                        DeliveryOrder::Shuffled(seed) => {
+                            let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20) ^ v_idx as u64);
+                            rng.shuffle(&mut self.buffers.in_neighbors);
+                        }
+                    }
+                    for k in 0..self.buffers.in_neighbors.len() {
+                        let u = self.buffers.in_neighbors[k];
+                        self.deliver_one(t, u, v, &mut *alg);
+                    }
                 }
             }
-            for k in 0..self.buffers.in_neighbors.len() {
-                let u = self.buffers.in_neighbors[k];
-                let u_idx = u.index();
-                let deliver = match &mut self.byz[u_idx] {
-                    Some(strategy) => {
-                        self.buffers.byz_scratch.clear();
-                        let ctx = ByzContext {
-                            round: t,
-                            self_id: u,
-                            params: self.params,
-                            phases: &self.buffers.phases,
-                            values: &self.buffers.values,
-                        };
-                        strategy.messages_into(&ctx, v, &mut self.buffers.byz_scratch);
-                        !self.buffers.byz_scratch.is_empty()
-                    }
-                    // `present` implies the sender staged a batch this
-                    // round (non-Byzantine, not crash-silent).
-                    None => self.buffers.present[u_idx] && self.crash.delivers(u, t, v),
-                };
-                if deliver {
-                    let batch: &[Message] = if self.byz[u_idx].is_some() {
-                        &self.buffers.byz_scratch
-                    } else {
-                        &self.buffers.batches[u_idx]
-                    };
-                    let port = self.ports.port_of(v, u);
-                    self.traffic.record_delivery(batch.len());
-                    self.buffers.realized.insert(u, v);
-                    if let Some(log) = self.events.as_mut() {
-                        log.push(Event::Delivery {
-                            round: t,
-                            sender: u,
-                            receiver: v,
-                            port,
-                            batch_len: batch.len(),
-                        });
-                    }
-                    self.algs[v_idx]
-                        .as_mut()
-                        .expect("non-byzantine receiver has a state machine")
-                        .receive(port, batch);
-                }
-            }
+            self.algs[v_idx] = Some(alg);
         }
         if self.record_schedule {
             self.schedule.push(self.buffers.realized.clone());
@@ -424,6 +443,58 @@ impl Simulation {
 
         self.round = t.next();
         self.check_stop_after(range, decided);
+    }
+
+    /// Delivers sender `u`'s round-`t` transmission to receiver `v` — or
+    /// nothing, if `u`'s class does not deliver on this link. `alg` is
+    /// `v`'s state machine, taken out of its slot by the delivery loop so
+    /// the inner walk performs no per-link `Option` unwrap.
+    #[inline]
+    fn deliver_one(&mut self, t: Round, u: NodeId, v: NodeId, alg: &mut dyn Algorithm) {
+        let u_idx = u.index();
+        // Realized links of `Present` senders were already recorded
+        // word-parallel by the receiver loop; only the conditional classes
+        // record theirs per delivery here.
+        let (batch, record_realized): (&[Message], bool) = match self.buffers.classes[u_idx] {
+            SenderClass::Silent => return,
+            SenderClass::Byzantine => {
+                self.buffers.byz_scratch.clear();
+                let strategy = self.byz[u_idx].as_mut().expect("classified Byzantine");
+                let ctx = ByzContext {
+                    round: t,
+                    self_id: u,
+                    params: self.params,
+                    phases: &self.buffers.phases,
+                    values: &self.buffers.values,
+                };
+                strategy.messages_into(&ctx, v, &mut self.buffers.byz_scratch);
+                if self.buffers.byz_scratch.is_empty() {
+                    return;
+                }
+                (&self.buffers.byz_scratch, true)
+            }
+            SenderClass::Partial if !self.crash.delivers(u, t, v) => return,
+            SenderClass::Partial => (&self.buffers.batches[u_idx], true),
+            // `Present` implies the sender staged a batch this round and
+            // its broadcast reaches every chosen receiver — no per-link
+            // checks left.
+            SenderClass::Present => (&self.buffers.batches[u_idx], false),
+        };
+        let port = self.ports.port_of(v, u);
+        self.traffic.record_delivery(batch.len());
+        if record_realized {
+            self.buffers.realized.insert(u, v);
+        }
+        if let Some(log) = self.events.as_mut() {
+            log.push(Event::Delivery {
+                round: t,
+                sender: u,
+                receiver: v,
+                port,
+                batch_len: batch.len(),
+            });
+        }
+        alg.receive(port, batch);
     }
 
     fn check_stop_before(&mut self) -> bool {

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use adn_adversary::{Adversary, AdversarySpec};
     pub use adn_core::{Algorithm, Dac, Dbac, DbacPiggyback};
     pub use adn_faults::{ByzantineStrategy, CrashSchedule, CrashSurvivors};
-    pub use adn_graph::{checker, EdgeSet, NodeSet, Schedule};
+    pub use adn_graph::{checker, EdgeSet, NodeSet, Schedule, WindowUnion};
     pub use adn_net::PortNumbering;
     pub use adn_sim::{
         factories, workload, Outcome, SimBuilder, Simulation, StopReason, TrialPool,

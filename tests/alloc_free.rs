@@ -1,9 +1,12 @@
 //! Proves the allocation-free steady state of the batched message plane
-//! with a counting global allocator: after warmup, `Simulation::step`
+//! with a counting global allocator: after warmup, `Simulation::step` —
+//! including the classification-hoisted word-parallel delivery loop —
 //! performs **zero** heap allocations per round for DAC and DBAC runs in
 //! lean observability mode (no schedule recording, no phase multisets —
 //! both are history *recording*, inherently growing, and both default to
-//! on for analysis runs).
+//! on for analysis runs). The same counter pins the sliding-window
+//! dynaDegree checker: once its `WindowUnion` scratch exists, a full
+//! sweep across a recording allocates nothing.
 //!
 //! This file contains exactly one `#[test]` so no concurrent test can
 //! pollute the allocation counter.
@@ -11,7 +14,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use anondyn::graph::{checker, generators};
 use anondyn::prelude::*;
+use anondyn::types::rng::SplitMix64;
 
 struct CountingAllocator;
 
@@ -65,6 +70,7 @@ fn lean_dbac(n: usize) -> Simulation {
 
 #[test]
 fn steady_state_step_performs_zero_allocations() {
+    // --- The round engine's delivery loop. ---
     for (name, mut sim) in [("dac", lean_dac(32)), ("dbac", lean_dbac(32))] {
         // Warmup: grow every buffer to its steady-state capacity. 70
         // rounds also pushes the internal round-trace vector past a
@@ -92,4 +98,41 @@ fn steady_state_step_performs_zero_allocations() {
         );
         assert!(sim.stopped().is_none(), "{name}: must still be running");
     }
+
+    // --- The sliding-window dynaDegree checker. Setup (the recording,
+    // the WindowUnion scratch, the honest set) allocates; the sweep
+    // itself — push/pop word walks plus per-window degree reads — must
+    // not, no matter the window length. ---
+    let n = 48;
+    let mut rng = SplitMix64::new(7);
+    let mut schedule = Schedule::new(n);
+    for _ in 0..120 {
+        schedule.push(generators::gnp(n, 0.3, &mut rng));
+    }
+    let honest = checker::honest_set(n, &[NodeId::new(5)]);
+    let mut scratch = WindowUnion::new(n);
+    // Warmup grows the suffix scratch to the widest window measured below
+    // (and exercises the counter fallback once); after that, sweeps of any
+    // narrower window reuse it allocation-free.
+    let warm = checker::max_dyna_degree_into(&mut scratch, &schedule, 32, &honest);
+    checker::max_dyna_degree_into(&mut scratch, &schedule, 100, &honest);
+    let before = allocations();
+    // Covers both scan paths: block decomposition (T ≤ 64) and the
+    // counter-slide fallback (T = 100).
+    for t_window in [1usize, 8, 32, 100] {
+        let got = checker::max_dyna_degree_into(&mut scratch, &schedule, t_window, &honest);
+        assert!(got.is_some(), "T={t_window}: a full window must fit");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "sliding checker allocated ({} allocations over 4 sweeps)",
+        after - before
+    );
+    assert_eq!(
+        checker::max_dyna_degree_into(&mut scratch, &schedule, 32, &honest),
+        warm,
+        "checker must be deterministic across scratch reuse"
+    );
 }
