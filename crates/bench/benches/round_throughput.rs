@@ -2,14 +2,18 @@
 //! of the substrate (broadcast + adversary + delivery + state
 //! transitions) for each algorithm.
 //!
-//! Two configurations per algorithm/size:
+//! Configurations per algorithm/size:
 //!
 //! * the **default** cases keep schedule recording and phase observation
 //!   on — the cost a user of `Outcome`-based analysis actually pays (and
 //!   the configuration of the pre-refactor baseline in
-//!   `BENCH_round_throughput.json`, which predates the lean knobs);
+//!   `BENCH_round_throughput.json`, which predates the lean knobs). DAC
+//!   and DBAC run on the columnar algorithm plane here (the default);
 //! * the **`_lean`** cases disable both recordings, isolating the
-//!   allocation-free message plane that `tests/alloc_free.rs` pins.
+//!   allocation-free message plane that `tests/alloc_free.rs` pins;
+//! * the **`_trait`** cases force `PlaneMode::Never`, measuring the
+//!   per-node boxed-state-machine path the plane replaced — the live
+//!   plane-vs-trait comparison.
 //!
 //! Termination is disabled (`pend = u64::MAX`) so every measured round is
 //! steady state. Each timed call steps one simulation `BATCH` rounds; the
@@ -20,23 +24,52 @@
 
 use adn_adversary::AdversarySpec;
 use adn_bench::harness::Runner;
-use adn_sim::{factories, Simulation};
+use adn_sim::{factories, PlaneMode, Simulation};
 use adn_types::Params;
 
 /// Rounds stepped per timed call.
 const BATCH: u64 = 64;
 
+/// The three measured engine configurations (see the module docs).
+#[derive(Clone, Copy, PartialEq)]
+enum Case {
+    Default,
+    Lean,
+    TraitPath,
+}
+
+impl Case {
+    fn suffix(self) -> &'static str {
+        match self {
+            Case::Default => "",
+            Case::Lean => "_lean",
+            Case::TraitPath => "_trait",
+        }
+    }
+
+    fn plane(self) -> PlaneMode {
+        match self {
+            Case::TraitPath => PlaneMode::Never,
+            _ => PlaneMode::Always,
+        }
+    }
+
+    fn record(self) -> bool {
+        self != Case::Lean
+    }
+}
+
 fn main() {
     let mut r = Runner::new("round_step");
-    for &n in &[8usize, 16, 32, 64, 128, 256, 512, 1024] {
+    for &n in &[8usize, 16, 32, 64, 128, 256, 512, 1024, 2048] {
         let params = Params::fault_free(n, 1e-6).unwrap();
-        for lean in [false, true] {
-            // Lean variants only at the sizes tracked in
+        for case in [Case::Default, Case::Lean, Case::TraitPath] {
+            // Lean and trait variants only at the sizes tracked in
             // BENCH_round_throughput.json.
-            if lean && !matches!(n, 16 | 64 | 256 | 512 | 1024) {
+            if case != Case::Default && !matches!(n, 16 | 64 | 256 | 512 | 1024 | 2048) {
                 continue;
             }
-            let suffix = if lean { "_lean" } else { "" };
+            let suffix = case.suffix();
             r.bench_batched(
                 &format!("dac_complete{suffix}/{n}"),
                 BATCH,
@@ -44,8 +77,9 @@ fn main() {
                     Simulation::builder(params)
                         .inputs_random(1)
                         .algorithm(factories::dac_with_pend(params, u64::MAX))
-                        .record_schedule(!lean)
-                        .observe_phases(!lean)
+                        .algorithm_plane(case.plane())
+                        .record_schedule(case.record())
+                        .observe_phases(case.record())
                         .max_rounds(u64::MAX)
                         .build()
                 },
@@ -63,8 +97,9 @@ fn main() {
                         .inputs_random(1)
                         .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
                         .algorithm(factories::dbac_with_pend(params, u64::MAX))
-                        .record_schedule(!lean)
-                        .observe_phases(!lean)
+                        .algorithm_plane(case.plane())
+                        .record_schedule(case.record())
+                        .observe_phases(case.record())
                         .max_rounds(u64::MAX)
                         .build()
                 },

@@ -26,7 +26,10 @@ pub fn run() -> String {
         "links delivered",
         "wall ms",
     ]);
-    let sizes = [16usize, 32, 64, 128, 256];
+    // 512 and 1024 joined the sweep once the columnar algorithm plane
+    // made them affordable (the sender-major delivery plane steps a
+    // complete-graph n = 1024 round in single-digit milliseconds).
+    let sizes = [16usize, 32, 64, 128, 256, 512, 1024];
     // One worker on purpose: this experiment *times* each run, and
     // concurrent trials would contend for cores and inflate the wall-ms
     // column. The TrialPool contract (input-ordered results) still holds.
@@ -92,8 +95,9 @@ pub fn run() -> String {
     writeln!(
         out,
         "check: DAC's rounds equal pend = 10 at every n (Eq. 2 is\n\
-         n-independent); deliveries grow ~n^2 per round; the simulator\n\
-         handles n = 256 systems in well under a second per run."
+         n-independent); deliveries grow ~n^2 per round; the columnar\n\
+         algorithm plane carries n = 1024 systems in a handful of\n\
+         milliseconds per round."
     )
     .unwrap();
     out
@@ -102,8 +106,8 @@ pub fn run() -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn scales_to_256_nodes() {
+    fn scales_to_1024_nodes() {
         let r = super::run();
-        assert!(r.contains("256"));
+        assert!(r.contains("1024"));
     }
 }

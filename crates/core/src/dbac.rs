@@ -178,14 +178,19 @@ impl Dbac {
     }
 }
 
-fn max_index(vs: &[Value]) -> Option<usize> {
+/// Index of the maximum (the *last* one among ties — `max_by_key`'s
+/// contract, which [`crate::plane::DbacPlane`] must reproduce exactly for
+/// trait/plane equivalence).
+pub(crate) fn max_index(vs: &[Value]) -> Option<usize> {
     vs.iter()
         .enumerate()
         .max_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
 }
 
-fn min_index(vs: &[Value]) -> Option<usize> {
+/// Index of the minimum (the *first* one among ties — `min_by_key`'s
+/// contract; see [`max_index`]).
+pub(crate) fn min_index(vs: &[Value]) -> Option<usize> {
     vs.iter()
         .enumerate()
         .min_by_key(|&(_, v)| *v)

@@ -65,11 +65,13 @@ mod dac;
 mod dbac;
 mod full_exchange;
 mod piggyback;
+pub mod plane;
 
 pub use dac::Dac;
 pub use dbac::Dbac;
 pub use full_exchange::FullExchange;
 pub use piggyback::DbacPiggyback;
+pub use plane::{AlgorithmPlane, DacPlane, DbacPlane};
 
 use std::fmt;
 
@@ -122,9 +124,73 @@ pub trait Algorithm: fmt::Debug {
     fn name(&self) -> &'static str;
 }
 
-/// Boxed constructor type used by the simulator and experiment runners to
-/// instantiate one node: maps `(node_index, input)` to a state machine.
-pub type AlgorithmFactory = Box<dyn Fn(usize, Value) -> Box<dyn Algorithm>>;
+/// Constructor closure for the per-node path: `(node_index, input)` to a
+/// boxed state machine.
+type NodeCtor = Box<dyn Fn(usize, Value) -> Box<dyn Algorithm>>;
+/// Constructor closure for the columnar path: the full input vector to
+/// one plane holding every slot.
+type PlaneCtor = Box<dyn Fn(&[Value]) -> Box<dyn AlgorithmPlane>>;
+
+/// Constructor bundle used by the simulator and experiment runners to
+/// instantiate an algorithm: a per-node builder mapping `(node_index,
+/// input)` to a boxed state machine, plus — for plane-capable algorithms
+/// (DAC, DBAC) — a whole-system builder for the columnar
+/// [`AlgorithmPlane`] the engine's sender-major fast path drives.
+///
+/// The per-node path is always available and is the semantic reference;
+/// the plane, when present, must be observationally identical to it (the
+/// engine auto-selects between them, see `SimBuilder::algorithm_plane` in
+/// `adn-sim`).
+pub struct AlgorithmFactory {
+    make: NodeCtor,
+    plane: Option<PlaneCtor>,
+}
+
+impl AlgorithmFactory {
+    /// A factory with only the per-node path — every algorithm supports
+    /// this.
+    pub fn new(make: impl Fn(usize, Value) -> Box<dyn Algorithm> + 'static) -> Self {
+        AlgorithmFactory {
+            make: Box::new(make),
+            plane: None,
+        }
+    }
+
+    /// A factory that additionally offers a columnar plane. `plane` maps
+    /// the full input vector to one plane holding every slot; it must be
+    /// observationally identical to `n` state machines built by `make`.
+    pub fn with_plane(
+        make: impl Fn(usize, Value) -> Box<dyn Algorithm> + 'static,
+        plane: impl Fn(&[Value]) -> Box<dyn AlgorithmPlane> + 'static,
+    ) -> Self {
+        AlgorithmFactory {
+            make: Box::new(make),
+            plane: Some(Box::new(plane)),
+        }
+    }
+
+    /// Instantiates the state machine of one node.
+    pub fn make(&self, node_index: usize, input: Value) -> Box<dyn Algorithm> {
+        (self.make)(node_index, input)
+    }
+
+    /// Whether this factory can build a columnar plane.
+    pub fn has_plane(&self) -> bool {
+        self.plane.is_some()
+    }
+
+    /// Instantiates the columnar plane over the full input vector, or
+    /// `None` if this algorithm has no plane.
+    pub fn make_plane(&self, inputs: &[Value]) -> Option<Box<dyn AlgorithmPlane>> {
+        self.plane.as_ref().map(|p| p(inputs))
+    }
+}
+
+impl fmt::Debug for AlgorithmFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AlgorithmFactory(plane={})", self.has_plane())
+    }
+}
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -1,0 +1,787 @@
+//! The columnar algorithm plane: all fault-free nodes' state as flat
+//! arrays, driven sender-major.
+//!
+//! The [`Algorithm`](crate::Algorithm) trait models one node as one boxed
+//! state machine — the semantic reference, and the only interface exotic
+//! algorithms (piggybacking, baselines, strawmen) implement. But on the
+//! simulator's hot path it costs one virtual call *per delivered message*:
+//! at `n = 1024` that is ~1M dynamic dispatches per round, now the
+//! dominant round cost. DAC and DBAC don't need that generality:
+//!
+//! * their broadcast is always exactly one `(value, phase)` message — a
+//!   snapshot of two state columns;
+//! * anonymity means a sender's message is **identical at every
+//!   receiver** — classify the sender once, then apply the one message to
+//!   all its out-neighbors;
+//! * each receiver splits into exactly three cases per message — **jump**
+//!   (sender ahead: adopt wholesale), **same-phase** (one port bit + a
+//!   min/max or trim fold), **stale** (skip).
+//!
+//! [`AlgorithmPlane`] captures that shape: one object holds *every*
+//! node's state in struct-of-arrays layout ([`DacPlane`], [`DbacPlane`]),
+//! and the engine delivers one *sender's* broadcast to a whole receiver
+//! bitset per (non-virtual-per-message) call. The trait path remains the
+//! behavioral oracle: planes must be observationally **identical** to a
+//! per-node state machine run under ascending-sender delivery —
+//! `tests/plane_equivalence.rs` fuzzes that contract across adversaries,
+//! crash/Byzantine mixes, and ε.
+
+use std::fmt;
+
+use adn_graph::NodeSet;
+use adn_types::{Message, Params, Phase, Port, Value};
+
+use crate::dbac::{max_index, min_index};
+
+/// Columnar state of one algorithm across **all** `n` node slots.
+///
+/// The engine materializes a plane instead of `n` boxed
+/// [`Algorithm`](crate::Algorithm)s when the factory declares itself
+/// plane-capable. Slots of Byzantine nodes exist but are never driven
+/// (never delivered to, never advanced) — the engine masks them out.
+///
+/// # Contract
+///
+/// Implementations must be observationally identical to running one
+/// trait-object state machine per slot with deliveries applied in the
+/// same order. In particular:
+///
+/// * a slot's broadcast is always exactly its `(value, phase)` pair and
+///   mutates nothing — planes are only for such algorithms. The engine
+///   therefore never asks the plane for broadcasts: it reads its own
+///   start-of-round snapshot of the [`phases`](AlgorithmPlane::phases) /
+///   [`values`](AlgorithmPlane::values) columns, which stays correct
+///   while the live plane mutates as earlier senders of the round
+///   deliver;
+/// * [`AlgorithmPlane::receive`] mirrors `Algorithm::receive` message for
+///   message (the engine routes Byzantine fabrications and crash-round
+///   partial broadcasts through it link by link);
+/// * [`AlgorithmPlane::deliver_from_sender`] applies one single-message
+///   broadcast to every receiver in a set, ascending — the bulk fast
+///   path.
+pub trait AlgorithmPlane: fmt::Debug {
+    /// Number of node slots (the system size `n`).
+    fn n(&self) -> usize;
+
+    /// Per-slot phase column (Byzantine slots hold their initial state).
+    fn phases(&self) -> &[Phase];
+
+    /// Per-slot current-value column.
+    fn values(&self) -> &[Value];
+
+    /// Per-slot decided-output column (`None` until the slot's
+    /// termination rule fires).
+    fn outputs(&self) -> &[Option<Value>];
+
+    /// Delivers one sender's staged broadcast `msg` to every receiver in
+    /// `receivers`, in ascending receiver order. `ports[v]` is the local
+    /// port receiver `v` hears this sender on (the sender's transposed
+    /// port column). The sender itself is never in `receivers`
+    /// (self-delivery is internal, as for the trait path).
+    fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]);
+
+    /// Delivers an arbitrary batch to one receiver — the per-link path
+    /// for Byzantine fabrications and crash-round partial broadcasts.
+    /// Mirrors `Algorithm::receive` exactly.
+    fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]);
+
+    /// End-of-round hook for every slot in `executing`, ascending —
+    /// mirrors `Algorithm::end_round`.
+    fn end_round(&mut self, executing: &NodeSet);
+
+    /// Short algorithm name for reports (matches the trait
+    /// implementation's `name`).
+    fn name(&self) -> &'static str;
+}
+
+/// [`Dac`](crate::Dac) in struct-of-arrays layout: one plane holds every
+/// node's phase, value, tracked extrema, port bit row, and contribution
+/// count as flat columns. See [`AlgorithmPlane`] for the equivalence
+/// contract and [the module docs](self) for why.
+#[derive(Debug, Clone)]
+pub struct DacPlane {
+    pend: u64,
+    /// `dac_quorum() - 1`: foreign same-phase contributions needed to
+    /// advance, hoisted so the hot loop compares `seen_count` directly.
+    foreign_quorum: u32,
+    /// Words per `ports_seen` row (`n.div_ceil(64)`).
+    row_words: usize,
+    phase: Vec<Phase>,
+    value: Vec<Value>,
+    vmin: Vec<Value>,
+    vmax: Vec<Value>,
+    /// `R_i` rows, one bitset row of `row_words` words per slot.
+    ports_seen: Vec<u64>,
+    /// Foreign same-phase contributions per slot (`|R_i| - 1`).
+    seen_count: Vec<u32>,
+    /// Decided outputs. **Not** consulted on the hot path: `output[v]` is
+    /// `Some` iff `phase[v] >= pend` (every phase change runs the
+    /// `try_advance` tail, which maintains the invariant), so deliveries
+    /// test the phase they already loaded.
+    output: Vec<Option<Value>>,
+}
+
+impl DacPlane {
+    /// Creates the plane with one slot per input, terminating at the
+    /// paper's `pend = ⌈log₂(1/ε)⌉`.
+    pub fn new(params: Params, inputs: &[Value]) -> Self {
+        DacPlane::with_pend(params, inputs, params.dac_pend())
+    }
+
+    /// Creates the plane with an explicit termination phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != params.n()`.
+    pub fn with_pend(params: Params, inputs: &[Value], pend: u64) -> Self {
+        let n = params.n();
+        assert_eq!(inputs.len(), n, "one input per slot");
+        let row_words = n.div_ceil(64);
+        let mut plane = DacPlane {
+            pend,
+            foreign_quorum: (params.dac_quorum() - 1) as u32,
+            row_words,
+            phase: vec![Phase::ZERO; n],
+            value: inputs.to_vec(),
+            vmin: inputs.to_vec(),
+            vmax: inputs.to_vec(),
+            ports_seen: vec![0; n * row_words],
+            seen_count: vec![0; n],
+            output: vec![None; n],
+        };
+        let mut cols = plane.cols();
+        for v in 0..n {
+            cols.maybe_output(v);
+        }
+        plane
+    }
+
+    /// The termination phase in effect.
+    pub fn pend(&self) -> u64 {
+        self.pend
+    }
+
+    /// Borrows every column as a disjoint `&mut` slice. The engine's bulk
+    /// calls split once and run the whole receiver walk on the views:
+    /// `&mut` slices are provably non-aliasing, so the optimizer keeps
+    /// loop-invariant pointers and the receiver's hot fields in registers
+    /// instead of re-loading them after every store (one `Vec` store
+    /// could otherwise alias every other column).
+    #[inline]
+    fn cols(&mut self) -> DacCols<'_> {
+        DacCols {
+            pend: self.pend,
+            foreign_quorum: self.foreign_quorum,
+            row_words: self.row_words,
+            phase: &mut self.phase,
+            value: &mut self.value,
+            vmin: &mut self.vmin,
+            vmax: &mut self.vmax,
+            ports_seen: &mut self.ports_seen,
+            seen_count: &mut self.seen_count,
+            output: &mut self.output,
+        }
+    }
+}
+
+/// The disjoint column views of one [`DacPlane`] (see [`DacPlane::cols`]).
+struct DacCols<'a> {
+    pend: u64,
+    foreign_quorum: u32,
+    row_words: usize,
+    phase: &'a mut [Phase],
+    value: &'a mut [Value],
+    vmin: &'a mut [Value],
+    vmax: &'a mut [Value],
+    ports_seen: &'a mut [u64],
+    seen_count: &'a mut [u32],
+    output: &'a mut [Option<Value>],
+}
+
+impl DacCols<'_> {
+    /// Alg. 1 `RESET()` for slot `v`: clear its port row and collapse the
+    /// extrema onto the current value.
+    #[inline]
+    fn reset(&mut self, v: usize) {
+        let row = v * self.row_words;
+        self.ports_seen[row..row + self.row_words].fill(0);
+        self.seen_count[v] = 0;
+        self.vmin[v] = self.value[v];
+        self.vmax[v] = self.value[v];
+    }
+
+    #[inline]
+    fn maybe_output(&mut self, v: usize) {
+        if self.phase[v].as_u64() >= self.pend && self.output[v].is_none() {
+            self.output[v] = Some(self.value[v]);
+        }
+    }
+
+    /// One received message at slot `v` — the columnar mirror of
+    /// `Dac::process` (Alg. 1 lines 5–15), with two flow changes that are
+    /// behaviorally invisible: "decided" is read off the phase column
+    /// (`phase >= pend ⇔ output set` — the `output` invariant), and
+    /// `try_advance` is skipped when the message changed nothing (a
+    /// drained quorum condition cannot become true without new state).
+    #[inline(always)]
+    fn process(&mut self, v: usize, port: Port, msg: Message) {
+        let p = self.phase[v];
+        if p.as_u64() >= self.pend {
+            // Decided: keeps broadcasting, no longer updates.
+            return;
+        }
+        let q = msg.phase();
+        if q > p {
+            // Jump: adopt the future state wholesale.
+            self.value[v] = msg.value();
+            self.phase[v] = q;
+            self.reset(v);
+        } else if q == p {
+            let (w, b) = (port.index() / 64, port.index() % 64);
+            let slot = &mut self.ports_seen[v * self.row_words + w];
+            if *slot & (1 << b) != 0 {
+                return; // duplicate port: nothing changed
+            }
+            *slot |= 1 << b;
+            let seen = self.seen_count[v] + 1;
+            self.seen_count[v] = seen;
+            let mv = msg.value();
+            if mv < self.vmin[v] {
+                self.vmin[v] = mv;
+            } else if mv > self.vmax[v] {
+                self.vmax[v] = mv;
+            }
+            // Below quorum nothing can advance and the phase is still
+            // short of pend — skip the call, keeping the per-message path
+            // free of the out-of-line advance machinery.
+            if seen < self.foreign_quorum {
+                return;
+            }
+        } else {
+            return; // stale: nothing changed
+        }
+        self.try_advance(v);
+    }
+
+    #[inline]
+    fn try_advance(&mut self, v: usize) {
+        while self.seen_count[v] >= self.foreign_quorum && self.phase[v].as_u64() < self.pend {
+            self.value[v] = self.vmin[v].midpoint(self.vmax[v]);
+            self.phase[v] = self.phase[v].next();
+            self.reset(v);
+        }
+        self.maybe_output(v);
+    }
+}
+
+impl AlgorithmPlane for DacPlane {
+    fn n(&self) -> usize {
+        self.phase.len()
+    }
+
+    fn phases(&self) -> &[Phase] {
+        &self.phase
+    }
+
+    fn values(&self) -> &[Value] {
+        &self.value
+    }
+
+    fn outputs(&self) -> &[Option<Value>] {
+        &self.output
+    }
+
+    fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]) {
+        let mut cols = self.cols();
+        for (wi, mut word) in receivers.iter_words() {
+            let base = wi * 64;
+            while word != 0 {
+                let v = base + word.trailing_zeros() as usize;
+                word &= word - 1;
+                cols.process(v, ports[v], msg);
+            }
+        }
+    }
+
+    fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]) {
+        let mut cols = self.cols();
+        for &msg in batch {
+            cols.process(receiver, port, msg);
+        }
+    }
+
+    fn end_round(&mut self, executing: &NodeSet) {
+        let mut cols = self.cols();
+        executing.for_each(|id| cols.try_advance(id.index()));
+    }
+
+    fn name(&self) -> &'static str {
+        "dac"
+    }
+}
+
+/// [`Dbac`](crate::Dbac) in struct-of-arrays layout: phase, value, port
+/// bit rows, and the `R_low`/`R_high` trim lists as flat `f + 1`-wide
+/// slabs. See [`AlgorithmPlane`] for the equivalence contract.
+#[derive(Debug, Clone)]
+pub struct DbacPlane {
+    pend: u64,
+    /// `dbac_quorum() - 1`, hoisted like [`DacPlane::foreign_quorum`].
+    foreign_quorum: u32,
+    row_words: usize,
+    /// Trim-list capacity per slot (`f + 1`).
+    cap: usize,
+    phase: Vec<Phase>,
+    value: Vec<Value>,
+    ports_seen: Vec<u64>,
+    seen_count: Vec<u32>,
+    /// `R_low` slab: slot `v` owns `low[v*cap..v*cap + low_len[v]]`.
+    low: Vec<Value>,
+    low_len: Vec<u32>,
+    /// `R_high` slab, same layout.
+    high: Vec<Value>,
+    high_len: Vec<u32>,
+    /// Shared scratch for sorting piggybacked (Byzantine) batches —
+    /// one suffices because batches are consumed delivery by delivery.
+    sort_scratch: Vec<Message>,
+    output: Vec<Option<Value>>,
+}
+
+impl DbacPlane {
+    /// Creates the plane with one slot per input, terminating at the
+    /// paper's Eq. (6) `pend`.
+    pub fn new(params: Params, inputs: &[Value]) -> Self {
+        DbacPlane::with_pend(params, inputs, params.dbac_pend())
+    }
+
+    /// Creates the plane with an explicit termination phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != params.n()`.
+    pub fn with_pend(params: Params, inputs: &[Value], pend: u64) -> Self {
+        let n = params.n();
+        assert_eq!(inputs.len(), n, "one input per slot");
+        let row_words = n.div_ceil(64);
+        let cap = params.dbac_list_len();
+        let mut plane = DbacPlane {
+            pend,
+            foreign_quorum: (params.dbac_quorum() - 1) as u32,
+            row_words,
+            cap,
+            phase: vec![Phase::ZERO; n],
+            value: inputs.to_vec(),
+            ports_seen: vec![0; n * row_words],
+            seen_count: vec![0; n],
+            low: vec![Value::HALF; n * cap],
+            low_len: vec![0; n],
+            high: vec![Value::HALF; n * cap],
+            high_len: vec![0; n],
+            sort_scratch: Vec::new(),
+            output: vec![None; n],
+        };
+        let mut cols = plane.cols();
+        for v in 0..n {
+            cols.reset(v);
+            cols.maybe_output(v);
+        }
+        plane
+    }
+
+    /// The termination phase in effect.
+    pub fn pend(&self) -> u64 {
+        self.pend
+    }
+
+    /// Disjoint column views — same rationale as [`DacPlane::cols`].
+    #[inline]
+    fn cols(&mut self) -> DbacCols<'_> {
+        DbacCols {
+            pend: self.pend,
+            foreign_quorum: self.foreign_quorum,
+            row_words: self.row_words,
+            cap: self.cap,
+            phase: &mut self.phase,
+            value: &mut self.value,
+            ports_seen: &mut self.ports_seen,
+            seen_count: &mut self.seen_count,
+            low: &mut self.low,
+            low_len: &mut self.low_len,
+            high: &mut self.high,
+            high_len: &mut self.high_len,
+            output: &mut self.output,
+        }
+    }
+}
+
+/// The disjoint column views of one [`DbacPlane`] (see
+/// [`DbacPlane::cols`]).
+struct DbacCols<'a> {
+    pend: u64,
+    foreign_quorum: u32,
+    row_words: usize,
+    cap: usize,
+    phase: &'a mut [Phase],
+    value: &'a mut [Value],
+    ports_seen: &'a mut [u64],
+    seen_count: &'a mut [u32],
+    low: &'a mut [Value],
+    low_len: &'a mut [u32],
+    high: &'a mut [Value],
+    high_len: &'a mut [u32],
+    output: &'a mut [Option<Value>],
+}
+
+impl DbacCols<'_> {
+    /// Alg. 2 `RESET()` + self-store for slot `v` (mirrors
+    /// `Dbac::reset`).
+    #[inline]
+    fn reset(&mut self, v: usize) {
+        let row = v * self.row_words;
+        self.ports_seen[row..row + self.row_words].fill(0);
+        self.seen_count[v] = 0;
+        if self.cap == 1 {
+            // Both degenerate lists hold exactly the own value — the
+            // state `store`'s fast path relies on.
+            self.low[v] = self.value[v];
+            self.high[v] = self.value[v];
+            self.low_len[v] = 1;
+            self.high_len[v] = 1;
+        } else {
+            self.low_len[v] = 0;
+            self.high_len[v] = 0;
+            self.store(v, self.value[v]);
+        }
+    }
+
+    /// Alg. 2 `STORE(v_j)` for slot `v` — byte-for-byte the trait
+    /// version's push-or-replace logic, including `max_index` /
+    /// `min_index` tie-breaking.
+    #[inline]
+    fn store(&mut self, v: usize, val: Value) {
+        if self.cap == 1 {
+            // f = 0: the trim lists degenerate to a running min and max.
+            // After every reset both hold exactly the own value (length
+            // 1), so the general push-or-replace below reduces to this.
+            if val < self.low[v] {
+                self.low[v] = val;
+            }
+            if val > self.high[v] {
+                self.high[v] = val;
+            }
+            return;
+        }
+        let base = v * self.cap;
+        let llen = self.low_len[v] as usize;
+        if llen < self.cap {
+            self.low[base + llen] = val;
+            self.low_len[v] += 1;
+        } else if let Some(max_idx) = max_index(&self.low[base..base + llen]) {
+            if val < self.low[base + max_idx] {
+                self.low[base + max_idx] = val;
+            }
+        }
+        let hlen = self.high_len[v] as usize;
+        if hlen < self.cap {
+            self.high[base + hlen] = val;
+            self.high_len[v] += 1;
+        } else if let Some(min_idx) = min_index(&self.high[base..base + hlen]) {
+            if val > self.high[base + min_idx] {
+                self.high[base + min_idx] = val;
+            }
+        }
+    }
+
+    #[inline]
+    fn maybe_output(&mut self, v: usize) {
+        if self.phase[v].as_u64() >= self.pend && self.output[v].is_none() {
+            self.output[v] = Some(self.value[v]);
+        }
+    }
+
+    /// One received message at slot `v` — the columnar mirror of
+    /// `Dbac::process` (Alg. 2 lines 5–11), with the same
+    /// behavior-preserving flow changes as [`DacCols::process`]:
+    /// decided-by-phase and no `try_advance` after a no-op message.
+    #[inline(always)]
+    fn process(&mut self, v: usize, port: Port, msg: Message) {
+        let p = self.phase[v];
+        if p.as_u64() >= self.pend {
+            return;
+        }
+        if msg.phase() >= p {
+            let (w, b) = (port.index() / 64, port.index() % 64);
+            let slot = &mut self.ports_seen[v * self.row_words + w];
+            if *slot & (1 << b) == 0 {
+                *slot |= 1 << b;
+                let seen = self.seen_count[v] + 1;
+                self.seen_count[v] = seen;
+                if self.cap == 1 {
+                    // The degenerate f = 0 trim, kept inline — `store`'s
+                    // general path would drag its push-or-replace code
+                    // (and a function call) into every counted message.
+                    let val = msg.value();
+                    if val < self.low[v] {
+                        self.low[v] = val;
+                    }
+                    if val > self.high[v] {
+                        self.high[v] = val;
+                    }
+                } else {
+                    self.store(v, msg.value());
+                }
+                // Below quorum nothing can advance (same early-out as
+                // `DacCols::process`).
+                if seen >= self.foreign_quorum {
+                    self.try_advance(v);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn try_advance(&mut self, v: usize) {
+        while self.seen_count[v] >= self.foreign_quorum && self.phase[v].as_u64() < self.pend {
+            let (lo, hi) = if self.cap == 1 {
+                (self.low[v], self.high[v])
+            } else {
+                let base = v * self.cap;
+                (
+                    *self.low[base..base + self.low_len[v] as usize]
+                        .iter()
+                        .max()
+                        .expect("low list is never empty"),
+                    *self.high[base..base + self.high_len[v] as usize]
+                        .iter()
+                        .min()
+                        .expect("high list is never empty"),
+                )
+            };
+            self.value[v] = lo.midpoint(hi);
+            self.phase[v] = self.phase[v].next();
+            self.reset(v);
+        }
+        self.maybe_output(v);
+    }
+}
+
+impl AlgorithmPlane for DbacPlane {
+    fn n(&self) -> usize {
+        self.phase.len()
+    }
+
+    fn phases(&self) -> &[Phase] {
+        &self.phase
+    }
+
+    fn values(&self) -> &[Value] {
+        &self.value
+    }
+
+    fn outputs(&self) -> &[Option<Value>] {
+        &self.output
+    }
+
+    fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]) {
+        let mut cols = self.cols();
+        for (wi, mut word) in receivers.iter_words() {
+            let base = wi * 64;
+            while word != 0 {
+                let v = base + word.trailing_zeros() as usize;
+                word &= word - 1;
+                cols.process(v, ports[v], msg);
+            }
+        }
+    }
+
+    fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]) {
+        if batch.len() == 1 {
+            self.cols().process(receiver, port, batch[0]);
+        } else {
+            // Multi-message (Byzantine) batches are processed in ascending
+            // phase order — the same resolution as `Dbac::receive`, with
+            // one plane-wide scratch instead of one per node.
+            let mut sorted = std::mem::take(&mut self.sort_scratch);
+            sorted.clear();
+            sorted.extend_from_slice(batch);
+            sorted.sort();
+            let mut cols = self.cols();
+            for &msg in &sorted {
+                cols.process(receiver, port, msg);
+            }
+            self.sort_scratch = sorted;
+        }
+    }
+
+    fn end_round(&mut self, executing: &NodeSet) {
+        let mut cols = self.cols();
+        executing.for_each(|id| cols.try_advance(id.index()));
+    }
+
+    fn name(&self) -> &'static str {
+        "dbac"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, Dac, Dbac};
+    use adn_types::NodeId;
+
+    fn val(v: f64) -> Value {
+        Value::new(v).unwrap()
+    }
+
+    fn msg(v: f64, p: u64) -> Message {
+        Message::new(val(v), Phase::new(p))
+    }
+
+    /// Drives slot 0 of a DAC plane and a standalone `Dac` through the
+    /// same delivery script and asserts identical observable state.
+    fn assert_dac_lockstep(params: Params, pend: u64, input: f64, script: &[(usize, Message)]) {
+        let n = params.n();
+        let mut inputs = vec![Value::HALF; n];
+        inputs[0] = val(input);
+        let mut plane = DacPlane::with_pend(params, &inputs, pend);
+        let mut node = Dac::with_pend(params, val(input), pend);
+        for &(port, m) in script {
+            plane.receive(0, Port::new(port), &[m]);
+            node.receive(Port::new(port), &[m]);
+            assert_eq!(plane.phases()[0], node.phase(), "phase after {m}");
+            assert_eq!(plane.values()[0], node.current_value(), "value after {m}");
+            assert_eq!(plane.outputs()[0], node.output(), "output after {m}");
+        }
+    }
+
+    #[test]
+    fn dac_plane_mirrors_dac_on_quorum_script() {
+        let params = Params::new(5, 1, 0.25).unwrap();
+        assert_dac_lockstep(
+            params,
+            2,
+            0.0,
+            &[
+                (1, msg(1.0, 0)),
+                (2, msg(0.5, 0)), // quorum: advance with midpoint
+                (1, msg(0.2, 1)),
+                (3, msg(0.8, 1)), // advance again -> pend -> output
+                (2, msg(0.1, 5)), // decided: frozen
+            ],
+        );
+    }
+
+    #[test]
+    fn dac_plane_same_round_jump_then_same_phase() {
+        // The sender-major walk may jump a receiver mid-round and then
+        // feed it same-phase values from *later* senders of the same
+        // round: the jump must reset the port row so those count anew.
+        let params = Params::new(5, 1, 0.25).unwrap();
+        assert_dac_lockstep(
+            params,
+            4,
+            0.0,
+            &[
+                (1, msg(0.9, 0)), // same-phase contribution, port 1
+                (2, msg(0.7, 2)), // jump to phase 2 (resets port row)
+                (1, msg(0.3, 2)), // port 1 contributes AGAIN post-jump
+                (3, msg(0.5, 2)), // completes the phase-2 quorum
+                (4, msg(0.4, 2)), // stale (receiver is at phase 3 now)
+            ],
+        );
+        // And the concrete post-state: quorum of {0.7 (own), 0.3, 0.5}
+        // -> midpoint(0.3, 0.7) = 0.5 at phase 3.
+        let inputs = [val(0.0), Value::HALF, Value::HALF, Value::HALF, Value::HALF];
+        let mut plane = DacPlane::with_pend(params, &inputs, 4);
+        for (port, m) in [
+            (1, msg(0.9, 0)),
+            (2, msg(0.7, 2)),
+            (1, msg(0.3, 2)),
+            (3, msg(0.5, 2)),
+        ] {
+            plane.receive(0, Port::new(port), &[m]);
+        }
+        assert_eq!(plane.phases()[0], Phase::new(3));
+        assert_eq!(plane.values()[0], Value::HALF);
+    }
+
+    #[test]
+    fn dbac_plane_mirrors_dbac_including_trim_ties() {
+        let params = Params::new(6, 1, 0.1).unwrap();
+        let n = params.n();
+        let mut inputs = vec![Value::HALF; n];
+        inputs[0] = val(0.5);
+        let mut plane = DbacPlane::with_pend(params, &inputs, 3);
+        let mut node = Dbac::with_pend(params, val(0.5), 3);
+        // Ties (repeated 0.2) exercise the max_index/min_index
+        // tie-breaking that the plane must replicate exactly.
+        let script = [
+            (1, msg(0.2, 0)),
+            (2, msg(0.2, 0)),
+            (3, msg(0.2, 3)), // future phase accepted, no jump
+            (4, msg(0.9, 0)), // quorum of 5 -> advance
+            (1, msg(0.4, 1)),
+        ];
+        for (port, m) in script {
+            plane.receive(0, Port::new(port), &[m]);
+            node.receive(Port::new(port), &[m]);
+            assert_eq!(plane.phases()[0], node.phase(), "phase after {m}");
+            assert_eq!(plane.values()[0], node.current_value(), "value after {m}");
+            assert_eq!(plane.outputs()[0], node.output(), "output after {m}");
+        }
+    }
+
+    #[test]
+    fn dbac_plane_sorts_multi_message_batches() {
+        let params = Params::new(6, 1, 0.1).unwrap();
+        let inputs = vec![Value::HALF; 6];
+        let mut plane = DbacPlane::with_pend(params, &inputs, 10);
+        let mut node = Dbac::with_pend(params, Value::HALF, 10);
+        let batch = [msg(0.9, 2), msg(0.1, 0)];
+        plane.receive(0, Port::new(1), &batch);
+        node.receive(Port::new(1), &batch);
+        assert_eq!(plane.values()[0], node.current_value());
+        assert_eq!(plane.phases()[0], node.phase());
+    }
+
+    #[test]
+    fn plane_bulk_delivery_visits_receivers_ascending() {
+        let params = Params::fault_free(5, 0.25).unwrap();
+        let inputs: Vec<Value> = (0..5).map(|i| val(i as f64 / 10.0)).collect();
+        let mut plane = DacPlane::new(params, &inputs);
+        let receivers = NodeSet::from_ids(5, [NodeId::new(1), NodeId::new(3)]);
+        let ports: Vec<Port> = (0..5).map(Port::new).collect();
+        plane.deliver_from_sender(msg(0.9, 0), &receivers, &ports);
+        // Only the addressed slots saw the message.
+        assert_eq!(plane.values()[0], val(0.0));
+        assert_eq!(plane.phases()[2], Phase::ZERO);
+        // n = 5 quorum is 3: one foreign value is not enough to advance.
+        for v in [1usize, 3] {
+            assert_eq!(plane.seen_count[v], 1, "slot {v}");
+            assert_eq!(plane.vmax[v], val(0.9), "slot {v}");
+        }
+    }
+
+    #[test]
+    fn columns_snapshot_initial_state() {
+        let params = Params::fault_free(3, 0.25).unwrap();
+        let inputs = [val(0.1), val(0.2), val(0.3)];
+        let plane = DacPlane::new(params, &inputs);
+        assert_eq!(plane.values(), &inputs);
+        assert!(plane.phases().iter().all(|&p| p == Phase::ZERO));
+        assert_eq!(plane.n(), 3);
+        assert_eq!(plane.name(), "dac");
+    }
+
+    #[test]
+    fn pend_zero_outputs_immediately() {
+        let params = Params::fault_free(3, 1.0).unwrap(); // pend = 0
+        let inputs = [val(0.1), val(0.2), val(0.3)];
+        let plane = DacPlane::new(params, &inputs);
+        assert!(plane.outputs().iter().all(Option::is_some));
+        let dbac_params = Params::new(6, 1, 0.1).unwrap();
+        let plane = DbacPlane::with_pend(dbac_params, &[Value::HALF; 6], 0);
+        assert!(plane.outputs().iter().all(Option::is_some));
+        assert_eq!(plane.pend(), 0);
+    }
+}

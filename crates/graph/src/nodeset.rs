@@ -149,6 +149,22 @@ impl NodeSet {
         }
     }
 
+    /// Overwrites this set with `a ∩ b` in one word-parallel pass —
+    /// the per-sender "chosen ∩ honest out-neighbors" primitive of the
+    /// columnar delivery plane (a `clear` + [`NodeSet::union_masked`]
+    /// would walk the words twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection_of(&mut self, a: &NodeSet, b: &NodeSet) {
+        assert_eq!(self.n, a.n, "universe mismatch: {} vs {}", self.n, a.n);
+        assert_eq!(self.n, b.n, "universe mismatch: {} vs {}", self.n, b.n);
+        for ((w, wa), wb) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *w = wa & wb;
+        }
+    }
+
     /// In-place union with `a ∩ b`, without materializing the
     /// intersection: `self |= a & b`, one word at a time.
     ///
@@ -247,6 +263,14 @@ impl NodeSet {
     #[inline]
     pub fn word(&self, wi: usize) -> u64 {
         self.words[wi]
+    }
+
+    /// Mutable access to the backing words for bulk writers inside the
+    /// crate (the bit-matrix transpose). Callers must keep bits at or
+    /// beyond `n` zero — every public invariant relies on it.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Iterates over `(word_index, word)` pairs, skipping empty words.
@@ -458,6 +482,16 @@ mod tests {
     fn union_range_backwards_panics() {
         let src = NodeSet::new(10);
         NodeSet::new(10).union_range(&src, NodeId::new(5), NodeId::new(4));
+    }
+
+    #[test]
+    fn intersection_of_overwrites() {
+        let mut s = NodeSet::from_ids(100, ids(&[0, 50])); // stale contents
+        let a = NodeSet::from_ids(100, ids(&[1, 2, 70]));
+        let b = NodeSet::from_ids(100, ids(&[2, 70, 99]));
+        s.intersection_of(&a, &b);
+        let got: Vec<usize> = s.iter().map(|i| i.index()).collect();
+        assert_eq!(got, vec![2, 70], "stale members must be gone");
     }
 
     #[test]

@@ -111,6 +111,14 @@ pub struct RoundBuffers {
     /// with one word-parallel OR per receiver row instead of one insert
     /// per delivery.
     pub unconditional: NodeSet,
+    /// Sender-major transpose of `chosen` (row `u` = out-neighbors of
+    /// `u`), rebuilt by [`RoundBuffers::transpose_chosen`] each round the
+    /// columnar algorithm plane runs. Every word is overwritten by the
+    /// transpose, so `begin_round` does not clear it.
+    pub chosen_out: EdgeSet,
+    /// Per-sender receiver scratch of the plane path: `chosen ∩ honest`
+    /// out-neighbors of the sender currently delivering.
+    pub plane_receivers: NodeSet,
 }
 
 impl RoundBuffers {
@@ -132,7 +140,16 @@ impl RoundBuffers {
             classes: vec![SenderClass::Silent; n],
             active: NodeSet::new(n),
             unconditional: NodeSet::new(n),
+            chosen_out: EdgeSet::empty(n),
+            plane_receivers: NodeSet::new(n),
         }
+    }
+
+    /// Rebuilds the sender-major view of this round's chosen links:
+    /// `chosen_out` becomes the transpose of `chosen` (one blocked
+    /// bit-matrix transpose, no allocation).
+    pub fn transpose_chosen(&mut self) {
+        self.chosen.transpose_into(&mut self.chosen_out);
     }
 
     /// The system size this arena serves.

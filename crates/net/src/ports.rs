@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::OnceLock;
 
 use adn_types::rng::SplitMix64;
 use adn_types::{NodeId, Port};
@@ -27,7 +28,7 @@ use adn_types::{NodeId, Port};
 /// ports.dedup();
 /// assert_eq!(ports.len(), 4);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct PortNumbering {
     n: usize,
     /// Flat row-major table: `map[receiver * n + sender] = port`.
@@ -36,7 +37,25 @@ pub struct PortNumbering {
     /// plane's inner loop, where the former `Vec<Vec<usize>>` cost a
     /// second pointer chase per delivered message.
     map: Vec<Port>,
+    /// The transposed table, sender-major:
+    /// `transposed[sender * n + receiver] = port`. The columnar delivery
+    /// plane walks one *sender's* out-neighbors at a time, so it reads
+    /// this layout sequentially (`ports_to`) where the row-major table
+    /// would stride by `n` per receiver. Built lazily on the first
+    /// `ports_to` call: runs on the trait path never pay the extra
+    /// `n²`-word table.
+    transposed: OnceLock<Vec<Port>>,
 }
+
+/// The transposed table is a pure function of `map`, so identity (and
+/// hashing-adjacent uses) compare the receiver-major table only.
+impl PartialEq for PortNumbering {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.map == other.map
+    }
+}
+
+impl Eq for PortNumbering {}
 
 impl PortNumbering {
     /// The identity numbering: every receiver maps sender `j` to port `j`.
@@ -48,6 +67,7 @@ impl PortNumbering {
         PortNumbering {
             n,
             map: (0..n).flat_map(|_| (0..n).map(Port::new)).collect(),
+            transposed: OnceLock::new(),
         }
     }
 
@@ -59,7 +79,11 @@ impl PortNumbering {
         for _ in 0..n {
             map.extend(rng.permutation(n).into_iter().map(Port::new));
         }
-        PortNumbering { n, map }
+        PortNumbering {
+            n,
+            map,
+            transposed: OnceLock::new(),
+        }
     }
 
     /// Number of nodes (and of ports per receiver).
@@ -83,6 +107,30 @@ impl PortNumbering {
     /// of their inner loop.
     pub fn table(&self) -> &[Port] {
         &self.map
+    }
+
+    /// The port column of one sender: `ports_to(u)[v]` is the port on
+    /// which receiver `v` hears `u` — `port_of(v, u)` for every `v`, laid
+    /// out contiguously. The columnar delivery plane indexes this slice
+    /// while walking a sender's out-neighbor bitset, so consecutive
+    /// receivers hit consecutive memory. The whole transposed table is
+    /// built once, on the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sender is out of range.
+    #[inline]
+    pub fn ports_to(&self, sender: NodeId) -> &[Port] {
+        let transposed = self.transposed.get_or_init(|| {
+            let mut t = vec![Port::new(0); self.n * self.n];
+            for r in 0..self.n {
+                for s in 0..self.n {
+                    t[s * self.n + r] = self.map[r * self.n + s];
+                }
+            }
+            t
+        });
+        &transposed[sender.index() * self.n..(sender.index() + 1) * self.n]
     }
 
     /// Inverse lookup: which sender occupies `port` at `receiver`?
@@ -149,6 +197,18 @@ mod tests {
             .map(|s| pn.port_of(NodeId::new(1), s).index())
             .collect();
         assert_ne!(r0, r1, "private numberings should differ between receivers");
+    }
+
+    #[test]
+    fn ports_to_matches_port_of() {
+        let pn = PortNumbering::random(9, 11);
+        for s in NodeId::all(9) {
+            let col = pn.ports_to(s);
+            assert_eq!(col.len(), 9);
+            for r in NodeId::all(9) {
+                assert_eq!(col[r.index()], pn.port_of(r, s));
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,22 @@ impl Traffic {
         self.max_batch = self.max_batch.max(k);
     }
 
+    /// Records `links` simultaneous link firings that each carried the
+    /// same batch of `batch_len` messages — the sender-major bulk form of
+    /// [`Traffic::record_delivery`] used by the columnar delivery plane,
+    /// where one broadcast reaches a popcounted set of receivers at once.
+    /// Equivalent to calling `record_delivery(batch_len)` `links` times.
+    pub fn record_uniform_deliveries(&mut self, links: u64, batch_len: usize) {
+        if links == 0 {
+            return;
+        }
+        let k = batch_len as u64;
+        self.deliveries += links;
+        self.messages += links * k;
+        self.bits += links * k * Message::WIRE_BITS;
+        self.max_batch = self.max_batch.max(k);
+    }
+
     /// Number of link-round firings (one per delivered batch).
     pub fn deliveries(&self) -> u64 {
         self.deliveries
@@ -116,6 +132,18 @@ mod tests {
         assert_eq!(t.deliveries(), 1);
         assert_eq!(t.messages(), 0);
         assert_eq!(t.bits(), 0);
+    }
+
+    #[test]
+    fn uniform_deliveries_match_repeated_singles() {
+        let mut bulk = Traffic::new();
+        bulk.record_uniform_deliveries(5, 2);
+        bulk.record_uniform_deliveries(0, 9); // no links: must not touch peaks
+        let mut singles = Traffic::new();
+        for _ in 0..5 {
+            singles.record_delivery(2);
+        }
+        assert_eq!(bulk, singles);
     }
 
     #[test]

@@ -8,6 +8,31 @@ use crate::engine::{DeliveryOrder, Simulation};
 use crate::workload;
 use crate::Outcome;
 
+/// Whether the engine drives a columnar
+/// [`AlgorithmPlane`](adn_core::AlgorithmPlane) instead of one boxed
+/// state machine per node. The plane is observationally identical to the
+/// trait path (fuzzed in `tests/plane_equivalence.rs`) but delivers
+/// sender-major with no per-message virtual dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaneMode {
+    /// Use the plane whenever the factory offers one **and** the run is
+    /// plane-compatible: ascending-sender delivery order (the other
+    /// orders' permutation of the per-receiver in-neighbor list is part
+    /// of the determinism contract) and no event recording (the event
+    /// log's delivery order is receiver-major by contract). The default.
+    #[default]
+    Auto,
+    /// Require the plane.
+    ///
+    /// `build` panics if the factory has no plane or the configuration is
+    /// plane-incompatible — for tests and benches that must not silently
+    /// measure the wrong path.
+    Always,
+    /// Never use the plane, even when available — the trait path serves
+    /// as the semantic reference in differential tests.
+    Never,
+}
+
 /// Builder for a [`Simulation`].
 ///
 /// Defaults: spread inputs, the [`Complete`] adversary, no faults, a
@@ -38,6 +63,7 @@ pub struct SimBuilder {
     pub(crate) record_schedule: bool,
     pub(crate) observe_phases: bool,
     pub(crate) delivery_order: DeliveryOrder,
+    pub(crate) plane_mode: PlaneMode,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -68,6 +94,7 @@ impl SimBuilder {
             record_schedule: true,
             observe_phases: true,
             delivery_order: DeliveryOrder::AscendingSenders,
+            plane_mode: PlaneMode::Auto,
         }
     }
 
@@ -159,6 +186,15 @@ impl SimBuilder {
     /// depend on it — the test suite runs all orders.
     pub fn delivery_order(mut self, order: DeliveryOrder) -> Self {
         self.delivery_order = order;
+        self
+    }
+
+    /// Whether the engine drives the columnar algorithm plane (default:
+    /// [`PlaneMode::Auto`] — on for DAC/DBAC under ascending-sender
+    /// delivery without event recording, off otherwise). See
+    /// [`PlaneMode`].
+    pub fn algorithm_plane(mut self, mode: PlaneMode) -> Self {
+        self.plane_mode = mode;
         self
     }
 

@@ -1,5 +1,5 @@
 use adn_adversary::{Adversary, AdversaryView};
-use adn_core::Algorithm;
+use adn_core::{Algorithm, AlgorithmPlane};
 use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
 use adn_graph::Schedule;
 use adn_net::{PortNumbering, RoundBuffers, SenderClass, Traffic};
@@ -7,10 +7,19 @@ use adn_types::{Message, NodeId, Params, Phase, Round, Value, ValueInterval};
 
 use adn_types::rng::SplitMix64;
 
-use crate::builder::SimBuilder;
+use crate::builder::{PlaneMode, SimBuilder};
 use crate::observer::{Observer, RoundTrace};
 use crate::outcome::{Outcome, StopReason};
 use crate::trace::{Event, EventLog};
+
+/// The message a plane-driven sender broadcasts: its start-of-round
+/// `(value, phase)` snapshot. Read from the arena's snapshot columns —
+/// **not** from the live plane, whose state mutates as earlier senders of
+/// the same round deliver.
+#[inline]
+fn plane_message(buffers: &RoundBuffers, u: usize) -> Message {
+    Message::new(buffers.values[u], buffers.phases[u])
+}
 
 /// The order in which one receiver's deliveries are processed within a
 /// round. The model leaves this to the adversary; algorithms must be
@@ -38,8 +47,14 @@ pub struct Simulation {
     crash: CrashSchedule,
     /// `Some(strategy)` at Byzantine slots, `None` elsewhere.
     byz: Vec<Option<Box<dyn ByzantineStrategy>>>,
-    /// `Some(state machine)` at non-Byzantine slots.
+    /// `Some(state machine)` at non-Byzantine slots — the trait path.
+    /// All `None` when the columnar plane is active.
     algs: Vec<Option<Box<dyn Algorithm>>>,
+    /// The columnar algorithm plane — the sender-major fast path,
+    /// observationally identical to `algs` (see `PlaneMode`). Holds all
+    /// `n` slots; the engine never drives Byzantine slots and masks them
+    /// out of every read.
+    plane: Option<Box<dyn AlgorithmPlane>>,
     /// Phase each node was last observed in (for V(p) bookkeeping).
     last_phase: Vec<Phase>,
     /// Fault-free for the whole execution: not Byzantine, never crashes.
@@ -103,17 +118,59 @@ impl Simulation {
         for (id, strategy) in b.byzantine {
             byz[id.index()] = Some(strategy);
         }
+
+        // Columnar plane vs per-node trait objects. The plane is only
+        // byte-identical to the trait path under ascending-sender delivery
+        // with the event log off (events are recorded receiver-major).
+        let plane_compatible = b.delivery_order == DeliveryOrder::AscendingSenders
+            && !b.record_events
+            && factory.has_plane();
+        let use_plane = match b.plane_mode {
+            PlaneMode::Never => false,
+            PlaneMode::Auto => plane_compatible,
+            PlaneMode::Always => {
+                assert!(
+                    factory.has_plane(),
+                    "PlaneMode::Always but the algorithm has no columnar plane"
+                );
+                assert!(
+                    plane_compatible,
+                    "PlaneMode::Always requires ascending-sender delivery \
+                     and no event recording"
+                );
+                true
+            }
+        };
+
         let mut algs: Vec<Option<Box<dyn Algorithm>>> = (0..n).map(|_| None).collect();
+        let plane = if use_plane {
+            Some(
+                factory
+                    .make_plane(&b.inputs)
+                    .expect("plane-capable factory builds a plane"),
+            )
+        } else {
+            None
+        };
         let mut observer = Observer::default();
         for i in 0..n {
             if byz[i].is_none() {
-                let alg = factory(i, b.inputs[i]);
                 // Every non-Byzantine node contributes its input to V(0)
                 // (Def. 5; crash-faulty nodes count until they crash).
-                if b.observe_phases {
-                    observer.record_enter(NodeId::new(i), Phase::ZERO, alg.current_value());
+                match &plane {
+                    Some(p) => {
+                        if b.observe_phases {
+                            observer.record_enter(NodeId::new(i), Phase::ZERO, p.values()[i]);
+                        }
+                    }
+                    None => {
+                        let alg = factory.make(i, b.inputs[i]);
+                        if b.observe_phases {
+                            observer.record_enter(NodeId::new(i), Phase::ZERO, alg.current_value());
+                        }
+                        algs[i] = Some(alg);
+                    }
                 }
-                algs[i] = Some(alg);
             }
         }
         let fault_free: Vec<NodeId> = NodeId::all(n)
@@ -128,6 +185,7 @@ impl Simulation {
             crash: b.crash,
             byz,
             algs,
+            plane,
             last_phase: vec![Phase::ZERO; n],
             fault_free,
             round: Round::ZERO,
@@ -162,14 +220,47 @@ impl Simulation {
         &self.buffers
     }
 
+    /// Whether the columnar algorithm plane is driving this run (vs one
+    /// boxed state machine per node). See
+    /// [`PlaneMode`](crate::builder::PlaneMode).
+    pub fn uses_plane(&self) -> bool {
+        self.plane.is_some()
+    }
+
     /// Phase of a non-Byzantine node (`None` for Byzantine slots).
     pub fn phase_of(&self, node: NodeId) -> Option<Phase> {
-        self.algs[node.index()].as_ref().map(|a| a.phase())
+        let i = node.index();
+        if self.byz[i].is_some() {
+            return None;
+        }
+        match &self.plane {
+            Some(p) => Some(p.phases()[i]),
+            None => self.algs[i].as_ref().map(|a| a.phase()),
+        }
     }
 
     /// Current value of a non-Byzantine node.
     pub fn value_of(&self, node: NodeId) -> Option<Value> {
-        self.algs[node.index()].as_ref().map(|a| a.current_value())
+        let i = node.index();
+        if self.byz[i].is_some() {
+            return None;
+        }
+        match &self.plane {
+            Some(p) => Some(p.values()[i]),
+            None => self.algs[i].as_ref().map(|a| a.current_value()),
+        }
+    }
+
+    /// Decided output of a non-Byzantine node (`None` for Byzantine slots
+    /// and undecided nodes).
+    fn output_of_slot(&self, i: usize) -> Option<Value> {
+        if self.byz[i].is_some() {
+            return None;
+        }
+        match &self.plane {
+            Some(p) => p.outputs()[i],
+            None => self.algs[i].as_ref().and_then(|a| a.output()),
+        }
     }
 
     /// Executes one synchronous round. No-op once stopped.
@@ -186,14 +277,35 @@ impl Simulation {
         let n = self.params.n();
         let t = self.round;
 
+        // The plane is moved out of its slot for the whole round so the
+        // borrow checker sees it as disjoint from every engine field; it
+        // is restored before the method returns.
+        let mut plane = self.plane.take();
+
         // --- Reset the persistent arena (capacity-preserving clears). ---
         self.buffers.begin_round();
 
-        // --- Snapshot states for the adversary and Byzantine context. ---
-        for i in 0..n {
-            if let Some(alg) = &self.algs[i] {
-                self.buffers.phases[i] = alg.phase();
-                self.buffers.values[i] = alg.current_value();
+        // --- Snapshot states for the adversary and Byzantine context.
+        // Byzantine slots keep the arena defaults in both paths (the
+        // plane holds their untouched initial state, which must not leak
+        // into the adversary's view). ---
+        match plane.as_deref() {
+            Some(p) => {
+                let (pp, pv) = (p.phases(), p.values());
+                for i in 0..n {
+                    if self.byz[i].is_none() {
+                        self.buffers.phases[i] = pp[i];
+                        self.buffers.values[i] = pv[i];
+                    }
+                }
+            }
+            None => {
+                for i in 0..n {
+                    if let Some(alg) = &self.algs[i] {
+                        self.buffers.phases[i] = alg.phase();
+                        self.buffers.values[i] = alg.current_value();
+                    }
+                }
             }
         }
 
@@ -228,20 +340,29 @@ impl Simulation {
         };
         self.adversary.edges_into(&view, &mut self.buffers.chosen);
 
-        // --- Broadcasts from transmitting non-Byzantine nodes, staged
-        // into the per-node persistent batches. ---
+        // --- Broadcasts from transmitting non-Byzantine nodes. The trait
+        // path stages each batch into the per-node persistent buffer; the
+        // plane path stages nothing — a plane broadcast is by contract the
+        // `(value, phase)` snapshot already captured above, so delivery
+        // reads the snapshot columns directly (the event log is off
+        // whenever the plane runs, so no Broadcast events are lost). ---
         for i in 0..n {
             let id = NodeId::new(i);
             if self.byz[i].is_none() && !self.crash.is_silent(id, t) {
-                if let Some(alg) = self.algs[i].as_mut() {
-                    alg.broadcast_into(&mut self.buffers.batches[i]);
-                    self.buffers.present[i] = true;
-                    if let Some(log) = self.events.as_mut() {
-                        log.push(Event::Broadcast {
-                            round: t,
-                            node: id,
-                            batch_len: self.buffers.batches[i].len(),
-                        });
+                match plane.as_deref_mut() {
+                    Some(_) => self.buffers.present[i] = true,
+                    None => {
+                        if let Some(alg) = self.algs[i].as_mut() {
+                            alg.broadcast_into(&mut self.buffers.batches[i]);
+                            self.buffers.present[i] = true;
+                            if let Some(log) = self.events.as_mut() {
+                                log.push(Event::Broadcast {
+                                    round: t,
+                                    node: id,
+                                    batch_len: self.buffers.batches[i].len(),
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -287,14 +408,164 @@ impl Simulation {
         }
 
         // --- Delivery along chosen links, ascending sender order by
-        // default. No batch is ever cloned: honest deliveries borrow the
-        // sender's staged batch, Byzantine fabrications reuse one scratch
-        // batch. The ascending path walks the chosen ∩ active bitsets one
-        // word at a time — 64 candidate senders per probe, links from
-        // silent senders masked out wholesale; the other orders keep the
-        // recorded-Vec path, whose permutation of the *full* chosen
-        // in-neighbor list is part of the determinism contract. ---
+        // default. The columnar plane delivers **sender-major**: one
+        // transpose turns the chosen links into out-neighbor rows, then
+        // each active sender's single snapshot message is applied to all
+        // its receivers in one plane call — no per-message virtual
+        // dispatch. Per receiver the arrival order is still ascending
+        // sender index (the outer loop ascends and each sender hits a
+        // receiver at most once), so the plane path is observationally
+        // identical to the trait path below. The trait path: no batch is
+        // ever cloned — honest deliveries borrow the sender's staged
+        // batch, Byzantine fabrications reuse one scratch batch; the
+        // ascending order walks the chosen ∩ active bitsets one word at a
+        // time, the other orders keep the recorded-Vec path, whose
+        // permutation of the *full* chosen in-neighbor list is part of
+        // the determinism contract. ---
         let words = n.div_ceil(64);
+        if let Some(p) = plane.as_deref_mut() {
+            self.deliver_plane(p, t);
+        } else {
+            self.deliver_trait_path(t, words);
+        }
+        if self.record_schedule {
+            self.schedule.push(self.buffers.realized.clone());
+        }
+
+        // --- End-of-round hooks for executing nodes (exactly the
+        // non-crashed non-Byzantine set, i.e. `honest`). ---
+        match plane.as_deref_mut() {
+            Some(p) => p.end_round(&self.buffers.honest),
+            None => {
+                for i in 0..n {
+                    let id = NodeId::new(i);
+                    if self.byz[i].is_none() && !self.crash.has_crashed_by(id, t) {
+                        if let Some(alg) = self.algs[i].as_mut() {
+                            alg.end_round();
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Observer: phase transitions (Def. 6 fills skipped phases). --
+        let plane_cols = plane
+            .as_deref()
+            .map(|p| (p.phases(), p.values(), p.outputs()));
+        for i in 0..n {
+            let id = NodeId::new(i);
+            if self.byz[i].is_some() || self.crash.has_crashed_by(id, t) {
+                continue;
+            }
+            let (new_phase, current_value, output) = match plane_cols {
+                Some((pp, pv, po)) => (pp[i], pv[i], po[i]),
+                None => match &self.algs[i] {
+                    Some(alg) => (alg.phase(), alg.current_value(), alg.output()),
+                    None => continue,
+                },
+            };
+            let old_phase = self.last_phase[i];
+            if self.observe_phases {
+                let mut p = old_phase;
+                while p < new_phase {
+                    p = p.next();
+                    self.observer.record_enter(id, p, current_value);
+                }
+            }
+            if new_phase > old_phase {
+                if let Some(log) = self.events.as_mut() {
+                    log.push(Event::PhaseAdvance {
+                        round: t,
+                        node: id,
+                        from: old_phase,
+                        to: new_phase,
+                        value: current_value,
+                    });
+                }
+            }
+            if self.events.is_some() && !self.was_decided[i] {
+                if let Some(out) = output {
+                    self.was_decided[i] = true;
+                    if let Some(log) = self.events.as_mut() {
+                        log.push(Event::Decide {
+                            round: t,
+                            node: id,
+                            value: out,
+                        });
+                    }
+                }
+            }
+            self.last_phase[i] = new_phase;
+        }
+
+        // --- Trace over fault-free nodes (reused scratch). ---
+        for &id in &self.fault_free {
+            let value = match plane_cols {
+                Some((_, pv, _)) => Some(pv[id.index()]),
+                None => self.algs[id.index()].as_ref().map(|a| a.current_value()),
+            };
+            if let Some(v) = value {
+                self.buffers.ff_values.push(v);
+            }
+        }
+        let range = ValueInterval::of(self.buffers.ff_values.iter().copied())
+            .map_or(0.0, ValueInterval::range);
+        // Fault-free nodes always have a slot, so the folds index the
+        // plane columns (grabbed once) or the trait objects directly.
+        let fold_phases = |phases: &mut dyn Iterator<Item = Phase>| {
+            phases.fold((Phase::new(u64::MAX), Phase::ZERO), |(lo, hi), p| {
+                (lo.min(p), hi.max(p))
+            })
+        };
+        let ((min_phase, max_phase), decided) = match plane.as_deref() {
+            Some(p) => {
+                let (pp, po) = (p.phases(), p.outputs());
+                (
+                    fold_phases(&mut self.fault_free.iter().map(|&id| pp[id.index()])),
+                    self.fault_free
+                        .iter()
+                        .filter(|&&id| po[id.index()].is_some())
+                        .count(),
+                )
+            }
+            None => (
+                fold_phases(
+                    &mut self
+                        .fault_free
+                        .iter()
+                        .filter_map(|&id| self.algs[id.index()].as_ref().map(|a| a.phase())),
+                ),
+                self.fault_free
+                    .iter()
+                    .filter(|&&id| {
+                        self.algs[id.index()]
+                            .as_ref()
+                            .is_some_and(|a| a.output().is_some())
+                    })
+                    .count(),
+            ),
+        };
+        self.plane = plane;
+        self.observer.record_trace(RoundTrace {
+            round: t,
+            range,
+            min_phase: if self.fault_free.is_empty() {
+                Phase::ZERO
+            } else {
+                min_phase
+            },
+            max_phase,
+            decided,
+        });
+
+        self.round = t.next();
+        self.check_stop_after(range, decided);
+    }
+
+    /// The trait-object delivery path: receiver-major, per the configured
+    /// delivery order.
+    fn deliver_trait_path(&mut self, t: Round, words: usize) {
+        let n = self.params.n();
         for v_idx in 0..n {
             let v = NodeId::new(v_idx);
             // Byzantine "receivers" have no state machine; nodes that have
@@ -348,101 +619,112 @@ impl Simulation {
             }
             self.algs[v_idx] = Some(alg);
         }
-        if self.record_schedule {
-            self.schedule.push(self.buffers.realized.clone());
-        }
+    }
 
-        // --- End-of-round hooks for executing nodes. ---
-        for i in 0..n {
-            let id = NodeId::new(i);
-            if self.byz[i].is_none() && !self.crash.has_crashed_by(id, t) {
-                if let Some(alg) = self.algs[i].as_mut() {
-                    alg.end_round();
-                }
-            }
-        }
+    /// The columnar delivery path: sender-major over the transposed
+    /// chosen links, ascending sender index. `Present` senders deliver
+    /// their snapshot message to all chosen ∩ honest out-neighbors in one
+    /// plane call with popcount-bulk traffic accounting; `Partial`
+    /// (crash-round) and `Byzantine` senders walk their out-rows link by
+    /// link, exactly mirroring the trait path's per-link checks.
+    fn deliver_plane(&mut self, plane: &mut dyn AlgorithmPlane, t: Round) {
+        let n = self.params.n();
+        let words = n.div_ceil(64);
+        self.buffers.transpose_chosen();
 
-        // --- Observer: phase transitions (Def. 6 fills skipped phases). --
-        for i in 0..n {
-            let id = NodeId::new(i);
-            if self.byz[i].is_some() || self.crash.has_crashed_by(id, t) {
+        // Realized links of Present senders, word-parallel per honest
+        // receiver row (identical to the trait path's recording).
+        for v_idx in 0..n {
+            let v = NodeId::new(v_idx);
+            if !self.buffers.honest.contains(v) {
                 continue;
             }
-            if let Some(alg) = &self.algs[i] {
-                let new_phase = alg.phase();
-                let old_phase = self.last_phase[i];
-                if self.observe_phases {
-                    let mut p = old_phase;
-                    while p < new_phase {
-                        p = p.next();
-                        self.observer.record_enter(id, p, alg.current_value());
+            self.buffers.realized.insert_from_masked(
+                v,
+                self.buffers.chosen.in_neighbors(v),
+                &self.buffers.unconditional,
+            );
+        }
+
+        for u_idx in 0..n {
+            let u = NodeId::new(u_idx);
+            match self.buffers.classes[u_idx] {
+                SenderClass::Silent => {}
+                SenderClass::Present => {
+                    self.buffers.plane_receivers.intersection_of(
+                        self.buffers.chosen_out.in_neighbors(u),
+                        &self.buffers.honest,
+                    );
+                    let links = self.buffers.plane_receivers.len() as u64;
+                    if links == 0 {
+                        continue;
                     }
+                    self.traffic.record_uniform_deliveries(links, 1);
+                    plane.deliver_from_sender(
+                        plane_message(&self.buffers, u_idx),
+                        &self.buffers.plane_receivers,
+                        self.ports.ports_to(u),
+                    );
                 }
-                if new_phase > old_phase {
-                    if let Some(log) = self.events.as_mut() {
-                        log.push(Event::PhaseAdvance {
-                            round: t,
-                            node: id,
-                            from: old_phase,
-                            to: new_phase,
-                            value: alg.current_value(),
-                        });
-                    }
-                }
-                if self.events.is_some() && !self.was_decided[i] {
-                    if let Some(out) = alg.output() {
-                        self.was_decided[i] = true;
-                        if let Some(log) = self.events.as_mut() {
-                            log.push(Event::Decide {
-                                round: t,
-                                node: id,
-                                value: out,
-                            });
+                SenderClass::Partial => {
+                    let msg = [plane_message(&self.buffers, u_idx)];
+                    for wi in 0..words {
+                        let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
+                            & self.buffers.honest.word(wi);
+                        while word != 0 {
+                            let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
+                            word &= word - 1;
+                            if !self.crash.delivers(u, t, v) {
+                                continue;
+                            }
+                            self.traffic.record_delivery(1);
+                            self.buffers.realized.insert(u, v);
+                            plane.receive(v.index(), self.ports.port_of(v, u), &msg);
                         }
                     }
                 }
-                self.last_phase[i] = new_phase;
+                SenderClass::Byzantine => {
+                    for wi in 0..words {
+                        let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
+                            & self.buffers.honest.word(wi);
+                        while word != 0 {
+                            let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
+                            word &= word - 1;
+                            if !self.fabricate_byzantine(t, u, v) {
+                                continue;
+                            }
+                            self.traffic.record_delivery(self.buffers.byz_scratch.len());
+                            self.buffers.realized.insert(u, v);
+                            plane.receive(
+                                v.index(),
+                                self.ports.port_of(v, u),
+                                &self.buffers.byz_scratch,
+                            );
+                        }
+                    }
+                }
             }
         }
+    }
 
-        // --- Trace over fault-free nodes (reused scratch). ---
-        for &id in &self.fault_free {
-            if let Some(alg) = self.algs[id.index()].as_ref() {
-                self.buffers.ff_values.push(alg.current_value());
-            }
-        }
-        let range = ValueInterval::of(self.buffers.ff_values.iter().copied())
-            .map_or(0.0, ValueInterval::range);
-        let (min_phase, max_phase) = self
-            .fault_free
-            .iter()
-            .filter_map(|&id| self.phase_of(id))
-            .fold((Phase::new(u64::MAX), Phase::ZERO), |(lo, hi), p| {
-                (lo.min(p), hi.max(p))
-            });
-        let decided = self
-            .fault_free
-            .iter()
-            .filter(|&&id| {
-                self.algs[id.index()]
-                    .as_ref()
-                    .is_some_and(|a| a.output().is_some())
-            })
-            .count();
-        self.observer.record_trace(RoundTrace {
+    /// Fabricates Byzantine sender `u`'s round-`t` batch for destination
+    /// `v` into the shared scratch; returns whether anything was
+    /// fabricated. The single fabrication-and-context site shared by both
+    /// delivery paths — its call order per strategy object (that object's
+    /// receivers, ascending) is identical on both, which is what keeps
+    /// stateful strategies equivalent across them.
+    fn fabricate_byzantine(&mut self, t: Round, u: NodeId, v: NodeId) -> bool {
+        self.buffers.byz_scratch.clear();
+        let strategy = self.byz[u.index()].as_mut().expect("classified Byzantine");
+        let ctx = ByzContext {
             round: t,
-            range,
-            min_phase: if self.fault_free.is_empty() {
-                Phase::ZERO
-            } else {
-                min_phase
-            },
-            max_phase,
-            decided,
-        });
-
-        self.round = t.next();
-        self.check_stop_after(range, decided);
+            self_id: u,
+            params: self.params,
+            phases: &self.buffers.phases,
+            values: &self.buffers.values,
+        };
+        strategy.messages_into(&ctx, v, &mut self.buffers.byz_scratch);
+        !self.buffers.byz_scratch.is_empty()
     }
 
     /// Delivers sender `u`'s round-`t` transmission to receiver `v` — or
@@ -458,17 +740,7 @@ impl Simulation {
         let (batch, record_realized): (&[Message], bool) = match self.buffers.classes[u_idx] {
             SenderClass::Silent => return,
             SenderClass::Byzantine => {
-                self.buffers.byz_scratch.clear();
-                let strategy = self.byz[u_idx].as_mut().expect("classified Byzantine");
-                let ctx = ByzContext {
-                    round: t,
-                    self_id: u,
-                    params: self.params,
-                    phases: &self.buffers.phases,
-                    values: &self.buffers.values,
-                };
-                strategy.messages_into(&ctx, v, &mut self.buffers.byz_scratch);
-                if self.buffers.byz_scratch.is_empty() {
+                if !self.fabricate_byzantine(t, u, v) {
                     return;
                 }
                 (&self.buffers.byz_scratch, true)
@@ -502,15 +774,25 @@ impl Simulation {
             self.done = Some(StopReason::MaxRounds);
             return true;
         }
-        let decided = self
-            .fault_free
-            .iter()
-            .filter(|&&id| {
-                self.algs[id.index()]
-                    .as_ref()
-                    .is_some_and(|a| a.output().is_some())
-            })
-            .count();
+        // One virtual column grab instead of one dynamic call per node.
+        let decided = match &self.plane {
+            Some(p) => {
+                let po = p.outputs();
+                self.fault_free
+                    .iter()
+                    .filter(|&&id| po[id.index()].is_some())
+                    .count()
+            }
+            None => self
+                .fault_free
+                .iter()
+                .filter(|&&id| {
+                    self.algs[id.index()]
+                        .as_ref()
+                        .is_some_and(|a| a.output().is_some())
+                })
+                .count(),
+        };
         if decided == self.fault_free.len() {
             self.done = Some(StopReason::AllOutput);
             return true;
@@ -542,14 +824,12 @@ impl Simulation {
     /// stop condition fired yet).
     pub fn finish(self) -> Outcome {
         let n = self.params.n();
-        let outputs: Vec<Option<Value>> = (0..n)
-            .map(|i| self.algs[i].as_ref().and_then(|a| a.output()))
-            .collect();
+        let outputs: Vec<Option<Value>> = (0..n).map(|i| self.output_of_slot(i)).collect();
         let final_values: Vec<Value> = (0..n)
             .map(|i| {
-                self.algs[i]
-                    .as_ref()
-                    .map_or(Value::HALF, |a| a.current_value())
+                // Byzantine slots report the neutral default, as the
+                // trait path's empty slots always did.
+                self.value_of(NodeId::new(i)).unwrap_or(Value::HALF)
             })
             .collect();
         let non_byzantine: Vec<NodeId> = NodeId::all(n)

@@ -55,7 +55,7 @@ pub mod quantized;
 pub mod trace;
 pub mod workload;
 
-pub use builder::SimBuilder;
+pub use builder::{PlaneMode, SimBuilder};
 pub use engine::{DeliveryOrder, Simulation};
 pub use observer::{PhaseRecord, RoundTrace};
 pub use outcome::{Outcome, StopReason};

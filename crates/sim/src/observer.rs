@@ -41,8 +41,20 @@ impl PhaseRecord {
     }
 
     fn insert(&mut self, node: NodeId, value: Value) {
-        if !self.entries.iter().any(|&(id, _)| id == node) {
-            self.entries.push((node, value));
+        // The engine's post-round sweep visits nodes in ascending id
+        // order, so within one round entries arrive sorted: a node id
+        // greater than the last entry's cannot be a duplicate, making the
+        // common case O(1) instead of a scan of everything recorded so
+        // far (which the dedup below remains for cross-round stragglers
+        // entering an old phase late).
+        match self.entries.last() {
+            Some(&(last, _)) if node > last => self.entries.push((node, value)),
+            None => self.entries.push((node, value)),
+            Some(_) => {
+                if !self.entries.iter().any(|&(id, _)| id == node) {
+                    self.entries.push((node, value));
+                }
+            }
         }
     }
 }

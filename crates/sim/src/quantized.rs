@@ -74,9 +74,12 @@ impl Algorithm for Quantized {
 }
 
 /// Factory combinator: wraps every node produced by `inner` in a
-/// [`Quantized`] encoder at the given precision.
+/// [`Quantized`] encoder at the given precision. The wrapper is never
+/// plane-capable — quantization rewrites broadcasts, which violates the
+/// plane's pure-snapshot contract — so wrapped runs take the trait path
+/// even when `inner` offered a plane.
 pub fn quantized_factory(inner: AlgorithmFactory, precision: Precision) -> AlgorithmFactory {
-    Box::new(move |i, input| Box::new(Quantized::new(inner(i, input), precision)))
+    AlgorithmFactory::new(move |i, input| Box::new(Quantized::new(inner.make(i, input), precision)))
 }
 
 #[cfg(test)]
@@ -114,7 +117,8 @@ mod tests {
     fn factory_combinator_wraps() {
         let params = Params::fault_free(5, 1e-3).unwrap();
         let factory = quantized_factory(crate::factories::dac(params), Precision::for_eps(1e-3));
-        let node = factory(0, Value::HALF);
+        assert!(!factory.has_plane(), "quantization must disable the plane");
+        let node = factory.make(0, Value::HALF);
         assert_eq!(node.name(), "quantized");
     }
 }

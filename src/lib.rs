@@ -57,7 +57,7 @@ pub mod prelude {
     pub use adn_graph::{checker, EdgeSet, NodeSet, Schedule, WindowUnion};
     pub use adn_net::PortNumbering;
     pub use adn_sim::{
-        factories, workload, Outcome, SimBuilder, Simulation, StopReason, TrialPool,
+        factories, workload, Outcome, PlaneMode, SimBuilder, Simulation, StopReason, TrialPool,
     };
     pub use adn_types::{Batch, Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 }

@@ -45,23 +45,25 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-fn lean_dac(n: usize) -> Simulation {
+fn lean_dac(n: usize, mode: PlaneMode) -> Simulation {
     let params = Params::fault_free(n, 1e-6).unwrap();
     Simulation::builder(params)
         .inputs_random(1)
         .algorithm(factories::dac_with_pend(params, u64::MAX))
+        .algorithm_plane(mode)
         .record_schedule(false)
         .observe_phases(false)
         .max_rounds(u64::MAX)
         .build()
 }
 
-fn lean_dbac(n: usize) -> Simulation {
+fn lean_dbac(n: usize, mode: PlaneMode) -> Simulation {
     let params = Params::fault_free(n, 1e-6).unwrap();
     Simulation::builder(params)
         .inputs_random(1)
         .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
         .algorithm(factories::dbac_with_pend(params, u64::MAX))
+        .algorithm_plane(mode)
         .record_schedule(false)
         .observe_phases(false)
         .max_rounds(u64::MAX)
@@ -70,8 +72,16 @@ fn lean_dbac(n: usize) -> Simulation {
 
 #[test]
 fn steady_state_step_performs_zero_allocations() {
-    // --- The round engine's delivery loop. ---
-    for (name, mut sim) in [("dac", lean_dac(32)), ("dbac", lean_dbac(32))] {
+    // --- The round engine's delivery loop, on both the columnar plane
+    // (the sender-major fast path, including its per-round transpose) and
+    // the per-node trait path. ---
+    for (name, mut sim) in [
+        ("dac/plane", lean_dac(32, PlaneMode::Always)),
+        ("dac/trait", lean_dac(32, PlaneMode::Never)),
+        ("dbac/plane", lean_dbac(32, PlaneMode::Always)),
+        ("dbac/trait", lean_dbac(32, PlaneMode::Never)),
+    ] {
+        assert_eq!(sim.uses_plane(), name.ends_with("plane"), "{name}");
         // Warmup: grow every buffer to its steady-state capacity. 70
         // rounds also pushes the internal round-trace vector past a
         // power-of-two boundary (cap 128), so the measured window below

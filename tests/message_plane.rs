@@ -49,7 +49,9 @@ impl Algorithm for EveryOtherRound {
 }
 
 fn every_other_factory() -> anondyn::consensus::AlgorithmFactory {
-    Box::new(|_, value| Box::new(EveryOtherRound { value, round: 0 }))
+    anondyn::consensus::AlgorithmFactory::new(|_, value| {
+        Box::new(EveryOtherRound { value, round: 0 })
+    })
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Differential fuzz of the columnar algorithm plane against the per-node
+//! trait path.
+//!
+//! The engine's sender-major plane (`PlaneMode::Always`) must be
+//! observationally **identical** to the receiver-major boxed-state-machine
+//! reference (`PlaneMode::Never`) under ascending-sender delivery: same
+//! stop reason and round count, same outputs and final values, same
+//! per-phase value multisets `V(p)`, same round traces, same realized
+//! schedule, same traffic counters. This file drives both paths through
+//! randomized configurations — adversary × crash/Byzantine mix × ε ×
+//! algorithm — and asserts equality on everything an `Outcome` exposes.
+//!
+//! Seed count defaults to 400; override with `ADN_FUZZ_SEEDS` (CI runs a
+//! reduced count to keep the job fast).
+
+use anondyn::faults::{strategies, CrashSurvivors};
+use anondyn::prelude::*;
+use anondyn::types::rng::SplitMix64;
+
+fn fuzz_seeds() -> u64 {
+    std::env::var("ADN_FUZZ_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
+}
+
+/// One randomized configuration, drawn deterministically from a seed.
+struct Config {
+    params: Params,
+    dbac: bool,
+    pend: u64,
+    adversary: AdversarySpec,
+    byz: Vec<(NodeId, &'static str)>,
+    crash: CrashSchedule,
+    seed: u64,
+}
+
+fn draw(seed: u64) -> Config {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5);
+    let n = 4 + rng.next_index(17); // 4..=20
+    let f = rng.next_index(4).min(n - 1); // 0..=3, < n
+    let eps = [0.25, 1e-2, 1e-3][rng.next_index(3)];
+    let params = Params::new(n, f, eps).expect("valid params");
+    let dbac = rng.next_bool(0.5);
+    let pend = 1 + rng.next_below(if dbac { 8 } else { 6 });
+
+    let adversary = match rng.next_index(8) {
+        0 => AdversarySpec::Complete,
+        1 => AdversarySpec::Rotating {
+            d: 1 + rng.next_index(n - 1),
+        },
+        2 => AdversarySpec::Spread {
+            t: 1 + rng.next_index(3),
+            d: 1 + rng.next_index(n - 1),
+        },
+        3 => AdversarySpec::Random {
+            p: 0.2 + 0.6 * rng.next_f64(),
+        },
+        4 => AdversarySpec::AlternatingComplete {
+            period: 1 + rng.next_index(3),
+        },
+        5 => AdversarySpec::PartitionHalves,
+        6 => AdversarySpec::DacThreshold,
+        _ => AdversarySpec::DbacThreshold,
+    };
+
+    // Split the fault budget between Byzantine nodes and crashes, at
+    // distinct high node indices so picks never collide.
+    let byz_count = rng.next_index(f + 1);
+    let crash_count = rng.next_index(f - byz_count + 1);
+    let mut byz = Vec::new();
+    for k in 0..byz_count {
+        let name =
+            strategies::ALL_STRATEGY_NAMES[rng.next_index(strategies::ALL_STRATEGY_NAMES.len())];
+        byz.push((NodeId::new(n - 1 - k), name));
+    }
+    let mut crash = CrashSchedule::new(n);
+    for k in 0..crash_count {
+        let node = NodeId::new(n - 1 - byz_count - k);
+        let round = Round::new(rng.next_below(25));
+        let survivors = match rng.next_index(4) {
+            0 => CrashSurvivors::All,
+            1 => CrashSurvivors::None,
+            2 => CrashSurvivors::Subset(
+                (0..n)
+                    .filter(|_| rng.next_bool(0.5))
+                    .map(NodeId::new)
+                    .collect(),
+            ),
+            _ => CrashSurvivors::Random {
+                keep_probability: rng.next_f64(),
+                seed: rng.next_u64(),
+            },
+        };
+        crash.crash(node, round, survivors);
+    }
+
+    Config {
+        params,
+        dbac,
+        pend,
+        adversary,
+        byz,
+        crash,
+        seed,
+    }
+}
+
+fn run(cfg: &Config, mode: PlaneMode) -> Outcome {
+    let n = cfg.params.n();
+    let factory = if cfg.dbac {
+        factories::dbac_with_pend(cfg.params, cfg.pend)
+    } else {
+        factories::dac_with_pend(cfg.params, cfg.pend)
+    };
+    let mut builder = Simulation::builder(cfg.params)
+        .inputs_random(cfg.seed ^ 0xBEEF)
+        .adversary(cfg.adversary.build(n, cfg.params.f(), cfg.seed ^ 0xC0DE))
+        .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
+        .crashes(cfg.crash.clone())
+        .algorithm(factory)
+        .algorithm_plane(mode)
+        .max_rounds(100);
+    for &(node, name) in &cfg.byz {
+        builder = builder.byzantine(node, strategies::by_name(name, n, cfg.seed ^ 0xB42));
+    }
+    let sim = builder.build();
+    assert_eq!(
+        sim.uses_plane(),
+        mode == PlaneMode::Always,
+        "mode {mode:?} must pick the intended path"
+    );
+    sim.run()
+}
+
+fn assert_identical(cfg: &Config, reference: &Outcome, plane: &Outcome) {
+    let n = cfg.params.n();
+    let ctx = format!(
+        "seed {}: n={n} f={} {} pend={} adversary={} byz={:?}",
+        cfg.seed,
+        cfg.params.f(),
+        if cfg.dbac { "dbac" } else { "dac" },
+        cfg.pend,
+        cfg.adversary,
+        cfg.byz,
+    );
+    assert_eq!(reference.reason(), plane.reason(), "stop reason: {ctx}");
+    assert_eq!(reference.rounds(), plane.rounds(), "round count: {ctx}");
+    for i in 0..n {
+        let id = NodeId::new(i);
+        assert_eq!(
+            reference.output_of(id),
+            plane.output_of(id),
+            "output of {id}: {ctx}"
+        );
+        assert_eq!(
+            reference.final_value_of(id),
+            plane.final_value_of(id),
+            "final value of {id}: {ctx}"
+        );
+    }
+    assert_eq!(reference.traffic(), plane.traffic(), "traffic: {ctx}");
+    assert_eq!(reference.schedule(), plane.schedule(), "schedule: {ctx}");
+    assert_eq!(reference.traces(), plane.traces(), "round traces: {ctx}");
+    assert_eq!(
+        reference.phase_records().len(),
+        plane.phase_records().len(),
+        "phase record count: {ctx}"
+    );
+    for (p, (a, b)) in reference
+        .phase_records()
+        .iter()
+        .zip(plane.phase_records())
+        .enumerate()
+    {
+        assert_eq!(a.entries(), b.entries(), "V({p}) entries: {ctx}");
+    }
+}
+
+#[test]
+fn plane_matches_trait_path_across_the_configuration_space() {
+    let seeds = fuzz_seeds();
+    let mut plane_runs = 0u64;
+    for seed in 0..seeds {
+        let cfg = draw(seed);
+        let reference = run(&cfg, PlaneMode::Never);
+        let plane = run(&cfg, PlaneMode::Always);
+        assert_identical(&cfg, &reference, &plane);
+        plane_runs += 1;
+    }
+    assert_eq!(plane_runs, seeds, "every drawn config must be exercised");
+}
+
+/// The auto mode picks the plane exactly when the configuration is
+/// plane-compatible.
+#[test]
+fn auto_mode_selects_plane_only_when_compatible() {
+    let params = Params::fault_free(6, 1e-2).unwrap();
+    let plane_auto = Simulation::builder(params)
+        .algorithm(factories::dac(params))
+        .build();
+    assert!(plane_auto.uses_plane(), "dac + defaults must use the plane");
+
+    let events_on = Simulation::builder(params)
+        .algorithm(factories::dac(params))
+        .record_events(true)
+        .build();
+    assert!(!events_on.uses_plane(), "event log forces the trait path");
+
+    let descending = Simulation::builder(params)
+        .algorithm(factories::dac(params))
+        .delivery_order(anondyn::sim::DeliveryOrder::DescendingSenders)
+        .build();
+    assert!(
+        !descending.uses_plane(),
+        "non-ascending orders keep the trait path"
+    );
+
+    let no_plane_alg = Simulation::builder(params)
+        .algorithm(factories::reliable_ac(params))
+        .build();
+    assert!(!no_plane_alg.uses_plane(), "baselines have no plane");
+}
+
+/// A same-round jump-then-same-phase delivery schedule, end to end: one
+/// lagging receiver hears a phase-2 sender first (jump) and then same-id
+/// ports must count anew toward the phase-2 quorum within the very same
+/// round — on both paths, with identical results.
+#[test]
+fn same_round_jump_then_same_phase_is_identical() {
+    let n = 5;
+    let params = Params::new(n, 0, 1e-3).unwrap();
+    // Drive node 4 ahead by isolating it... simpler: craft inputs so all
+    // nodes advance in lockstep except node 0, which the rotating window
+    // starves for the first rounds; when links return, it hears a
+    // higher-phase sender followed by same-phase senders in one round.
+    let run = |mode: PlaneMode| {
+        Simulation::builder(params)
+            .inputs_random(17)
+            .adversary(AdversarySpec::Spread { t: 3, d: 3 }.build(n, 0, 11))
+            .algorithm(factories::dac_with_pend(params, 6))
+            .algorithm_plane(mode)
+            .max_rounds(200)
+            .run()
+    };
+    let reference = run(PlaneMode::Never);
+    let plane = run(PlaneMode::Always);
+    // The spread adversary staggers links across 3-round windows, so jumps
+    // land mid-round with same-phase deliveries behind them.
+    assert_eq!(reference.rounds(), plane.rounds());
+    assert_eq!(reference.traffic(), plane.traffic());
+    assert_eq!(reference.schedule(), plane.schedule());
+    for i in 0..n {
+        let id = NodeId::new(i);
+        assert_eq!(reference.output_of(id), plane.output_of(id));
+    }
+    let jumped = reference
+        .phase_records()
+        .iter()
+        .any(|r| r.len() < n && !r.is_empty());
+    assert!(
+        jumped || reference.rounds() > 6,
+        "schedule should exercise phase skew (weak sanity check)"
+    );
+}
