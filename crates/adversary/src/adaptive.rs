@@ -13,9 +13,13 @@ use crate::{Adversary, AdversaryView};
 /// measured convergence rate toward its theoretical 1/2 bound
 /// (experiment E03). It still honors `(1, d)`-dynaDegree: `d` distinct
 /// senders per receiver per round.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveClosest {
     d: usize,
+    /// Reusable per-receiver candidate scratch: filled from the deliverer
+    /// set, sorted by value distance, truncated to `d` — no per-round
+    /// `Vec` churn once warmed up.
+    scratch: Vec<NodeId>,
 }
 
 impl AdaptiveClosest {
@@ -26,7 +30,10 @@ impl AdaptiveClosest {
     /// Panics if `d == 0`.
     pub fn new(d: usize) -> Self {
         assert!(d > 0, "degree must be positive");
-        AdaptiveClosest { d }
+        AdaptiveClosest {
+            d,
+            scratch: Vec::new(),
+        }
     }
 
     /// The per-round degree granted.
@@ -36,24 +43,24 @@ impl AdaptiveClosest {
 }
 
 impl Adversary for AdaptiveClosest {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
         for v in NodeId::all(n) {
             let my_value = view.values[v.index()].get();
-            let mut senders = view.senders_for(v);
+            view.senders_for_into(v, &mut self.scratch);
             // Sort by distance to the receiver's value, ties by index for
-            // determinism.
-            senders.sort_by(|&a, &b| {
+            // determinism. The index tie-break makes the order total, so
+            // the in-place unstable sort yields the identical permutation
+            // a stable sort would — without its allocation.
+            self.scratch.sort_unstable_by(|&a, &b| {
                 let da = (view.values[a.index()].get() - my_value).abs();
                 let db = (view.values[b.index()].get() - my_value).abs();
                 da.total_cmp(&db).then(a.cmp(&b))
             });
-            for &u in senders.iter().take(self.d) {
-                e.insert(u, v);
+            for &u in self.scratch.iter().take(self.d) {
+                out.insert(u, v);
             }
         }
-        e
     }
 
     fn name(&self) -> &'static str {

@@ -4,14 +4,18 @@ use crate::{Adversary, AdversaryView};
 
 /// Bursty adversary generalizing Figure 1 of the paper: for `period − 1`
 /// rounds it delivers **nothing**, then for one round it delivers a fixed
-/// base graph.
+/// base graph — bursts land on the 0-based rounds `t` with
+/// `t ≡ period − 1 (mod period)` (so round 0 is always silent).
 ///
 /// With base graph in-degree `d` this satisfies `(period, d)`-dynaDegree
 /// (any `period`-round window contains exactly one burst round) but not
 /// `(period − 1, 1)`: windows falling between bursts are silent.
 ///
 /// [`Alternating::figure1`] reproduces the paper's 3-node example exactly:
-/// odd rounds empty, even rounds the bidirectional path `0 – 1 – 2`.
+/// the paper's empty odd rounds are our even 0-based rounds (0, 2, ...),
+/// and its even rounds — the bidirectional path `0 – 1 – 2` — burst on
+/// our odd 0-based rounds (1, 3, ...): the same alternation, shifted by
+/// the indexing origin.
 #[derive(Debug, Clone)]
 pub struct Alternating {
     period: usize,
@@ -52,12 +56,13 @@ impl Alternating {
 }
 
 impl Adversary for Alternating {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let t = view.round.as_u64() as usize;
         if t % self.period == self.period - 1 {
-            self.burst.clone()
-        } else {
-            EdgeSet::empty(view.params.n())
+            // Word-parallel row copies of the stored burst instead of a
+            // fresh clone of it every burst round; silent rounds write
+            // nothing (`out` arrives cleared).
+            out.copy_from(&self.burst);
         }
     }
 

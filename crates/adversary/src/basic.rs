@@ -15,12 +15,6 @@ use crate::{Adversary, AdversaryView};
 pub struct Complete;
 
 impl Adversary for Complete {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
-        let mut e = EdgeSet::empty(view.params.n());
-        self.edges_into(view, &mut e);
-        e
-    }
-
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         // One word-parallel row copy per receiver instead of one asserted
         // insert per (deliverer, receiver) pair — this is the default
@@ -42,10 +36,6 @@ impl Adversary for Complete {
 pub struct Silence;
 
 impl Adversary for Silence {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
-        EdgeSet::empty(view.params.n())
-    }
-
     fn edges_into(&mut self, _view: &AdversaryView<'_>, _out: &mut EdgeSet) {}
 
     fn name(&self) -> &'static str {

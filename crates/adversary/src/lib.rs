@@ -11,19 +11,29 @@
 //! | [`Complete`] | (1, n−1)-dynaDegree | best case, baselines |
 //! | [`Rotating`] | (1, d)-dynaDegree | sufficiency experiments |
 //! | [`Spread`] | exactly (T, d)-dynaDegree | tightness, round-complexity (E09) |
-//! | [`Alternating`] | (period·k, d) for bursts | Figure 1 (E01) |
+//! | [`Alternating`] | (period, d); bursts on 0-based rounds t ≡ period−1 (mod period), silence between | Figure 1 (E01) |
 //! | [`Partition`] | (1, group−1) within groups | Theorem 9 impossibility (E04) |
 //! | [`Theorem10Split`] | overlapping groups | Theorem 10 impossibility (E07) |
 //! | [`RandomLinks`] | probabilistic | §VII expected-rounds (E12) |
 //! | [`AdaptiveClosest`] | (1, d) but value-aware | worst-case convergence (E03) |
 //! | [`Staggered`] | (groups, d) with standing phase skew | piggybacking (E13) |
 //! | [`OmitOne`] | exactly (1, n−2) | Corollary 1 exact-consensus impossibility (E15) |
+//! | [`Eventually`] | none before stabilization, (1, n−1) after | eventually-stable model comparison (§III) |
+//! | [`Isolate`] | (1, n−1) except the victim's outage | straggler recovery, jump rule |
 //!
 //! **Live-sender discipline.** The guarantee-preserving strategies pick
 //! links only from [`AdversaryView::deliverers`] — senders that will
 //! actually transmit this round. This realizes (T, D)-dynaDegree on the
 //! *delivery* graph even in the presence of crashed or silent nodes
 //! (DESIGN.md §5.1); a link from a dead sender would satisfy nothing.
+//!
+//! **In-place fill contract.** Every gallery strategy overrides
+//! [`Adversary::edges_into`], writing the round's links into the engine's
+//! reused edge set with word-parallel row operations (range ORs, masked
+//! row copies, fresh-sender sweeps) — zero steady-state allocations, and
+//! byte-identical links to the per-receiver reference semantics
+//! (`tests/adversary_equivalence.rs` fuzzes the equivalence across seeds
+//! × crash schedules; `tests/alloc_free.rs` pins the allocation count).
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -35,6 +45,7 @@ mod omit;
 mod partition;
 mod random;
 mod rotating;
+mod runs;
 mod spec;
 mod spread;
 mod staggered;
@@ -79,6 +90,10 @@ pub struct AdversaryView<'a> {
 impl AdversaryView<'_> {
     /// Delivering senders available to `receiver` (deliverers minus the
     /// receiver itself), in ascending index order.
+    ///
+    /// Convenience for custom adversaries and tests; the gallery
+    /// strategies themselves operate on [`AdversaryView::deliverers`]
+    /// word-parallel and never materialize this list.
     pub fn senders_for(&self, receiver: adn_types::NodeId) -> Vec<adn_types::NodeId> {
         self.deliverers.iter().filter(|&u| u != receiver).collect()
     }
@@ -92,18 +107,35 @@ impl AdversaryView<'_> {
 }
 
 /// A dynamic message adversary: one link-set choice per round.
+///
+/// The two methods default to each other, so an implementation must
+/// override **at least one** of [`Adversary::edges`] and
+/// [`Adversary::edges_into`] (overriding neither would recurse forever):
+/// a quick custom adversary implements `edges`, while the gallery
+/// strategies implement the allocation-free `edges_into` and inherit
+/// `edges` as an allocate-then-fill shim.
 pub trait Adversary: fmt::Debug {
     /// Chooses the reliable links `E(t)` for the round described by `view`.
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet;
+    ///
+    /// The default allocates an empty set and forwards to
+    /// [`Adversary::edges_into`] (see the trait docs for the pairing
+    /// rule).
+    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+        let mut e = EdgeSet::empty(view.params.n());
+        self.edges_into(view, &mut e);
+        e
+    }
 
     /// Writes the round's links into a caller-owned edge set that the
     /// round engine reuses across rounds (passed cleared).
     ///
     /// The default forwards to [`Adversary::edges`], allocating one
-    /// `EdgeSet` per round — correct for every adversary. Strategies on
-    /// the steady-state path ([`Complete`], [`Rotating`] and the threshold
-    /// adversaries built on it) override this with an in-place fill so
-    /// `Simulation::step` stays allocation free.
+    /// `EdgeSet` per round — correct for every adversary, and what a
+    /// downstream custom adversary gets for free (see the trait docs for
+    /// the pairing rule). Every **gallery** strategy overrides this with
+    /// a word-parallel in-place fill and inherits `edges`, so
+    /// `Simulation::step` stays allocation free whichever adversary
+    /// drives it — `tests/alloc_free.rs` pins the whole gallery.
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         *out = self.edges(view);
     }

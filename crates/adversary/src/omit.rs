@@ -44,46 +44,75 @@ impl OmitOne {
     }
 }
 
+impl OmitOne {
+    /// The best and second-best deliverer under the rule's preference
+    /// order — `(value, id)` ascending for [`OmitRule::LowestValue`],
+    /// `(value desc, id asc)` for [`OmitRule::HighestValue`]. Per receiver
+    /// the omitted sender is the best over "deliverers minus me", which is
+    /// the global best for everyone except the best itself (it omits the
+    /// runner-up) — so one O(deliverers) scan serves all n receivers.
+    fn best_two(&self, view: &AdversaryView<'_>) -> (Option<NodeId>, Option<NodeId>) {
+        let mut best: Option<NodeId> = None;
+        let mut second: Option<NodeId> = None;
+        let prefer = |a: NodeId, b: NodeId| -> bool {
+            // Whether `a` is omitted in preference to `b`.
+            let (va, vb) = (view.values[a.index()], view.values[b.index()]);
+            match self.rule {
+                OmitRule::LowestValue => va.cmp(&vb).then(a.cmp(&b)).is_lt(),
+                OmitRule::HighestValue => vb.cmp(&va).then(a.cmp(&b)).is_lt(),
+                OmitRule::RoundRobin => unreachable!("round-robin has no value order"),
+            }
+        };
+        view.deliverers.for_each(|u| {
+            if best.is_none_or(|b| prefer(u, b)) {
+                second = best;
+                best = Some(u);
+            } else if second.is_none_or(|s| prefer(u, s)) {
+                second = Some(u);
+            }
+        });
+        (best, second)
+    }
+}
+
 impl Adversary for OmitOne {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;
-        let mut e = EdgeSet::empty(n);
+        let total = view.deliverers.len();
+        let value_best = match self.rule {
+            OmitRule::RoundRobin => (None, None),
+            _ => self.best_two(view),
+        };
         for v in NodeId::all(n) {
-            let senders = view.senders_for(v);
-            if senders.is_empty() {
+            let v_delivers = view.deliverers.contains(v);
+            let m = total - usize::from(v_delivers);
+            if m == 0 {
                 continue;
             }
-            let omit_idx = match self.rule {
-                OmitRule::LowestValue => senders
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        view.values[a.index()]
-                            .cmp(&view.values[b.index()])
-                            .then(a.cmp(b))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("senders non-empty"),
-                OmitRule::HighestValue => senders
-                    .iter()
-                    .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        view.values[a.index()]
-                            .cmp(&view.values[b.index()])
-                            .then(b.cmp(a))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("senders non-empty"),
-                OmitRule::RoundRobin => (t + v.index()) % senders.len(),
-            };
-            for (i, &u) in senders.iter().enumerate() {
-                if i != omit_idx {
-                    e.insert(u, v);
+            let omitted = match self.rule {
+                OmitRule::RoundRobin => {
+                    // The k-th member of "deliverers minus v": skip v's own
+                    // rank when mapping the reduced index onto the set.
+                    let k = (t + v.index()) % m;
+                    let k = if v_delivers && k >= view.deliverers.rank(v) {
+                        k + 1
+                    } else {
+                        k
+                    };
+                    view.deliverers.nth(k).expect("index within deliverers")
                 }
-            }
+                _ => match value_best {
+                    (Some(best), _) if best != v => best,
+                    (_, Some(second)) => second,
+                    _ => unreachable!("m > 0 guarantees a candidate"),
+                },
+            };
+            // Row = deliverers minus self, minus the omitted sender — one
+            // word-parallel copy and one bit clear.
+            out.assign_in_neighbors(v, view.deliverers);
+            out.remove(omitted, v);
         }
-        e
     }
 
     fn name(&self) -> &'static str {

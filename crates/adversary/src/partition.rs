@@ -42,18 +42,19 @@ impl Partition {
 }
 
 impl Adversary for Partition {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
+        // Each group is a contiguous id range, so a receiver's row is one
+        // word-parallel "deliverers ∩ my group" range OR (self stripped).
+        let split = self.split.min(n);
         for v in NodeId::all(n) {
-            let same_group = |u: NodeId| (u.index() < self.split) == (v.index() < self.split);
-            for u in view.deliverers.iter() {
-                if u != v && same_group(u) {
-                    e.insert(u, v);
-                }
-            }
+            let (lo, hi) = if v.index() < split {
+                (0, split - 1)
+            } else {
+                (split, n - 1)
+            };
+            out.insert_range_from(v, view.deliverers, NodeId::new(lo), NodeId::new(hi));
         }
-        e
     }
 
     fn name(&self) -> &'static str {
@@ -118,27 +119,22 @@ impl Theorem10Split {
 }
 
 impl Adversary for Theorem10Split {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let a_end = self.group_size;
         let b_start = n - self.group_size;
-        let mut e = EdgeSet::empty(n);
+        // Both groups are contiguous id ranges; v hears u iff they share
+        // a group, so a receiver's row is one range OR per group it
+        // belongs to (overlap members get both — the ranges just overlap
+        // in the OR). Self-links are stripped by `insert_range_from`.
         for v in NodeId::all(n) {
-            let v_in_a = v.index() < a_end;
-            let v_in_b = v.index() >= b_start;
-            for u in view.deliverers.iter() {
-                if u == v {
-                    continue;
-                }
-                let u_in_a = u.index() < a_end;
-                let u_in_b = u.index() >= b_start;
-                // v hears u iff they share a group.
-                if (v_in_a && u_in_a) || (v_in_b && u_in_b) {
-                    e.insert(u, v);
-                }
+            if v.index() < a_end {
+                out.insert_range_from(v, view.deliverers, NodeId::new(0), NodeId::new(a_end - 1));
+            }
+            if v.index() >= b_start {
+                out.insert_range_from(v, view.deliverers, NodeId::new(b_start), NodeId::new(n - 1));
             }
         }
-        e
     }
 
     fn name(&self) -> &'static str {

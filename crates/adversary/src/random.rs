@@ -39,17 +39,20 @@ impl RandomLinks {
 }
 
 impl Adversary for RandomLinks {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
+        // One Bernoulli draw per (receiver, delivering sender ≠ receiver)
+        // pair, in ascending receiver-major order — the draw sequence is
+        // part of the per-seed determinism contract, so the link plane
+        // port keeps the loop shape and only drops the `EdgeSet` return.
         for v in NodeId::all(n) {
-            for u in view.deliverers.iter() {
-                if u != v && self.rng.next_bool(self.p) {
-                    e.insert(u, v);
+            let (rng, p) = (&mut self.rng, self.p);
+            view.deliverers.for_each(|u| {
+                if u != v && rng.next_bool(p) {
+                    out.insert(u, v);
                 }
-            }
+            });
         }
-        e
     }
 
     fn name(&self) -> &'static str {

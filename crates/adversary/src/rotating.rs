@@ -1,6 +1,7 @@
 use adn_graph::EdgeSet;
 use adn_types::NodeId;
 
+use crate::runs::SenderList;
 use crate::{Adversary, AdversaryView};
 
 /// Gives every fault-free receiver exactly `d` delivering in-neighbors per
@@ -13,8 +14,8 @@ use crate::{Adversary, AdversaryView};
 #[derive(Debug, Clone)]
 pub struct Rotating {
     d: usize,
-    /// Reusable per-receiver scratch of candidate senders.
-    senders: Vec<NodeId>,
+    /// Reusable ascending deliverer list (see [`SenderList`]).
+    senders: SenderList,
 }
 
 impl Rotating {
@@ -27,7 +28,7 @@ impl Rotating {
         assert!(d > 0, "degree must be positive");
         Rotating {
             d,
-            senders: Vec::new(),
+            senders: SenderList::default(),
         }
     }
 
@@ -35,48 +36,23 @@ impl Rotating {
     pub fn degree(&self) -> usize {
         self.d
     }
-
-    /// Inserts the links of the full-list index run `[a, b)` into `v`'s
-    /// row. The run is contiguous in the ascending deliverer list, so it
-    /// covers exactly the deliverers in the id range
-    /// `[senders[a], senders[b-1]]` — one word-parallel range OR.
-    fn insert_run(
-        &self,
-        view: &AdversaryView<'_>,
-        out: &mut EdgeSet,
-        v: NodeId,
-        a: usize,
-        b: usize,
-    ) {
-        out.insert_range_from(v, view.deliverers, self.senders[a], self.senders[b - 1]);
-    }
 }
 
 impl Adversary for Rotating {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
-        let mut e = EdgeSet::empty(view.params.n());
-        self.edges_into(view, &mut e);
-        e
-    }
-
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;
         // Receiver v's candidate list is "deliverers minus v" in ascending
-        // order. Build the ascending deliverer list once per round; each
-        // receiver's list is that list with its own rank skipped, so the
-        // rotation window maps to at most two contiguous index runs — each
-        // OR'd into the receiver's row as a word-parallel id range instead
-        // of one asserted insert (plus two modulos) per link.
-        self.senders.clear();
-        self.senders.extend(view.deliverers.iter());
-        let m = self.senders.len();
+        // order; the rotation window maps to at most two contiguous index
+        // runs of it — each OR'd into the receiver's row as a
+        // word-parallel id range instead of one asserted insert (plus two
+        // modulos) per link.
+        let m = self.senders.begin_round(view);
         if m == 0 {
             return;
         }
         for v in NodeId::all(n) {
-            // Rank of v among the deliverers, if it is one.
-            let rank = self.senders.binary_search(&v).ok();
+            let rank = self.senders.rank_of(v);
             let len = m - usize::from(rank.is_some());
             if len == 0 {
                 continue;
@@ -87,21 +63,10 @@ impl Adversary for Rotating {
             let start = (t * d + v.index()) % len;
             // The window [start, start + d) mod len, split at the wrap.
             let first = d.min(len - start);
-            for (a, b) in [(start, start + first), (0, d - first)] {
-                if a == b {
-                    continue;
-                }
-                // Map the reduced-list run [a, b) back onto the full
-                // list, stepping over v's own rank.
-                match rank {
-                    Some(p) if a < p && b > p => {
-                        self.insert_run(view, out, v, a, p);
-                        self.insert_run(view, out, v, p + 1, b + 1);
-                    }
-                    Some(p) if a >= p => self.insert_run(view, out, v, a + 1, b + 1),
-                    _ => self.insert_run(view, out, v, a, b),
-                }
-            }
+            self.senders
+                .insert_reduced_run(view, out, v, rank, start, start + first);
+            self.senders
+                .insert_reduced_run(view, out, v, rank, 0, d - first);
         }
     }
 

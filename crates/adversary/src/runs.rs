@@ -1,0 +1,79 @@
+//! Shared scratch for the windowed adversaries.
+//!
+//! [`Rotating`](crate::Rotating) and [`Staggered`](crate::Staggered) both
+//! pick, per receiver `v`, a contiguous index window of the list
+//! "delivering senders minus `v`" in ascending id order. Building that
+//! reduced list per receiver costs one `Vec` per (receiver, round) pair —
+//! the allocation the word-parallel link plane exists to avoid. Instead,
+//! [`SenderList`] holds the ascending *full* deliverer list (refilled in
+//! place once per round) and maps each reduced-list index run onto at most
+//! two contiguous id ranges of the deliverer set, each OR'd into the
+//! receiver's row word-parallel.
+
+use adn_graph::EdgeSet;
+use adn_types::NodeId;
+
+use crate::AdversaryView;
+
+/// Reusable ascending list of the round's delivering senders plus the
+/// reduced-list run mapping (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SenderList {
+    senders: Vec<NodeId>,
+}
+
+impl SenderList {
+    /// Refills the list from the round's deliverers (capacity-preserving)
+    /// and returns its length.
+    pub fn begin_round(&mut self, view: &AdversaryView<'_>) -> usize {
+        self.senders.clear();
+        self.senders.extend(view.deliverers.iter());
+        self.senders.len()
+    }
+
+    /// Position of `v` in the list, if `v` is itself a deliverer.
+    pub fn rank_of(&self, v: NodeId) -> Option<usize> {
+        self.senders.binary_search(&v).ok()
+    }
+
+    /// Inserts the links of the full-list index run `[a, b)` into `v`'s
+    /// row. The run is contiguous in the ascending deliverer list, so it
+    /// covers exactly the deliverers in the id range
+    /// `[senders[a], senders[b-1]]` — one word-parallel range OR.
+    fn insert_run(
+        &self,
+        view: &AdversaryView<'_>,
+        out: &mut EdgeSet,
+        v: NodeId,
+        a: usize,
+        b: usize,
+    ) {
+        out.insert_range_from(v, view.deliverers, self.senders[a], self.senders[b - 1]);
+    }
+
+    /// Inserts the links of the **reduced-list** ("deliverers minus `v`")
+    /// index run `[a, b)` into `v`'s row, stepping over `v`'s own rank
+    /// (`rank`, as returned by [`SenderList::rank_of`]). Empty runs are
+    /// no-ops.
+    pub fn insert_reduced_run(
+        &self,
+        view: &AdversaryView<'_>,
+        out: &mut EdgeSet,
+        v: NodeId,
+        rank: Option<usize>,
+        a: usize,
+        b: usize,
+    ) {
+        if a == b {
+            return;
+        }
+        match rank {
+            Some(p) if a < p && b > p => {
+                self.insert_run(view, out, v, a, p);
+                self.insert_run(view, out, v, p + 1, b + 1);
+            }
+            Some(p) if a >= p => self.insert_run(view, out, v, a + 1, b + 1),
+            _ => self.insert_run(view, out, v, a, b),
+        }
+    }
+}

@@ -1,8 +1,10 @@
 use std::fmt;
 
+use adn_types::{NodeId, Round};
+
 use crate::{
-    AdaptiveClosest, Adversary, Alternating, Complete, OmitOne, OmitRule, Partition, RandomLinks,
-    Rotating, Silence, Spread, Staggered, Theorem10Split,
+    AdaptiveClosest, Adversary, Alternating, Complete, Eventually, Isolate, OmitOne, OmitRule,
+    Partition, RandomLinks, Rotating, Silence, Spread, Staggered, Theorem10Split,
 };
 
 /// Declarative description of an adversary, used by experiment configs,
@@ -60,6 +62,37 @@ pub enum AdversarySpec {
     /// dropping the currently-lowest-valued sender — exactly (1, n−2)
     /// (Corollary 1).
     OmitLowest,
+    /// Like [`AdversarySpec::OmitLowest`] but dropping the
+    /// currently-highest-valued sender.
+    OmitHighest,
+    /// Like [`AdversarySpec::OmitLowest`] but rotating the dropped sender
+    /// round-robin — maximally fair, still exactly (1, n−2).
+    OmitRoundRobin,
+    /// Two disjoint cliques split at an explicit index (`0..split` and
+    /// `split..n`); [`AdversarySpec::PartitionHalves`] is the
+    /// `split = n/2` special case.
+    PartitionAt {
+        /// First index of the second group.
+        split: usize,
+    },
+    /// Silent until the stabilization round, then the complete graph
+    /// forever — the eventually-stable network model of the early
+    /// dynamic-network literature (§III).
+    EventuallyStable {
+        /// First round with links.
+        round: u64,
+    },
+    /// Complete graph except one victim is cut off (neither sends nor
+    /// receives) for a stretch of rounds — the straggler scenario behind
+    /// DAC's jump rule.
+    IsolateOne {
+        /// Index of the isolated node.
+        victim: usize,
+        /// First round of the outage.
+        from: u64,
+        /// Outage length in rounds.
+        duration: u64,
+    },
     /// Rotating receiver groups served one per round (creates phase skew).
     Staggered {
         /// Per-turn in-degree.
@@ -101,6 +134,21 @@ impl AdversarySpec {
             AdversarySpec::Random { p } => Box::new(RandomLinks::new(p, seed)),
             AdversarySpec::AdaptiveClosest { d } => Box::new(AdaptiveClosest::new(d)),
             AdversarySpec::OmitLowest => Box::new(OmitOne::new(OmitRule::LowestValue)),
+            AdversarySpec::OmitHighest => Box::new(OmitOne::new(OmitRule::HighestValue)),
+            AdversarySpec::OmitRoundRobin => Box::new(OmitOne::new(OmitRule::RoundRobin)),
+            AdversarySpec::PartitionAt { split } => Box::new(Partition::new(split)),
+            AdversarySpec::EventuallyStable { round } => {
+                Box::new(Eventually::new(Round::new(round)))
+            }
+            AdversarySpec::IsolateOne {
+                victim,
+                from,
+                duration,
+            } => Box::new(Isolate::new(
+                NodeId::new(victim),
+                Round::new(from),
+                duration,
+            )),
             AdversarySpec::Staggered { d, groups } => Box::new(Staggered::new(d, groups)),
             AdversarySpec::DacThreshold => Box::new(Rotating::new(n / 2)),
             AdversarySpec::DbacThreshold => Box::new(Rotating::new((n + 3 * f) / 2)),
@@ -149,6 +197,17 @@ impl fmt::Display for AdversarySpec {
             AdversarySpec::Random { p } => write!(f, "random(p={p})"),
             AdversarySpec::AdaptiveClosest { d } => write!(f, "adaptive-closest(d={d})"),
             AdversarySpec::OmitLowest => write!(f, "omit-lowest"),
+            AdversarySpec::OmitHighest => write!(f, "omit-highest"),
+            AdversarySpec::OmitRoundRobin => write!(f, "omit-round-robin"),
+            AdversarySpec::PartitionAt { split } => write!(f, "partition(split={split})"),
+            AdversarySpec::EventuallyStable { round } => write!(f, "eventually(at={round})"),
+            AdversarySpec::IsolateOne {
+                victim,
+                from,
+                duration,
+            } => {
+                write!(f, "isolate(victim={victim},from={from},len={duration})")
+            }
             AdversarySpec::Staggered { d, groups } => {
                 write!(f, "staggered(d={d},groups={groups})")
             }
@@ -176,6 +235,15 @@ mod tests {
             AdversarySpec::AdaptiveClosest { d: 2 },
             AdversarySpec::Staggered { d: 2, groups: 3 },
             AdversarySpec::OmitLowest,
+            AdversarySpec::OmitHighest,
+            AdversarySpec::OmitRoundRobin,
+            AdversarySpec::PartitionAt { split: 3 },
+            AdversarySpec::EventuallyStable { round: 4 },
+            AdversarySpec::IsolateOne {
+                victim: 2,
+                from: 1,
+                duration: 5,
+            },
             AdversarySpec::DacThreshold,
             AdversarySpec::DbacThreshold,
         ];
@@ -209,6 +277,19 @@ mod tests {
         assert_eq!(
             AdversarySpec::Spread { t: 3, d: 5 }.to_string(),
             "spread(T=3,d=5)"
+        );
+        assert_eq!(
+            AdversarySpec::IsolateOne {
+                victim: 2,
+                from: 1,
+                duration: 5
+            }
+            .to_string(),
+            "isolate(victim=2,from=1,len=5)"
+        );
+        assert_eq!(
+            AdversarySpec::EventuallyStable { round: 7 }.to_string(),
+            "eventually(at=7)"
         );
     }
 }

@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, NodeSet};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -13,23 +13,35 @@ use crate::{Adversary, AdversaryView};
 /// node can complete at most one quorum per window, so phases take ~`T`
 /// rounds each.
 ///
-/// Window boundaries are aligned to multiples of `T` from round 0. Within
-/// window position `k`, receivers hear from their sender slice
-/// `[k·d/T, (k+1)·d/T)` — every window delivers exactly the senders
-/// `0..d` (per receiver), so *any* window of `T` consecutive rounds
-/// aggregates at least... exactly `d` distinct senders when aligned, and at
-/// least `d` when straddling two aligned windows only if the slices align;
-/// the checker tests below pin the exact guarantee: aligned windows give
-/// `d`, arbitrary windows give at least the largest slice sum, which the
-/// constructor keeps ≥ the per-window minimum by reusing the same slice
-/// order in every window. Straddling windows cover a suffix of one window
-/// and a prefix of the next, which together contain every slice index at
-/// most once but all `T` slice positions exactly once — hence also exactly
-/// the `d` distinct senders. (Slices are a partition of `0..d`.)
-#[derive(Debug, Clone, Copy)]
+/// Window boundaries are aligned to multiples of `T` from round 0. At
+/// window position `k` each receiver hears the next
+/// `slice(k) = [k·d/T, (k+1)·d/T)` (a partition of `0..d`) **fresh**
+/// delivering senders in ascending id order — "fresh" meaning not yet
+/// heard by that receiver this window. With a stable deliverer set this
+/// is exactly the id slice `[k·d/T, (k+1)·d/T)` of the ascending
+/// "deliverers minus me" list, so every window delivers the *same* `d`
+/// senders: aligned windows aggregate exactly `d` distinct in-neighbors,
+/// and straddling windows (a suffix of one window plus a prefix of the
+/// next) cover every slice position exactly once, hence also exactly `d`.
+///
+/// When the deliverer set shifts **mid-window** (a sender crashes, or a
+/// silent node resumes), freshness is what preserves the live-sender
+/// guarantee: a naive re-slicing of the shrunk/grown list would re-deliver
+/// already-heard senders and silently drop the per-window distinct count
+/// below `d`, whereas the fresh-sender discipline keeps handing out
+/// unheard live senders until the window's `d` slots (or the live senders)
+/// run out — every aligned window still aggregates at least
+/// `min(d, live senders at the window's end − 1)` distinct in-neighbors
+/// (minus one because a receiver never hears itself). The
+/// tests below and the crash-schedule fuzz in `tests/adversary_guarantees.rs`
+/// pin both regimes.
+#[derive(Debug, Clone)]
 pub struct Spread {
     t_window: usize,
     d: usize,
+    /// Per-receiver senders already heard in the current window
+    /// (lazily sized to the system's `n`, then reused round over round).
+    heard: Vec<NodeSet>,
 }
 
 impl Spread {
@@ -41,7 +53,11 @@ impl Spread {
     pub fn new(t_window: usize, d: usize) -> Self {
         assert!(t_window > 0, "window must be at least 1");
         assert!(d > 0, "degree must be positive");
-        Spread { t_window, d }
+        Spread {
+            t_window,
+            d,
+            heard: Vec::new(),
+        }
     }
 
     /// The window length `T`.
@@ -64,20 +80,28 @@ impl Spread {
 }
 
 impl Adversary for Spread {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
-        let mut e = EdgeSet::empty(n);
+        if self.heard.len() != n {
+            self.heard = (0..n).map(|_| NodeSet::new(n)).collect();
+        }
         let k = (view.round.as_u64() as usize) % self.t_window;
-        let range = self.slice(k);
-        for v in NodeId::all(n) {
-            let senders = view.senders_for(v);
-            for offset in range.clone() {
-                if let Some(&u) = senders.get(offset) {
-                    e.insert(u, v);
-                }
+        if k == 0 {
+            // A new window: every receiver is owed d fresh senders again.
+            for heard in &mut self.heard {
+                heard.clear();
             }
         }
-        e
+        let installment = self.slice(k).len();
+        if installment == 0 {
+            return;
+        }
+        for v in NodeId::all(n) {
+            // The next `installment` lowest-id delivering senders this
+            // receiver has not heard this window, in one word-parallel
+            // sweep that also advances the window's heard-set.
+            out.insert_lowest_from(v, view.deliverers, &mut self.heard[v.index()], installment);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -89,7 +113,8 @@ impl Adversary for Spread {
 mod tests {
     use super::*;
     use crate::testutil::record;
-    use adn_graph::checker;
+    use adn_graph::{checker, Schedule};
+    use adn_types::{Params, Phase, Round, Value};
 
     #[test]
     fn slices_partition_degree() {
@@ -131,6 +156,53 @@ mod tests {
         let sched = record(&mut Spread::new(4, 2), 5, 8);
         let empties = sched.iter().filter(|(_, e)| e.edge_count() == 0).count();
         assert_eq!(empties, 4);
+    }
+
+    #[test]
+    fn mid_window_deliverer_shift_never_repeats_a_sender() {
+        // n = 7, T = 2, d = 4, receiver 6. Round 0: node 0 silent, so the
+        // first installment is {1, 2}. Round 1: node 0 resumes. A naive
+        // re-slicing of the grown list would deliver index slice [2, 4) =
+        // {2, 3} — repeating sender 2 and leaving the window one distinct
+        // sender short. The fresh-sender discipline delivers {0, 3}
+        // instead, so the aligned window still aggregates d = 4.
+        let n = 7;
+        let params = Params::new(n, 0, 0.1).unwrap();
+        let phases = vec![Phase::ZERO; n];
+        let values: Vec<Value> = (0..n)
+            .map(|i| Value::saturating(i as f64 / n as f64))
+            .collect();
+        let honest = NodeSet::full(n);
+        let mut adv = Spread::new(2, 4);
+        let mut schedule = Schedule::new(n);
+        for t in 0..2u64 {
+            let mut deliverers = NodeSet::full(n);
+            if t == 0 {
+                deliverers.remove(NodeId::new(0));
+            }
+            let view = AdversaryView {
+                round: Round::new(t),
+                params,
+                phases: &phases,
+                values: &values,
+                deliverers: &deliverers,
+                honest: &honest,
+            };
+            schedule.push(adv.edges(&view));
+        }
+        let v = NodeId::new(6);
+        let round = |t: u64| -> Vec<usize> {
+            schedule
+                .round(Round::new(t))
+                .unwrap()
+                .in_neighbors(v)
+                .iter()
+                .map(|u| u.index())
+                .collect()
+        };
+        assert_eq!(round(0), vec![1, 2]);
+        assert_eq!(round(1), vec![0, 3], "must skip the already-heard 1, 2");
+        assert_eq!(checker::max_dyna_degree(&schedule, 2, &[]), Some(4));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use adn_graph::EdgeSet;
 use adn_types::NodeId;
 
+use crate::runs::SenderList;
 use crate::{Adversary, AdversaryView};
 
 /// Staggers progress: each round only the receivers of one of `groups`
@@ -15,10 +16,12 @@ use crate::{Adversary, AdversaryView};
 /// in-neighbors have already advanced never hears its own phase again
 /// unless senders retransmit history — the §VII piggybacking trade-off,
 /// experiment E13).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Staggered {
     d: usize,
     groups: usize,
+    /// Reusable ascending deliverer list (see [`SenderList`]).
+    senders: SenderList,
 }
 
 impl Staggered {
@@ -31,7 +34,11 @@ impl Staggered {
     pub fn new(d: usize, groups: usize) -> Self {
         assert!(d > 0, "degree must be positive");
         assert!(groups > 0, "need at least one group");
-        Staggered { d, groups }
+        Staggered {
+            d,
+            groups,
+            senders: SenderList::default(),
+        }
     }
 
     /// The per-turn degree.
@@ -46,26 +53,34 @@ impl Staggered {
 }
 
 impl Adversary for Staggered {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;
         let turn = t % self.groups;
-        let mut e = EdgeSet::empty(n);
+        // Same rotation-window shape as `Rotating`, restricted to the
+        // round's receiver group: the window over "deliverers minus v"
+        // maps to at most two contiguous id ranges, OR'd word-parallel.
+        let m = self.senders.begin_round(view);
+        if m == 0 {
+            return;
+        }
         for v in NodeId::all(n) {
             if v.index() % self.groups != turn {
                 continue;
             }
-            let senders = view.senders_for(v);
-            if senders.is_empty() {
+            let rank = self.senders.rank_of(v);
+            let len = m - usize::from(rank.is_some());
+            if len == 0 {
                 continue;
             }
-            let d = self.d.min(senders.len());
-            let start = (t * d + v.index()) % senders.len();
-            for k in 0..d {
-                e.insert(senders[(start + k) % senders.len()], v);
-            }
+            let d = self.d.min(len);
+            let start = (t * d + v.index()) % len;
+            let first = d.min(len - start);
+            self.senders
+                .insert_reduced_run(view, out, v, rank, start, start + first);
+            self.senders
+                .insert_reduced_run(view, out, v, rank, 0, d - first);
         }
-        e
     }
 
     fn name(&self) -> &'static str {

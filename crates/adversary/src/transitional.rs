@@ -35,20 +35,16 @@ impl Eventually {
 }
 
 impl Adversary for Eventually {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
-        let n = view.params.n();
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         if view.round < self.stabilize_at {
-            return EdgeSet::empty(n);
+            // Still chaotic: deliver nothing (`out` arrives cleared).
+            return;
         }
-        let mut e = EdgeSet::empty(n);
-        for v in NodeId::all(n) {
-            for u in view.deliverers.iter() {
-                if u != v {
-                    e.insert(u, v);
-                }
-            }
+        // Stabilized: the complete graph, one word-parallel row copy per
+        // receiver, exactly as [`crate::Complete`].
+        for v in NodeId::all(view.params.n()) {
+            out.assign_in_neighbors(v, view.deliverers);
         }
-        e
     }
 
     fn name(&self) -> &'static str {
@@ -91,22 +87,18 @@ impl Isolate {
 }
 
 impl Adversary for Isolate {
-    fn edges(&mut self, view: &AdversaryView<'_>) -> EdgeSet {
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let cut = self.is_isolated(view.round);
-        let mut e = EdgeSet::empty(n);
         for v in NodeId::all(n) {
             if cut && v == self.victim {
-                continue;
+                continue; // the victim's row stays empty
             }
-            for u in view.deliverers.iter() {
-                if u == v || (cut && u == self.victim) {
-                    continue;
-                }
-                e.insert(u, v);
+            out.assign_in_neighbors(v, view.deliverers);
+            if cut && self.victim.index() < n {
+                out.remove(self.victim, v);
             }
         }
-        e
     }
 
     fn name(&self) -> &'static str {

@@ -21,6 +21,13 @@
 //! schedule of a default-case simulation grows for the length of one
 //! sample at most. Set `ADN_BENCH_OUT=path` to append JSON records (the
 //! source of `BENCH_round_throughput.json`).
+//!
+//! The **gallery** cases (`dac_spread`, `dac_staggered`, `dac_omit`, at
+//! n ≥ 256 in the default configuration) track the adversary strategies
+//! beyond complete/rotating, whose `edges_into` fills went word-parallel
+//! with the adversary-gallery port — so regressions in the windowed and
+//! omission link builders show up here, not just in the two
+//! engine-dominated cases.
 
 use adn_adversary::AdversarySpec;
 use adn_bench::harness::Runner;
@@ -109,6 +116,42 @@ fn main() {
                     }
                 },
             );
+        }
+
+        // Gallery cases: the windowed and omission adversaries at the
+        // sizes where the link-build cost is visible (default
+        // configuration only — the engine side is already isolated by the
+        // lean/trait variants above).
+        if n >= 256 {
+            for (label, spec) in [
+                ("dac_spread", AdversarySpec::Spread { t: 3, d: n / 2 }),
+                (
+                    "dac_staggered",
+                    AdversarySpec::Staggered {
+                        d: n / 2,
+                        groups: 3,
+                    },
+                ),
+                ("dac_omit", AdversarySpec::OmitLowest),
+            ] {
+                r.bench_batched(
+                    &format!("{label}/{n}"),
+                    BATCH,
+                    || {
+                        Simulation::builder(params)
+                            .inputs_random(1)
+                            .adversary(spec.build(n, 0, 1))
+                            .algorithm(factories::dac_with_pend(params, u64::MAX))
+                            .max_rounds(u64::MAX)
+                            .build()
+                    },
+                    |sim| {
+                        for _ in 0..BATCH {
+                            sim.step();
+                        }
+                    },
+                );
+            }
         }
     }
     r.finish();

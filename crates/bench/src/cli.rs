@@ -8,9 +8,12 @@ use adn_adversary::AdversarySpec;
 /// Grammar (colon-separated arguments):
 ///
 /// * `complete`, `silence`, `partition`, `theorem10`, `figure1`,
-///   `omit-lowest`, `dac-threshold`, `dbac-threshold`
+///   `omit-lowest`, `omit-highest`, `omit-round-robin`, `dac-threshold`,
+///   `dbac-threshold`
 /// * `rotating:<d>`, `adaptive:<d>`, `alternating:<period>`,
-///   `random:<p>`, `spread:<T>:<d>`, `staggered:<d>:<groups>`
+///   `random:<p>`, `spread:<T>:<d>`, `staggered:<d>:<groups>`,
+///   `partition-at:<split>`, `eventually:<round>`,
+///   `isolate:<victim>:<from>:<len>`
 ///
 /// # Errors
 ///
@@ -42,6 +45,8 @@ pub fn parse_spec(s: &str) -> Result<AdversarySpec, String> {
         "theorem10" => want(0).map(|()| AdversarySpec::Theorem10),
         "figure1" => want(0).map(|()| AdversarySpec::Figure1),
         "omit-lowest" => want(0).map(|()| AdversarySpec::OmitLowest),
+        "omit-highest" => want(0).map(|()| AdversarySpec::OmitHighest),
+        "omit-round-robin" => want(0).map(|()| AdversarySpec::OmitRoundRobin),
         "dac-threshold" => want(0).map(|()| AdversarySpec::DacThreshold),
         "dbac-threshold" => want(0).map(|()| AdversarySpec::DbacThreshold),
         "rotating" => {
@@ -75,6 +80,24 @@ pub fn parse_spec(s: &str) -> Result<AdversarySpec, String> {
             Ok(AdversarySpec::Staggered {
                 d: num(0)?,
                 groups: num(1)?,
+            })
+        }
+        "partition-at" => {
+            want(1)?;
+            Ok(AdversarySpec::PartitionAt { split: num(0)? })
+        }
+        "eventually" => {
+            want(1)?;
+            Ok(AdversarySpec::EventuallyStable {
+                round: num(0)? as u64,
+            })
+        }
+        "isolate" => {
+            want(3)?;
+            Ok(AdversarySpec::IsolateOne {
+                victim: num(0)?,
+                from: num(1)? as u64,
+                duration: num(2)? as u64,
             })
         }
         other => Err(format!("unknown adversary {other:?}")),
@@ -155,6 +178,8 @@ mod tests {
             "theorem10",
             "figure1",
             "omit-lowest",
+            "omit-highest",
+            "omit-round-robin",
             "dac-threshold",
             "dbac-threshold",
         ] {
@@ -180,6 +205,22 @@ mod tests {
             parse_spec("random:0.5").unwrap(),
             AdversarySpec::Random { p: 0.5 }
         );
+        assert_eq!(
+            parse_spec("partition-at:3").unwrap(),
+            AdversarySpec::PartitionAt { split: 3 }
+        );
+        assert_eq!(
+            parse_spec("eventually:6").unwrap(),
+            AdversarySpec::EventuallyStable { round: 6 }
+        );
+        assert_eq!(
+            parse_spec("isolate:2:1:5").unwrap(),
+            AdversarySpec::IsolateOne {
+                victim: 2,
+                from: 1,
+                duration: 5
+            }
+        );
     }
 
     #[test]
@@ -187,6 +228,7 @@ mod tests {
         assert!(parse_spec("rotating").is_err());
         assert!(parse_spec("rotating:x").is_err());
         assert!(parse_spec("spread:1").is_err());
+        assert!(parse_spec("isolate:2:1").is_err());
         assert!(parse_spec("wat:1").is_err());
         assert!(parse_spec("complete:1").is_err());
     }

@@ -78,6 +78,55 @@ pub fn run() -> String {
         fig1.all_honest_output(),
     )
     .unwrap();
+
+    // Extended gallery: the transitional adversaries (eventually-stable
+    // model, temporary isolation) and the remaining omission/partition
+    // rules, now reachable from experiment configs. They probe the same
+    // incomparability: an eventually-stable prefix or a one-node outage
+    // breaks every per-round property while windowed dynaDegree (and DAC)
+    // may survive, and vice versa for the asymmetric partitions.
+    let mut t2 = Table::new([
+        "adversary",
+        "dynaDegree D (T=2)",
+        "2-interval connected",
+        "rooted every round",
+        "DAC",
+    ]);
+    let extended = [
+        AdversarySpec::EventuallyStable { round: 6 },
+        AdversarySpec::IsolateOne {
+            victim: 0,
+            from: 2,
+            duration: 6,
+        },
+        AdversarySpec::OmitHighest,
+        AdversarySpec::OmitRoundRobin,
+        AdversarySpec::PartitionAt { split: 3 },
+    ];
+    let rows = TrialPool::new().run(&extended, |&spec| {
+        let outcome = Simulation::builder(params)
+            .adversary(spec.build(n, 0, 3))
+            .algorithm(factories::dac(params))
+            .max_rounds(rounds)
+            .run();
+        let sched = outcome.schedule();
+        [
+            spec.to_string(),
+            checker::max_dyna_degree(sched, 2, &[]).map_or("-".into(), |d| d.to_string()),
+            connectivity::t_interval_connected(sched, 2).to_string(),
+            connectivity::rooted_every_round(sched).to_string(),
+            if outcome.all_honest_output() {
+                format!("ok@{}", outcome.rounds())
+            } else {
+                "blocked".to_string()
+            },
+        ]
+    });
+    writeln!(out, "\nextended gallery (same columns):").unwrap();
+    for row in rows {
+        t2.row(row);
+    }
+    writeln!(out, "{t2}").unwrap();
     out
 }
 

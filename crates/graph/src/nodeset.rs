@@ -240,6 +240,45 @@ impl NodeSet {
             .sum()
     }
 
+    /// Number of members with index strictly below `id` — the position
+    /// `id` holds (or would hold) in the ascending member order. Used by
+    /// adversaries that index into "deliverers minus the receiver": the
+    /// receiver's rank tells them how a reduced-list index maps back onto
+    /// the full set. One popcount per word instead of an O(n) scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= n`.
+    pub fn rank(&self, id: NodeId) -> usize {
+        self.check(id);
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let below: usize = self.words[..w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum();
+        below + (self.words[w] & ((1u64 << b) - 1)).count_ones() as usize
+    }
+
+    /// The `k`-th member in ascending index order (0-based), or `None` if
+    /// the set has at most `k` members — the select counterpart of
+    /// [`NodeSet::rank`]. Walks whole words by popcount, then isolates the
+    /// target bit, instead of stepping an iterator `k` times.
+    pub fn nth(&self, mut k: usize) -> Option<NodeId> {
+        for (wi, word) in self.iter_words() {
+            let c = word.count_ones() as usize;
+            if k >= c {
+                k -= c;
+                continue;
+            }
+            let mut w = word;
+            for _ in 0..k {
+                w &= w - 1;
+            }
+            return Some(NodeId::new(wi * 64 + w.trailing_zeros() as usize));
+        }
+        None
+    }
+
     /// Iterates over members in ascending index order.
     pub fn iter(&self) -> Iter<'_> {
         Iter { set: self, next: 0 }
@@ -568,6 +607,28 @@ mod tests {
         let mut got = Vec::new();
         s.for_each(|id| got.push(id));
         assert_eq!(got, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_counts_members_below() {
+        let s = NodeSet::from_ids(200, ids(&[3, 64, 65, 130, 199]));
+        assert_eq!(s.rank(NodeId::new(0)), 0);
+        assert_eq!(s.rank(NodeId::new(3)), 0, "rank excludes the id itself");
+        assert_eq!(s.rank(NodeId::new(4)), 1);
+        assert_eq!(s.rank(NodeId::new(65)), 2);
+        assert_eq!(s.rank(NodeId::new(199)), 4, "non-member rank also works");
+    }
+
+    #[test]
+    fn nth_selects_in_ascending_order() {
+        let s = NodeSet::from_ids(200, ids(&[3, 64, 65, 130, 199]));
+        let members: Vec<NodeId> = s.iter().collect();
+        for (k, &id) in members.iter().enumerate() {
+            assert_eq!(s.nth(k), Some(id), "k = {k}");
+            assert_eq!(s.rank(id), k, "rank must invert nth");
+        }
+        assert_eq!(s.nth(5), None);
+        assert_eq!(NodeSet::new(10).nth(0), None);
     }
 
     #[test]

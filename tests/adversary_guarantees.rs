@@ -92,6 +92,105 @@ fn staggered_promise_holds() {
 }
 
 #[test]
+fn spread_window_guarantee_survives_mid_window_crashes() {
+    // The documented live-sender guarantee under crashes: every *aligned*
+    // T-window of the realized schedule gives each fault-free receiver at
+    // least min(d, live senders at the window's end − 1) distinct
+    // in-neighbors, however the crash rounds fall against the window
+    // grid. (The fresh-sender installments make this hold; the pre-fix
+    // slice re-indexing silently shrank the count when the deliverer set
+    // shifted mid-window.)
+    for case in 0u64..24 {
+        let mut rng = SplitMix64::new(0x59EAD ^ case);
+        let n = 6 + rng.next_index(7); // 6..13
+        let t_window = 2 + rng.next_index(3); // 2..5
+        let d = 2 + rng.next_index(n - 3); // 2..n-2
+        let f = 1 + rng.next_index(2); // 1..3 crashers
+        let seed = rng.next_u64();
+        let rounds = 6 * t_window as u64;
+        let crash_rounds: Vec<u64> = (0..f).map(|_| rng.next_below(rounds)).collect();
+        let crashes = CrashSchedule::at_rounds(
+            n,
+            crash_rounds
+                .iter()
+                .enumerate()
+                .map(|(k, &r)| (NodeId::new(n - 1 - k), Round::new(r))),
+        );
+        let params = Params::new(n, f, 1e-6).unwrap();
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Spread { t: t_window, d }.build(n, f, seed))
+            .crashes(crashes)
+            .algorithm(factories::dac_with_pend(params, u64::MAX))
+            .max_rounds(rounds)
+            .run();
+        let faulty: Vec<NodeId> = (0..f).map(|k| NodeId::new(n - 1 - k)).collect();
+        let series = checker::window_degree_series(outcome.schedule(), t_window, &faulty);
+        for w in 0..rounds as usize / t_window {
+            let start = w * t_window;
+            let end = (start + t_window - 1) as u64;
+            // Crashed-with-All senders still deliver in their crash
+            // round, so "live at round e" means crash round >= e.
+            let live_end = n - crash_rounds.iter().filter(|&&r| r < end).count();
+            let bound = d.min(live_end - 1);
+            assert!(
+                series[start] >= bound,
+                "case {case}: window [{start}, {end}] gave {} < {bound} \
+                 (n={n}, T={t_window}, d={d}, crashes={crash_rounds:?})",
+                series[start]
+            );
+        }
+    }
+}
+
+#[test]
+fn staggered_window_guarantee_survives_mid_window_crashes() {
+    // Same sweep for Staggered: every aligned `groups`-window serves each
+    // fault-free receiver exactly once with min(d, live − 1) distinct
+    // live senders, so the aligned series is bounded by the end-of-window
+    // live count exactly as for Spread.
+    for case in 0u64..24 {
+        let mut rng = SplitMix64::new(0x57A66 ^ case);
+        let n = 6 + rng.next_index(7); // 6..13
+        let groups = 2 + rng.next_index(3); // 2..5
+        let d = 2 + rng.next_index(n - 3); // 2..n-2
+        let f = 1 + rng.next_index(2); // 1..3 crashers
+        let seed = rng.next_u64();
+        let rounds = 6 * groups as u64;
+        let crash_rounds: Vec<u64> = (0..f).map(|_| rng.next_below(rounds)).collect();
+        let crashes = CrashSchedule::at_rounds(
+            n,
+            crash_rounds
+                .iter()
+                .enumerate()
+                .map(|(k, &r)| (NodeId::new(n - 1 - k), Round::new(r))),
+        );
+        let params = Params::new(n, f, 1e-6).unwrap();
+        let outcome = Simulation::builder(params)
+            .inputs_random(seed)
+            .adversary(AdversarySpec::Staggered { d, groups }.build(n, f, seed))
+            .crashes(crashes)
+            .algorithm(factories::dac_with_pend(params, u64::MAX))
+            .max_rounds(rounds)
+            .run();
+        let faulty: Vec<NodeId> = (0..f).map(|k| NodeId::new(n - 1 - k)).collect();
+        let series = checker::window_degree_series(outcome.schedule(), groups, &faulty);
+        for w in 0..rounds as usize / groups {
+            let start = w * groups;
+            let end = (start + groups - 1) as u64;
+            let live_end = n - crash_rounds.iter().filter(|&&r| r < end).count();
+            let bound = d.min(live_end - 1);
+            assert!(
+                series[start] >= bound,
+                "case {case}: window [{start}, {end}] gave {} < {bound} \
+                 (n={n}, groups={groups}, d={d}, crashes={crash_rounds:?})",
+                series[start]
+            );
+        }
+    }
+}
+
+#[test]
 fn rotating_routes_around_crashed_senders() {
     for case in 0u64..32 {
         let mut rng = SplitMix64::new(0xC4A ^ case);

@@ -4,9 +4,10 @@
 //! performs **zero** heap allocations per round for DAC and DBAC runs in
 //! lean observability mode (no schedule recording, no phase multisets —
 //! both are history *recording*, inherently growing, and both default to
-//! on for analysis runs). The same counter pins the sliding-window
-//! dynaDegree checker: once its `WindowUnion` scratch exists, a full
-//! sweep across a recording allocates nothing.
+//! on for analysis runs). The same counter pins every adversary in the
+//! gallery — each one fills the reused edge set in place — and the
+//! sliding-window dynaDegree checker: once its `WindowUnion` scratch
+//! exists, a full sweep across a recording allocates nothing.
 //!
 //! This file contains exactly one `#[test]` so no concurrent test can
 //! pollute the allocation counter.
@@ -107,6 +108,63 @@ fn steady_state_step_performs_zero_allocations() {
             "{name}: batch capacities changed in the measured window"
         );
         assert!(sim.stopped().is_none(), "{name}: must still be running");
+    }
+
+    // --- The adversary gallery: every strategy's `edges_into` must fill
+    // the engine's reused edge set without allocating once its own
+    // scratch (deliverer lists, heard-sets, sort buffers) has warmed up.
+    // All runs take the default (plane) path at n = 32; Figure 1 is the
+    // same code path as AlternatingComplete at a fixed n = 3, so it is
+    // covered by proxy. ---
+    let n = 32;
+    let gallery = [
+        AdversarySpec::Silence,
+        AdversarySpec::Rotating { d: n / 2 },
+        AdversarySpec::Spread { t: 3, d: n / 2 },
+        AdversarySpec::Staggered {
+            d: n / 2,
+            groups: 3,
+        },
+        AdversarySpec::AlternatingComplete { period: 2 },
+        AdversarySpec::PartitionHalves,
+        AdversarySpec::PartitionAt { split: 5 },
+        AdversarySpec::Theorem10,
+        AdversarySpec::Random { p: 0.4 },
+        AdversarySpec::AdaptiveClosest { d: n / 2 },
+        AdversarySpec::OmitLowest,
+        AdversarySpec::OmitHighest,
+        AdversarySpec::OmitRoundRobin,
+        AdversarySpec::EventuallyStable { round: 5 },
+        AdversarySpec::IsolateOne {
+            victim: 3,
+            from: 0,
+            duration: 1_000, // outage spans the whole measured window
+        },
+    ];
+    for spec in gallery {
+        let params = Params::fault_free(n, 1e-6).unwrap();
+        let mut sim = Simulation::builder(params)
+            .inputs_random(1)
+            .adversary(spec.build(n, 0, 7))
+            .algorithm(factories::dac_with_pend(params, u64::MAX))
+            .record_schedule(false)
+            .observe_phases(false)
+            .max_rounds(u64::MAX)
+            .build();
+        for _ in 0..70 {
+            sim.step();
+        }
+        let before = allocations();
+        for _ in 0..30 {
+            sim.step();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{spec}: steady-state step allocated ({} allocations over 30 rounds)",
+            after - before
+        );
     }
 
     // --- The sliding-window dynaDegree checker. Setup (the recording,
