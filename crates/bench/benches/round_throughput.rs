@@ -28,10 +28,19 @@
 //! with the adversary-gallery port — so regressions in the windowed and
 //! omission link builders show up here, not just in the two
 //! engine-dominated cases.
+//!
+//! The **order/wire** cases (`dac_shuffled`, `dac_quantized`, each with a
+//! `_trait` reference, at n ≥ 256) track the permutation-aware plane:
+//! shuffled-order delivery driving the sender-major loop through the
+//! shared per-round permutation, and quantized runs on the
+//! `QuantizedPlane` wire-encoding adaptor — both previously locked to the
+//! per-node trait path.
 
 use adn_adversary::AdversarySpec;
 use adn_bench::harness::Runner;
-use adn_sim::{factories, PlaneMode, Simulation};
+use adn_net::codec::Precision;
+use adn_sim::quantized::quantized_factory;
+use adn_sim::{factories, DeliveryOrder, PlaneMode, Simulation};
 use adn_types::Params;
 
 /// Rounds stepped per timed call.
@@ -116,6 +125,53 @@ fn main() {
                     }
                 },
             );
+        }
+
+        // Order/wire cases: the shuffled delivery order and the quantized
+        // wire format, each on the plane and on its trait-path reference —
+        // the head-to-head for the permutation-aware columnar path.
+        if n >= 256 {
+            for case in [Case::Default, Case::TraitPath] {
+                let suffix = case.suffix();
+                r.bench_batched(
+                    &format!("dac_shuffled{suffix}/{n}"),
+                    BATCH,
+                    || {
+                        Simulation::builder(params)
+                            .inputs_random(1)
+                            .delivery_order(DeliveryOrder::Shuffled(7))
+                            .algorithm(factories::dac_with_pend(params, u64::MAX))
+                            .algorithm_plane(case.plane())
+                            .max_rounds(u64::MAX)
+                            .build()
+                    },
+                    |sim| {
+                        for _ in 0..BATCH {
+                            sim.step();
+                        }
+                    },
+                );
+                r.bench_batched(
+                    &format!("dac_quantized{suffix}/{n}"),
+                    BATCH,
+                    || {
+                        Simulation::builder(params)
+                            .inputs_random(1)
+                            .algorithm(quantized_factory(
+                                factories::dac_with_pend(params, u64::MAX),
+                                Precision::new(11),
+                            ))
+                            .algorithm_plane(case.plane())
+                            .max_rounds(u64::MAX)
+                            .build()
+                    },
+                    |sim| {
+                        for _ in 0..BATCH {
+                            sim.step();
+                        }
+                    },
+                );
+            }
         }
 
         // Gallery cases: the windowed and omission adversaries at the

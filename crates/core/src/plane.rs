@@ -73,10 +73,24 @@ pub trait AlgorithmPlane: fmt::Debug {
     /// termination rule fires).
     fn outputs(&self) -> &[Option<Value>];
 
-    /// Delivers one sender's staged broadcast `msg` to every receiver in
-    /// `receivers`, in ascending receiver order. `ports[v]` is the local
-    /// port receiver `v` hears this sender on (the sender's transposed
-    /// port column). The sender itself is never in `receivers`
+    /// Maps one outgoing honest broadcast to what actually crosses the
+    /// wire. The identity by default; wire-format adaptors (the quantized
+    /// plane in `adn-sim`) override it to snap the value to their codec
+    /// grid. The engine calls it **once per transmitting non-Byzantine
+    /// sender per round** — anonymity means every receiver sees the same
+    /// encoded message, so per-link encoding would be redundant work —
+    /// and routes Byzantine fabrications around it (a strategy's batch
+    /// already is the wire content, exactly as on the trait path, where
+    /// fabrications bypass the `Quantized` broadcast wrapper too).
+    fn encode_wire(&self, msg: Message) -> Message {
+        msg
+    }
+
+    /// Delivers one sender's staged broadcast `msg` (already passed
+    /// through [`AlgorithmPlane::encode_wire`] by the engine) to every
+    /// receiver in `receivers`, in ascending receiver order. `ports[v]`
+    /// is the local port receiver `v` hears this sender on (the sender's
+    /// transposed port column). The sender itself is never in `receivers`
     /// (self-delivery is internal, as for the trait path).
     fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]);
 
@@ -760,6 +774,16 @@ mod tests {
             assert_eq!(plane.seen_count[v], 1, "slot {v}");
             assert_eq!(plane.vmax[v], val(0.9), "slot {v}");
         }
+    }
+
+    #[test]
+    fn encode_wire_defaults_to_identity() {
+        let params = Params::fault_free(3, 0.25).unwrap();
+        let dac = DacPlane::new(params, &[Value::HALF; 3]);
+        let dbac = DbacPlane::with_pend(Params::new(6, 1, 0.1).unwrap(), &[Value::HALF; 6], 3);
+        let m = msg(0.3, 2);
+        assert_eq!(dac.encode_wire(m), m);
+        assert_eq!(dbac.encode_wire(m), m);
     }
 
     #[test]

@@ -117,10 +117,20 @@ pub fn satisfies_dyna_degree(
 }
 
 /// The smallest window `T` for which the recording satisfies
-/// (T, D)-dynaDegree, searching `1..=max_t`. `None` if no such window
-/// exists within the bound (or the recording is shorter than the candidate
-/// windows, which vacuously succeed — the search therefore only considers
-/// windows that fully fit).
+/// (T, D)-dynaDegree, searching `1..=max_t`.
+///
+/// Only window lengths that **fully fit** in the recording
+/// (`T <= schedule.len()`) are candidates. A longer window is vacuously
+/// satisfied by Def. 1 — the recording contains no full window to violate
+/// it — but reporting one would claim positive evidence the recording
+/// cannot provide, so the search clamps `max_t` to `schedule.len()` and
+/// returns `None` when no fitting window reaches `d`, even if
+/// `max_t > schedule.len()`. (Same resolution as
+/// [`max_dyna_degree`] returning `None` for too-short recordings while
+/// [`satisfies_dyna_degree`] maps that to a vacuous `true`; callers that
+/// want the vacuous reading can test `schedule.len() < t` themselves.)
+/// The boundary is pinned by tests at `T == len` (a candidate) and
+/// `T == len + 1` (never reported).
 ///
 /// # Panics
 ///
@@ -274,6 +284,35 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         max_dyna_degree(&figure1(2), 0, &[]);
+    }
+
+    /// Boundary audit of `min_window_for_degree` at the recording edge: a
+    /// window exactly as long as the recording is a candidate, one round
+    /// longer never is — a vacuously-satisfied window must not be
+    /// reported as positive evidence.
+    #[test]
+    fn min_window_boundary_at_recording_length() {
+        // Receiver 0 hears one distinct sender per round over 4 rounds:
+        // D = 4 is first (and only) reached by the full-length window.
+        let n = 5;
+        let len = 4usize;
+        let mut s = Schedule::new(n);
+        for t in 0..len {
+            s.push(EdgeSet::from_pairs(n, [(1 + t, 0)]));
+        }
+        let faulty: Vec<NodeId> = (1..n).map(NodeId::new).collect();
+        // T == len fits and satisfies: reported.
+        assert_eq!(min_window_for_degree(&s, 4, len, &faulty), Some(len));
+        // T == len + 1 in the bound changes nothing — the answer is still
+        // the fitting window.
+        assert_eq!(min_window_for_degree(&s, 4, len + 1, &faulty), Some(len));
+        // D = 5 is unreachable by any fitting window; the len + 1 window
+        // would be vacuously satisfied but is clamped away, so the search
+        // reports None rather than a verdict the recording cannot back.
+        assert_eq!(min_window_for_degree(&s, 5, len, &faulty), None);
+        assert_eq!(min_window_for_degree(&s, 5, len + 1, &faulty), None);
+        // The vacuous reading remains available through the satisfier.
+        assert!(satisfies_dyna_degree(&s, len + 1, 5, &faulty));
     }
 
     #[test]

@@ -94,9 +94,14 @@ pub struct RoundBuffers {
     /// The realized delivery graph (chosen links whose sender actually
     /// delivered something).
     pub realized: EdgeSet,
-    /// Per-receiver in-neighbor scratch, reordered per the delivery
-    /// order.
-    pub in_neighbors: Vec<NodeId>,
+    /// The round's shared sender permutation for the non-ascending
+    /// delivery orders: every active sender id exactly once, in the order
+    /// *every* receiver processes its deliveries this round (descending
+    /// ids, or the round's seeded shuffle of all `n` ids with inactive
+    /// senders masked out, order-preserving). Ascending-order rounds
+    /// leave it empty — they walk the `chosen ∩ active` bitset words
+    /// directly.
+    pub perm: Vec<NodeId>,
     /// Scratch for the fault-free value trace.
     pub ff_values: Vec<Value>,
     /// Per-sender delivery class, computed once per round after broadcast
@@ -135,7 +140,7 @@ impl RoundBuffers {
             honest: NodeSet::new(n),
             chosen: EdgeSet::empty(n),
             realized: EdgeSet::empty(n),
-            in_neighbors: Vec::with_capacity(n),
+            perm: Vec::with_capacity(n),
             ff_values: Vec::with_capacity(n),
             classes: vec![SenderClass::Silent; n],
             active: NodeSet::new(n),
@@ -174,7 +179,7 @@ impl RoundBuffers {
         self.honest.clear();
         self.chosen.clear();
         self.realized.clear();
-        self.in_neighbors.clear();
+        self.perm.clear();
         self.ff_values.clear();
         self.classes.fill(SenderClass::Silent);
         self.active.clear();
@@ -205,7 +210,7 @@ mod tests {
         b.honest.insert(NodeId::new(1));
         b.chosen.insert(NodeId::new(0), NodeId::new(1));
         b.realized.insert(NodeId::new(0), NodeId::new(1));
-        b.in_neighbors.push(NodeId::new(0));
+        b.perm.push(NodeId::new(0));
         b.ff_values.push(Value::ONE);
         b.classes[1] = SenderClass::Byzantine;
         b.active.insert(NodeId::new(1));
@@ -221,7 +226,7 @@ mod tests {
         assert!(b.honest.is_empty());
         assert_eq!(b.chosen.edge_count(), 0);
         assert_eq!(b.realized.edge_count(), 0);
-        assert!(b.in_neighbors.is_empty());
+        assert!(b.perm.is_empty());
         assert!(b.ff_values.is_empty());
         assert_eq!(b.classes[1], SenderClass::Silent);
         assert!(b.active.is_empty());

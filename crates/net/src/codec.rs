@@ -84,6 +84,16 @@ pub fn dequantize(index: u64, precision: Precision) -> Value {
     Value::saturating(index as f64 / levels as f64)
 }
 
+/// Snaps a value to its nearest grid point — the quantize/dequantize
+/// round trip a `B`-bit wire applies to every transmitted value. Both
+/// wire-format adaptors (the per-node `Quantized` wrapper and the
+/// columnar `QuantizedPlane`, in `adn-sim`) route through this one
+/// function, so the two execution paths compute bit-identical floats.
+#[inline]
+pub fn snap(v: Value, precision: Precision) -> Value {
+    dequantize(quantize(v, precision), precision)
+}
+
 /// Encodes a message: varint phase, then the quantized value in
 /// `ceil((bits+1)/8)` little-endian bytes (the `+1` accommodates the
 /// inclusive top grid point `2^bits`).
@@ -181,6 +191,18 @@ mod tests {
                 v.distance(back) <= half_step + 1e-15,
                 "{v} -> {back} error exceeds half a grid step"
             );
+        }
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_on_grid() {
+        let p = Precision::new(5); // grid step 1/32
+        for i in 0..=100 {
+            let v = val(i as f64 / 100.0);
+            let s = snap(v, p);
+            let scaled = s.get() * 32.0;
+            assert!((scaled - scaled.round()).abs() < 1e-12, "{s} off-grid");
+            assert_eq!(snap(s, p), s, "snap must be idempotent");
         }
     }
 

@@ -16,10 +16,11 @@ use crate::Outcome;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlaneMode {
     /// Use the plane whenever the factory offers one **and** the run is
-    /// plane-compatible: ascending-sender delivery order (the other
-    /// orders' permutation of the per-receiver in-neighbor list is part
-    /// of the determinism contract) and no event recording (the event
-    /// log's delivery order is receiver-major by contract). The default.
+    /// plane-compatible: no event recording (the event log's delivery
+    /// order is receiver-major by contract). All three delivery orders
+    /// are plane-compatible — the plane walks senders through the same
+    /// shared per-round permutation the trait path delivers in. The
+    /// default.
     #[default]
     Auto,
     /// Require the plane.
@@ -64,6 +65,12 @@ pub struct SimBuilder {
     pub(crate) observe_phases: bool,
     pub(crate) delivery_order: DeliveryOrder,
     pub(crate) plane_mode: PlaneMode,
+    /// Whether the shared sender permutation masks out senders that
+    /// deliver nothing this round. Always `true` in production (the mask
+    /// is behaviorally invisible — a silent sender's delivery was always
+    /// a no-op — and skips the dead walks); the engine's masking
+    /// regression test flips it off to prove the invisibility.
+    pub(crate) mask_silent: bool,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -95,6 +102,7 @@ impl SimBuilder {
             observe_phases: true,
             delivery_order: DeliveryOrder::AscendingSenders,
             plane_mode: PlaneMode::Auto,
+            mask_silent: true,
         }
     }
 
@@ -190,9 +198,9 @@ impl SimBuilder {
     }
 
     /// Whether the engine drives the columnar algorithm plane (default:
-    /// [`PlaneMode::Auto`] — on for DAC/DBAC under ascending-sender
-    /// delivery without event recording, off otherwise). See
-    /// [`PlaneMode`].
+    /// [`PlaneMode::Auto`] — on for plane-capable factories (DAC, DBAC,
+    /// and their quantized wrappers) under any delivery order, as long
+    /// as event recording is off). See [`PlaneMode`].
     pub fn algorithm_plane(mut self, mode: PlaneMode) -> Self {
         self.plane_mode = mode;
         self

@@ -30,7 +30,15 @@ pub enum DeliveryOrder {
     AscendingSenders,
     /// Descending sender index.
     DescendingSenders,
-    /// Deterministically shuffled per (round, receiver) from the seed.
+    /// Deterministically shuffled per round from the seed.
+    ///
+    /// **Determinism contract:** round `t` Fisher–Yates-shuffles the full
+    /// sender id list `0..n` with `SplitMix64::new(seed ^ (t << 20))`,
+    /// then masks out senders that deliver nothing this round
+    /// (order-preserving, so the mask is behaviorally invisible). Every
+    /// receiver processes its in-neighbors in that one shared order —
+    /// which is what lets the columnar plane drive its sender-major loop
+    /// through the very same permutation.
     Shuffled(u64),
 }
 
@@ -75,6 +83,11 @@ pub struct Simulation {
     /// Decide events).
     was_decided: Vec<bool>,
     delivery_order: DeliveryOrder,
+    /// Whether the shared sender permutation drops senders that deliver
+    /// nothing this round (always on in production; the masking
+    /// regression test flips it off to prove the mask is behaviorally
+    /// invisible).
+    mask_silent: bool,
     done: Option<StopReason>,
 }
 
@@ -119,12 +132,12 @@ impl Simulation {
             byz[id.index()] = Some(strategy);
         }
 
-        // Columnar plane vs per-node trait objects. The plane is only
-        // byte-identical to the trait path under ascending-sender delivery
-        // with the event log off (events are recorded receiver-major).
-        let plane_compatible = b.delivery_order == DeliveryOrder::AscendingSenders
-            && !b.record_events
-            && factory.has_plane();
+        // Columnar plane vs per-node trait objects. All three delivery
+        // orders drive the plane through the same shared sender
+        // permutation as the trait path, so the only remaining
+        // plane-incompatibility is the event log (events are recorded
+        // receiver-major by contract).
+        let plane_compatible = !b.record_events && factory.has_plane();
         let use_plane = match b.plane_mode {
             PlaneMode::Never => false,
             PlaneMode::Auto => plane_compatible,
@@ -135,8 +148,7 @@ impl Simulation {
                 );
                 assert!(
                     plane_compatible,
-                    "PlaneMode::Always requires ascending-sender delivery \
-                     and no event recording"
+                    "PlaneMode::Always requires no event recording"
                 );
                 true
             }
@@ -200,6 +212,7 @@ impl Simulation {
             events: b.record_events.then(EventLog::new),
             was_decided: vec![false; n],
             delivery_order: b.delivery_order,
+            mask_silent: b.mask_silent,
             done: None,
         }
     }
@@ -407,21 +420,29 @@ impl Simulation {
             }
         }
 
-        // --- Delivery along chosen links, ascending sender order by
-        // default. The columnar plane delivers **sender-major**: one
+        // --- The shared sender permutation of the non-ascending orders:
+        // one per-round order of the active senders that *both* delivery
+        // paths walk, in place of the per-receiver list rebuild the trait
+        // path used to do. ---
+        self.build_sender_permutation(t);
+
+        // --- Delivery along chosen links, in the configured sender
+        // order. The columnar plane delivers **sender-major**: one
         // transpose turns the chosen links into out-neighbor rows, then
         // each active sender's single snapshot message is applied to all
         // its receivers in one plane call — no per-message virtual
-        // dispatch. Per receiver the arrival order is still ascending
-        // sender index (the outer loop ascends and each sender hits a
-        // receiver at most once), so the plane path is observationally
-        // identical to the trait path below. The trait path: no batch is
-        // ever cloned — honest deliveries borrow the sender's staged
-        // batch, Byzantine fabrications reuse one scratch batch; the
-        // ascending order walks the chosen ∩ active bitsets one word at a
-        // time, the other orders keep the recorded-Vec path, whose
-        // permutation of the *full* chosen in-neighbor list is part of
-        // the determinism contract. ---
+        // dispatch. Per receiver the arrival order is the sender order
+        // (the outer loop walks senders ascending or through the round's
+        // shared permutation, and each sender hits a receiver at most
+        // once), which is exactly the order the trait path processes that
+        // receiver's in-neighbors in — so the plane path is
+        // observationally identical to the trait path below under every
+        // delivery order. The trait path: no batch is ever cloned —
+        // honest deliveries borrow the sender's staged batch, Byzantine
+        // fabrications reuse one scratch batch; the ascending order walks
+        // the chosen ∩ active bitsets one word at a time, the other
+        // orders walk the shared permutation (its order is part of the
+        // determinism contract — see `DeliveryOrder::Shuffled`). ---
         let words = n.div_ceil(64);
         if let Some(p) = plane.as_deref_mut() {
             self.deliver_plane(p, t);
@@ -599,21 +620,15 @@ impl Simulation {
                     }
                 }
                 DeliveryOrder::DescendingSenders | DeliveryOrder::Shuffled(_) => {
-                    self.buffers.in_neighbors.clear();
-                    let (in_neighbors, chosen) =
-                        (&mut self.buffers.in_neighbors, &self.buffers.chosen);
-                    in_neighbors.extend(chosen.in_neighbors(v).iter());
-                    match self.delivery_order {
-                        DeliveryOrder::AscendingSenders => unreachable!(),
-                        DeliveryOrder::DescendingSenders => self.buffers.in_neighbors.reverse(),
-                        DeliveryOrder::Shuffled(seed) => {
-                            let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20) ^ v_idx as u64);
-                            rng.shuffle(&mut self.buffers.in_neighbors);
+                    // The round's shared permutation already holds every
+                    // sender that can deliver anything, in order; per
+                    // receiver only the chosen-link membership test
+                    // remains.
+                    for k in 0..self.buffers.perm.len() {
+                        let u = self.buffers.perm[k];
+                        if self.buffers.chosen.contains(u, v) {
+                            self.deliver_one(t, u, v, &mut *alg);
                         }
-                    }
-                    for k in 0..self.buffers.in_neighbors.len() {
-                        let u = self.buffers.in_neighbors[k];
-                        self.deliver_one(t, u, v, &mut *alg);
                     }
                 }
             }
@@ -621,8 +636,55 @@ impl Simulation {
         }
     }
 
+    /// Fills `buffers.perm` with the round's shared sender permutation —
+    /// the one order every receiver processes this round's deliveries in
+    /// (and the order the plane path walks senders in). A no-op under
+    /// ascending-sender delivery, whose word walks need no id list.
+    ///
+    /// The permutation is built over the *full* id range `0..n` and then
+    /// masked down to the senders that can deliver anything this round
+    /// (`active`), preserving relative order — so masking is behaviorally
+    /// invisible: a silent sender's delivery was always a no-op, and
+    /// dropping it from the list cannot reorder anyone else.
+    /// `Shuffled`'s seed derivation is a documented determinism contract
+    /// (see [`DeliveryOrder::Shuffled`]).
+    fn build_sender_permutation(&mut self, t: Round) {
+        if self.delivery_order == DeliveryOrder::AscendingSenders {
+            return;
+        }
+        let n = self.params.n();
+        let RoundBuffers { perm, active, .. } = &mut self.buffers;
+        perm.clear();
+        match self.delivery_order {
+            DeliveryOrder::AscendingSenders => unreachable!(),
+            DeliveryOrder::DescendingSenders => {
+                if self.mask_silent {
+                    // Descending masked ids, word by word from the top.
+                    for wi in (0..n.div_ceil(64)).rev() {
+                        let mut word = active.word(wi);
+                        while word != 0 {
+                            let b = 63 - word.leading_zeros() as usize;
+                            word ^= 1 << b;
+                            perm.push(NodeId::new(wi * 64 + b));
+                        }
+                    }
+                } else {
+                    perm.extend((0..n).rev().map(NodeId::new));
+                }
+            }
+            DeliveryOrder::Shuffled(seed) => {
+                perm.extend(NodeId::all(n));
+                let mut rng = SplitMix64::new(seed ^ (t.as_u64() << 20));
+                rng.shuffle(perm);
+                if self.mask_silent {
+                    perm.retain(|&u| active.contains(u));
+                }
+            }
+        }
+    }
+
     /// The columnar delivery path: sender-major over the transposed
-    /// chosen links, ascending sender index. `Present` senders deliver
+    /// chosen links, in the round's sender order. `Present` senders deliver
     /// their snapshot message to all chosen ∩ honest out-neighbors in one
     /// plane call with popcount-bulk traffic accounting; `Partial`
     /// (crash-round) and `Byzantine` senders walk their out-rows link by
@@ -646,61 +708,89 @@ impl Simulation {
             );
         }
 
-        for u_idx in 0..n {
-            let u = NodeId::new(u_idx);
-            match self.buffers.classes[u_idx] {
-                SenderClass::Silent => {}
-                SenderClass::Present => {
-                    self.buffers.plane_receivers.intersection_of(
-                        self.buffers.chosen_out.in_neighbors(u),
-                        &self.buffers.honest,
-                    );
-                    let links = self.buffers.plane_receivers.len() as u64;
-                    if links == 0 {
-                        continue;
-                    }
-                    self.traffic.record_uniform_deliveries(links, 1);
-                    plane.deliver_from_sender(
-                        plane_message(&self.buffers, u_idx),
-                        &self.buffers.plane_receivers,
-                        self.ports.ports_to(u),
-                    );
+        match self.delivery_order {
+            DeliveryOrder::AscendingSenders => {
+                for u_idx in 0..n {
+                    self.deliver_plane_sender(plane, t, u_idx, words);
                 }
-                SenderClass::Partial => {
-                    let msg = [plane_message(&self.buffers, u_idx)];
-                    for wi in 0..words {
-                        let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
-                            & self.buffers.honest.word(wi);
-                        while word != 0 {
-                            let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
-                            word &= word - 1;
-                            if !self.crash.delivers(u, t, v) {
-                                continue;
-                            }
-                            self.traffic.record_delivery(1);
-                            self.buffers.realized.insert(u, v);
-                            plane.receive(v.index(), self.ports.port_of(v, u), &msg);
+            }
+            // The other orders walk the round's shared permutation — the
+            // same order every trait-path receiver would process its
+            // in-neighbors in, so per receiver the arrival order is
+            // identical across the two paths.
+            DeliveryOrder::DescendingSenders | DeliveryOrder::Shuffled(_) => {
+                for k in 0..self.buffers.perm.len() {
+                    let u_idx = self.buffers.perm[k].index();
+                    self.deliver_plane_sender(plane, t, u_idx, words);
+                }
+            }
+        }
+    }
+
+    /// Delivers one sender's round-`t` transmission on the plane path —
+    /// the per-sender body of [`Simulation::deliver_plane`].
+    fn deliver_plane_sender(
+        &mut self,
+        plane: &mut dyn AlgorithmPlane,
+        t: Round,
+        u_idx: usize,
+        words: usize,
+    ) {
+        let u = NodeId::new(u_idx);
+        match self.buffers.classes[u_idx] {
+            SenderClass::Silent => {}
+            SenderClass::Present => {
+                self.buffers.plane_receivers.intersection_of(
+                    self.buffers.chosen_out.in_neighbors(u),
+                    &self.buffers.honest,
+                );
+                let links = self.buffers.plane_receivers.len() as u64;
+                if links == 0 {
+                    return;
+                }
+                self.traffic.record_uniform_deliveries(links, 1);
+                plane.deliver_from_sender(
+                    plane.encode_wire(plane_message(&self.buffers, u_idx)),
+                    &self.buffers.plane_receivers,
+                    self.ports.ports_to(u),
+                );
+            }
+            SenderClass::Partial => {
+                // Encoded once per sender, like the trait path's staged
+                // (already-encoded) batch.
+                let msg = [plane.encode_wire(plane_message(&self.buffers, u_idx))];
+                for wi in 0..words {
+                    let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
+                        & self.buffers.honest.word(wi);
+                    while word != 0 {
+                        let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
+                        word &= word - 1;
+                        if !self.crash.delivers(u, t, v) {
+                            continue;
                         }
+                        self.traffic.record_delivery(1);
+                        self.buffers.realized.insert(u, v);
+                        plane.receive(v.index(), self.ports.port_of(v, u), &msg);
                     }
                 }
-                SenderClass::Byzantine => {
-                    for wi in 0..words {
-                        let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
-                            & self.buffers.honest.word(wi);
-                        while word != 0 {
-                            let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
-                            word &= word - 1;
-                            if !self.fabricate_byzantine(t, u, v) {
-                                continue;
-                            }
-                            self.traffic.record_delivery(self.buffers.byz_scratch.len());
-                            self.buffers.realized.insert(u, v);
-                            plane.receive(
-                                v.index(),
-                                self.ports.port_of(v, u),
-                                &self.buffers.byz_scratch,
-                            );
+            }
+            SenderClass::Byzantine => {
+                for wi in 0..words {
+                    let mut word = self.buffers.chosen_out.in_neighbors(u).word(wi)
+                        & self.buffers.honest.word(wi);
+                    while word != 0 {
+                        let v = NodeId::new(wi * 64 + word.trailing_zeros() as usize);
+                        word &= word - 1;
+                        if !self.fabricate_byzantine(t, u, v) {
+                            continue;
                         }
+                        self.traffic.record_delivery(self.buffers.byz_scratch.len());
+                        self.buffers.realized.insert(u, v);
+                        plane.receive(
+                            v.index(),
+                            self.ports.port_of(v, u),
+                            &self.buffers.byz_scratch,
+                        );
                     }
                 }
             }
@@ -1042,6 +1132,108 @@ mod tests {
             .byzantine(NodeId::new(0), Box::new(Extreme { value: Value::ONE }))
             .algorithm(factories::dbac(p))
             .build();
+    }
+
+    /// Satellite regression: pre-masking silent senders out of the shared
+    /// permutation must be behaviorally invisible. The orders used to walk
+    /// every chosen sender and bounce the silent ones off `deliver_one`'s
+    /// early return; with the mask they are never walked at all. A
+    /// full-mesh adversary that ignores the deliverer discipline forces
+    /// crashed (Silent-class) senders into `chosen`, so the mask actually
+    /// removes entries here.
+    #[test]
+    fn silent_mask_in_permutation_is_behavior_invisible() {
+        use crate::builder::PlaneMode;
+        use adn_adversary::AdversaryView;
+        use adn_graph::EdgeSet;
+
+        #[derive(Debug)]
+        struct FullMesh;
+        impl adn_adversary::Adversary for FullMesh {
+            fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
+                // Deliberately undisciplined: chooses links from *every*
+                // node, including crashed-silent ones.
+                let n = view.params.n();
+                for u in NodeId::all(n) {
+                    for v in NodeId::all(n) {
+                        if u != v {
+                            out.insert(u, v);
+                        }
+                    }
+                }
+            }
+            fn name(&self) -> &'static str {
+                "full-mesh"
+            }
+        }
+
+        let n = 9;
+        let p = params(n, 3, 1e-3);
+        let build = |order, mode, mask, events| {
+            let mut crash = CrashSchedule::new(n);
+            crash.crash(NodeId::new(7), Round::new(2), CrashSurvivors::None);
+            crash.crash(
+                NodeId::new(6),
+                Round::new(4),
+                CrashSurvivors::Subset(vec![NodeId::new(0), NodeId::new(3)]),
+            );
+            let mut b = Simulation::builder(p)
+                .inputs_random(21)
+                .adversary(Box::new(FullMesh))
+                .crashes(crash)
+                .byzantine(NodeId::new(8), Box::new(TwoFaced::zero_one(4)))
+                .delivery_order(order)
+                .algorithm(factories::dac_with_pend(p, 8))
+                .algorithm_plane(mode)
+                .record_events(events)
+                .max_rounds(200);
+            b.mask_silent = mask;
+            b.run()
+        };
+        for order in [DeliveryOrder::DescendingSenders, DeliveryOrder::Shuffled(5)] {
+            let reference = build(order, PlaneMode::Never, true, false);
+            assert!(
+                reference.rounds() > 4,
+                "{order:?}: crashes must land mid-run"
+            );
+            for (mode, mask) in [
+                (PlaneMode::Never, false),
+                (PlaneMode::Always, true),
+                (PlaneMode::Always, false),
+            ] {
+                let other = build(order, mode, mask, false);
+                assert_eq!(reference.rounds(), other.rounds(), "{order:?} {mode:?}");
+                assert_eq!(
+                    reference.honest_outputs(),
+                    other.honest_outputs(),
+                    "{order:?} {mode:?} mask={mask}"
+                );
+                assert_eq!(
+                    reference.traffic(),
+                    other.traffic(),
+                    "{order:?} {mode:?} mask={mask}"
+                );
+                assert_eq!(
+                    reference.schedule(),
+                    other.schedule(),
+                    "{order:?} {mode:?} mask={mask}"
+                );
+                assert_eq!(
+                    reference.traces(),
+                    other.traces(),
+                    "{order:?} {mode:?} mask={mask}"
+                );
+            }
+            // Events force the trait path; masked and unmasked logs must
+            // agree event for event (silent senders never logged one).
+            let masked = build(order, PlaneMode::Auto, true, true);
+            let unmasked = build(order, PlaneMode::Auto, false, true);
+            assert_eq!(
+                masked.events().expect("recorded").events(),
+                unmasked.events().expect("recorded").events(),
+                "{order:?}: event logs must not see the mask"
+            );
+        }
     }
 
     #[test]

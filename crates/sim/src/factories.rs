@@ -108,6 +108,9 @@ mod tests {
         }
     }
 
+    // Of the core factories only DAC and DBAC are plane-capable; the
+    // `quantized` wrapper *inherits* the capability of its inner factory
+    // (tested in `crate::quantized`).
     #[test]
     fn plane_capability_is_dac_dbac_only() {
         let p = Params::new(6, 1, 0.1).unwrap();

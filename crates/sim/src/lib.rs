@@ -15,8 +15,10 @@
 //!    arrives on the receiver's private port. Self-delivery is internal
 //!    to the algorithms (they count themselves), so the engine never
 //!    loops a message back.
-//! 4. **Transition** — receivers process deliveries in ascending sender
-//!    index order, then `end_round` fires.
+//! 4. **Transition** — receivers process deliveries in the configured
+//!    [`DeliveryOrder`] (ascending sender index by default; the other
+//!    orders share one per-round sender permutation), then `end_round`
+//!    fires.
 //!
 //! The engine records the **realized delivery schedule** (for the
 //! dynaDegree checker), per-phase value multisets `V(p)` (Def. 5/6, for

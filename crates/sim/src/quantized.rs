@@ -8,9 +8,17 @@
 //! format would compute. Experiment E17 sweeps `B` to locate the precision
 //! below which ε-agreement degrades — the quantitative content of the
 //! bandwidth assumption.
+//!
+//! Quantized runs are plane-capable: [`QuantizedPlane`] wraps an inner
+//! columnar plane and snaps each sender's outgoing snapshot through
+//! [`AlgorithmPlane::encode_wire`] — once per sender per round, since
+//! anonymity means every receiver sees the same encoded value.
 
-use adn_core::{Algorithm, AlgorithmFactory};
-use adn_net::codec::{dequantize, quantize, Precision};
+use std::rc::Rc;
+
+use adn_core::{Algorithm, AlgorithmFactory, AlgorithmPlane};
+use adn_graph::NodeSet;
+use adn_net::codec::{snap, Precision};
 use adn_types::{Batch, Message, Phase, Port, Value};
 
 /// Wraps an algorithm so its broadcasts are quantized to `precision`.
@@ -43,8 +51,7 @@ impl Algorithm for Quantized {
         // Snap the staged values in place — the wire boundary, without
         // re-staging or allocating.
         for m in out.iter_mut() {
-            let snapped = dequantize(quantize(m.value(), self.precision), self.precision);
-            *m = Message::new(snapped, m.phase());
+            *m = Message::new(snap(m.value(), self.precision), m.phase());
         }
     }
 
@@ -73,13 +80,100 @@ impl Algorithm for Quantized {
     }
 }
 
+/// The columnar mirror of [`Quantized`]: wraps an inner
+/// [`AlgorithmPlane`] and overrides
+/// [`encode_wire`](AlgorithmPlane::encode_wire) so each sender's outgoing
+/// snapshot is snapped to the codec grid **once per round per sender** —
+/// the engine encodes before fanning a broadcast out, so the single
+/// quantize/dequantize round trip serves every receiver of that sender
+/// (the trait path pays the same single snap in `broadcast_into`; a
+/// per-link snap would recompute an identical value up to `n − 1` times).
+///
+/// Everything else delegates: internal columns stay exact (observers and
+/// adversaries read the same unquantized state as on the trait path), and
+/// [`receive`](AlgorithmPlane::receive) forwards batches untouched —
+/// Byzantine fabrications are not re-encoded on either path.
+#[derive(Debug)]
+pub struct QuantizedPlane {
+    inner: Box<dyn AlgorithmPlane>,
+    precision: Precision,
+}
+
+impl QuantizedPlane {
+    /// Wraps `inner`, quantizing its outgoing snapshots to `precision`.
+    pub fn new(inner: Box<dyn AlgorithmPlane>, precision: Precision) -> Self {
+        QuantizedPlane { inner, precision }
+    }
+}
+
+impl AlgorithmPlane for QuantizedPlane {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn phases(&self) -> &[Phase] {
+        self.inner.phases()
+    }
+
+    fn values(&self) -> &[Value] {
+        self.inner.values()
+    }
+
+    fn outputs(&self) -> &[Option<Value>] {
+        self.inner.outputs()
+    }
+
+    fn encode_wire(&self, msg: Message) -> Message {
+        // Inner encoders first, then this grid — the composition order of
+        // nested `Quantized` wrappers, whose outermost snap runs last.
+        let msg = self.inner.encode_wire(msg);
+        Message::new(snap(msg.value(), self.precision), msg.phase())
+    }
+
+    fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]) {
+        self.inner.deliver_from_sender(msg, receivers, ports);
+    }
+
+    fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]) {
+        self.inner.receive(receiver, port, batch);
+    }
+
+    fn end_round(&mut self, executing: &NodeSet) {
+        self.inner.end_round(executing);
+    }
+
+    fn name(&self) -> &'static str {
+        "quantized"
+    }
+}
+
 /// Factory combinator: wraps every node produced by `inner` in a
-/// [`Quantized`] encoder at the given precision. The wrapper is never
-/// plane-capable — quantization rewrites broadcasts, which violates the
-/// plane's pure-snapshot contract — so wrapped runs take the trait path
-/// even when `inner` offered a plane.
+/// [`Quantized`] encoder at the given precision, and — when `inner` is
+/// plane-capable — every plane it builds in a [`QuantizedPlane`], so
+/// quantized DAC/DBAC runs keep the columnar fast path. (An earlier
+/// engine claimed quantization violates the plane's pure-snapshot
+/// contract; it does not — the snapshot stays pure, and only the one
+/// per-sender wire encoding differs, which `encode_wire` captures.)
 pub fn quantized_factory(inner: AlgorithmFactory, precision: Precision) -> AlgorithmFactory {
-    AlgorithmFactory::new(move |i, input| Box::new(Quantized::new(inner.make(i, input), precision)))
+    let inner = Rc::new(inner);
+    if inner.has_plane() {
+        let plane_inner = Rc::clone(&inner);
+        AlgorithmFactory::with_plane(
+            move |i, input| Box::new(Quantized::new(inner.make(i, input), precision)),
+            move |inputs| {
+                Box::new(QuantizedPlane::new(
+                    plane_inner
+                        .make_plane(inputs)
+                        .expect("plane-capable inner factory builds a plane"),
+                    precision,
+                ))
+            },
+        )
+    } else {
+        AlgorithmFactory::new(move |i, input| {
+            Box::new(Quantized::new(inner.make(i, input), precision))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -114,11 +208,62 @@ mod tests {
     }
 
     #[test]
-    fn factory_combinator_wraps() {
+    fn factory_combinator_wraps_and_inherits_plane_capability() {
         let params = Params::fault_free(5, 1e-3).unwrap();
         let factory = quantized_factory(crate::factories::dac(params), Precision::for_eps(1e-3));
-        assert!(!factory.has_plane(), "quantization must disable the plane");
+        assert!(
+            factory.has_plane(),
+            "quantized dac must keep the columnar plane"
+        );
         let node = factory.make(0, Value::HALF);
         assert_eq!(node.name(), "quantized");
+        let plane = factory.make_plane(&[Value::HALF; 5]).unwrap();
+        assert_eq!(plane.name(), "quantized");
+        assert_eq!(plane.n(), 5);
+
+        // A plane-less inner factory stays plane-less when wrapped.
+        let bac = quantized_factory(crate::factories::bac(params), Precision::new(8));
+        assert!(!bac.has_plane(), "bac offers no plane to inherit");
+    }
+
+    #[test]
+    fn plane_encodes_wire_once_per_sender_and_keeps_columns_exact() {
+        let params = Params::fault_free(5, 1e-3).unwrap();
+        let p = Precision::new(4); // grid step 1/16
+        let inputs = [
+            Value::new(0.3).unwrap(),
+            Value::HALF,
+            Value::HALF,
+            Value::HALF,
+            Value::HALF,
+        ];
+        let plane = quantized_factory(crate::factories::dac(params), p)
+            .make_plane(&inputs)
+            .unwrap();
+        // Internal columns stay exact; only the wire encoding snaps.
+        assert_eq!(plane.values()[0].get(), 0.3);
+        let wire = plane.encode_wire(Message::new(inputs[0], Phase::ZERO));
+        assert!((wire.value().get() - 0.3125).abs() < 1e-12);
+        assert_eq!(wire.phase(), Phase::ZERO);
+        // The wire value agrees bit-for-bit with the trait wrapper's.
+        let mut node = Quantized::new(Box::new(Dac::new(params, inputs[0])), p);
+        assert_eq!(node.broadcast()[0].value(), wire.value());
+    }
+
+    #[test]
+    fn plane_receive_forwards_fabrications_unencoded() {
+        let params = Params::fault_free(5, 1e-3).unwrap();
+        let p = Precision::new(1); // grid {0, 1/2, 1}: snapping is very visible
+        let mut plane = quantized_factory(crate::factories::dac(params), p)
+            .make_plane(&[Value::new(0.25).unwrap(); 5])
+            .unwrap();
+        // An off-grid Byzantine fabrication must reach the inner plane
+        // untouched (exactly as `Quantized::receive` forwards it).
+        let off_grid = Message::new(Value::new(0.26).unwrap(), Phase::ZERO);
+        plane.receive(0, Port::new(1), &[off_grid]);
+        plane.receive(0, Port::new(2), &[off_grid]); // quorum of 3: advance
+                                                     // midpoint(0.25, 0.26) = 0.255 — only reachable if 0.26 was not
+                                                     // snapped to the {0, 1/2, 1} grid on receive.
+        assert!((plane.values()[0].get() - 0.255).abs() < 1e-12);
     }
 }

@@ -16,7 +16,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use anondyn::graph::{checker, generators};
+use anondyn::net::codec::Precision;
 use anondyn::prelude::*;
+use anondyn::sim::quantized::quantized_factory;
+use anondyn::sim::DeliveryOrder;
 use anondyn::types::rng::SplitMix64;
 
 struct CountingAllocator;
@@ -46,24 +49,43 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-fn lean_dac(n: usize, mode: PlaneMode) -> Simulation {
+fn lean_dac(n: usize, mode: PlaneMode, order: DeliveryOrder) -> Simulation {
     let params = Params::fault_free(n, 1e-6).unwrap();
     Simulation::builder(params)
         .inputs_random(1)
         .algorithm(factories::dac_with_pend(params, u64::MAX))
         .algorithm_plane(mode)
+        .delivery_order(order)
         .record_schedule(false)
         .observe_phases(false)
         .max_rounds(u64::MAX)
         .build()
 }
 
-fn lean_dbac(n: usize, mode: PlaneMode) -> Simulation {
+fn lean_dbac(n: usize, mode: PlaneMode, order: DeliveryOrder) -> Simulation {
     let params = Params::fault_free(n, 1e-6).unwrap();
     Simulation::builder(params)
         .inputs_random(1)
         .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
         .algorithm(factories::dbac_with_pend(params, u64::MAX))
+        .algorithm_plane(mode)
+        .delivery_order(order)
+        .record_schedule(false)
+        .observe_phases(false)
+        .max_rounds(u64::MAX)
+        .build()
+}
+
+/// A lean quantized-DAC run — the `QuantizedPlane` wire-encoding adaptor
+/// on the columnar path.
+fn lean_dac_quantized(n: usize, mode: PlaneMode) -> Simulation {
+    let params = Params::fault_free(n, 1e-6).unwrap();
+    Simulation::builder(params)
+        .inputs_random(1)
+        .algorithm(quantized_factory(
+            factories::dac_with_pend(params, u64::MAX),
+            Precision::new(11),
+        ))
         .algorithm_plane(mode)
         .record_schedule(false)
         .observe_phases(false)
@@ -75,14 +97,51 @@ fn lean_dbac(n: usize, mode: PlaneMode) -> Simulation {
 fn steady_state_step_performs_zero_allocations() {
     // --- The round engine's delivery loop, on both the columnar plane
     // (the sender-major fast path, including its per-round transpose) and
-    // the per-node trait path. ---
+    // the per-node trait path — under all three delivery orders (the
+    // descending and shuffled orders route both paths through the shared
+    // per-round sender permutation, whose build — including the shuffle's
+    // full-id scratch and the active mask — must reuse the arena's `perm`
+    // buffer), plus the quantized wire-encoding adaptor on the plane. ---
+    use DeliveryOrder::{AscendingSenders, DescendingSenders, Shuffled};
     for (name, mut sim) in [
-        ("dac/plane", lean_dac(32, PlaneMode::Always)),
-        ("dac/trait", lean_dac(32, PlaneMode::Never)),
-        ("dbac/plane", lean_dbac(32, PlaneMode::Always)),
-        ("dbac/trait", lean_dbac(32, PlaneMode::Never)),
+        (
+            "dac/plane",
+            lean_dac(32, PlaneMode::Always, AscendingSenders),
+        ),
+        (
+            "dac/trait",
+            lean_dac(32, PlaneMode::Never, AscendingSenders),
+        ),
+        (
+            "dac/plane/desc",
+            lean_dac(32, PlaneMode::Always, DescendingSenders),
+        ),
+        (
+            "dac/plane/shuffled",
+            lean_dac(32, PlaneMode::Always, Shuffled(7)),
+        ),
+        (
+            "dac/trait/shuffled",
+            lean_dac(32, PlaneMode::Never, Shuffled(7)),
+        ),
+        (
+            "dac/plane/quantized",
+            lean_dac_quantized(32, PlaneMode::Always),
+        ),
+        (
+            "dbac/plane",
+            lean_dbac(32, PlaneMode::Always, AscendingSenders),
+        ),
+        (
+            "dbac/trait",
+            lean_dbac(32, PlaneMode::Never, AscendingSenders),
+        ),
+        (
+            "dbac/plane/shuffled",
+            lean_dbac(32, PlaneMode::Always, Shuffled(7)),
+        ),
     ] {
-        assert_eq!(sim.uses_plane(), name.ends_with("plane"), "{name}");
+        assert_eq!(sim.uses_plane(), name.contains("plane"), "{name}");
         // Warmup: grow every buffer to its steady-state capacity. 70
         // rounds also pushes the internal round-trace vector past a
         // power-of-two boundary (cap 128), so the measured window below

@@ -1,20 +1,26 @@
 //! Differential fuzz of the columnar algorithm plane against the per-node
 //! trait path.
 //!
-//! The engine's sender-major plane (`PlaneMode::Always`) must be
-//! observationally **identical** to the receiver-major boxed-state-machine
-//! reference (`PlaneMode::Never`) under ascending-sender delivery: same
-//! stop reason and round count, same outputs and final values, same
+//! The engine's sender-major plane (`PlaneMode::Always`, and the `Auto`
+//! selection that must pick it) must be observationally **identical** to
+//! the receiver-major boxed-state-machine reference (`PlaneMode::Never`)
+//! under *every* delivery order — ascending, descending, and the shared
+//! per-round shuffle — and for quantized as well as exact wire formats:
+//! same stop reason and round count, same outputs and final values, same
 //! per-phase value multisets `V(p)`, same round traces, same realized
-//! schedule, same traffic counters. This file drives both paths through
-//! randomized configurations — adversary × crash/Byzantine mix × ε ×
-//! algorithm — and asserts equality on everything an `Outcome` exposes.
+//! schedule, same traffic counters. This file drives all three plane
+//! modes through randomized configurations — delivery order ×
+//! quantization × adversary × crash/Byzantine mix × ε × algorithm — and
+//! asserts equality on everything an `Outcome` exposes.
 //!
 //! Seed count defaults to 400; override with `ADN_FUZZ_SEEDS` (CI runs a
 //! reduced count to keep the job fast).
 
 use anondyn::faults::{strategies, CrashSurvivors};
+use anondyn::net::codec::Precision;
 use anondyn::prelude::*;
+use anondyn::sim::quantized::quantized_factory;
+use anondyn::sim::DeliveryOrder;
 use anondyn::types::rng::SplitMix64;
 
 fn fuzz_seeds() -> u64 {
@@ -32,6 +38,9 @@ struct Config {
     adversary: AdversarySpec,
     byz: Vec<(NodeId, &'static str)>,
     crash: CrashSchedule,
+    order: DeliveryOrder,
+    /// Wire precision of a quantized run (`None` = exact wire).
+    quantize_bits: Option<u8>,
     seed: u64,
 }
 
@@ -43,6 +52,12 @@ fn draw(seed: u64) -> Config {
     let params = Params::new(n, f, eps).expect("valid params");
     let dbac = rng.next_bool(0.5);
     let pend = 1 + rng.next_below(if dbac { 8 } else { 6 });
+    let order = match rng.next_index(3) {
+        0 => DeliveryOrder::AscendingSenders,
+        1 => DeliveryOrder::DescendingSenders,
+        _ => DeliveryOrder::Shuffled(rng.next_u64()),
+    };
+    let quantize_bits = rng.next_bool(0.4).then(|| 3 + rng.next_index(10) as u8);
 
     let adversary = match rng.next_index(8) {
         0 => AdversarySpec::Complete,
@@ -102,22 +117,28 @@ fn draw(seed: u64) -> Config {
         adversary,
         byz,
         crash,
+        order,
+        quantize_bits,
         seed,
     }
 }
 
 fn run(cfg: &Config, mode: PlaneMode) -> Outcome {
     let n = cfg.params.n();
-    let factory = if cfg.dbac {
+    let mut factory = if cfg.dbac {
         factories::dbac_with_pend(cfg.params, cfg.pend)
     } else {
         factories::dac_with_pend(cfg.params, cfg.pend)
     };
+    if let Some(bits) = cfg.quantize_bits {
+        factory = quantized_factory(factory, Precision::new(bits));
+    }
     let mut builder = Simulation::builder(cfg.params)
         .inputs_random(cfg.seed ^ 0xBEEF)
         .adversary(cfg.adversary.build(n, cfg.params.f(), cfg.seed ^ 0xC0DE))
         .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
         .crashes(cfg.crash.clone())
+        .delivery_order(cfg.order)
         .algorithm(factory)
         .algorithm_plane(mode)
         .max_rounds(100);
@@ -125,24 +146,29 @@ fn run(cfg: &Config, mode: PlaneMode) -> Outcome {
         builder = builder.byzantine(node, strategies::by_name(name, n, cfg.seed ^ 0xB42));
     }
     let sim = builder.build();
+    // Every drawn configuration is plane-compatible (events off), so
+    // `Auto` must select the plane just like `Always` — whatever the
+    // delivery order or wire format.
     assert_eq!(
         sim.uses_plane(),
-        mode == PlaneMode::Always,
+        mode != PlaneMode::Never,
         "mode {mode:?} must pick the intended path"
     );
     sim.run()
 }
 
-fn assert_identical(cfg: &Config, reference: &Outcome, plane: &Outcome) {
+fn assert_identical(cfg: &Config, mode: PlaneMode, reference: &Outcome, plane: &Outcome) {
     let n = cfg.params.n();
     let ctx = format!(
-        "seed {}: n={n} f={} {} pend={} adversary={} byz={:?}",
+        "seed {}: n={n} f={} {} pend={} adversary={} byz={:?} order={:?} bits={:?} mode={mode:?}",
         cfg.seed,
         cfg.params.f(),
         if cfg.dbac { "dbac" } else { "dac" },
         cfg.pend,
         cfg.adversary,
         cfg.byz,
+        cfg.order,
+        cfg.quantize_bits,
     );
     assert_eq!(reference.reason(), plane.reason(), "stop reason: {ctx}");
     assert_eq!(reference.rounds(), plane.rounds(), "round count: {ctx}");
@@ -181,18 +207,38 @@ fn assert_identical(cfg: &Config, reference: &Outcome, plane: &Outcome) {
 fn plane_matches_trait_path_across_the_configuration_space() {
     let seeds = fuzz_seeds();
     let mut plane_runs = 0u64;
+    let mut non_ascending = 0u64;
+    let mut quantized = 0u64;
     for seed in 0..seeds {
         let cfg = draw(seed);
         let reference = run(&cfg, PlaneMode::Never);
-        let plane = run(&cfg, PlaneMode::Always);
-        assert_identical(&cfg, &reference, &plane);
+        for mode in [PlaneMode::Always, PlaneMode::Auto] {
+            let plane = run(&cfg, mode);
+            assert_identical(&cfg, mode, &reference, &plane);
+        }
         plane_runs += 1;
+        non_ascending += u64::from(cfg.order != DeliveryOrder::AscendingSenders);
+        quantized += u64::from(cfg.quantize_bits.is_some());
     }
     assert_eq!(plane_runs, seeds, "every drawn config must be exercised");
+    // The matrix must genuinely cover the new axes (descending/shuffled
+    // orders and quantized wires), not just redraw the PR 3 space.
+    if seeds >= 40 {
+        assert!(
+            non_ascending >= seeds / 3,
+            "only {non_ascending}/{seeds} non-ascending draws"
+        );
+        assert!(
+            quantized >= seeds / 5,
+            "only {quantized}/{seeds} quantized draws"
+        );
+    }
 }
 
 /// The auto mode picks the plane exactly when the configuration is
-/// plane-compatible.
+/// plane-compatible — which, with the order-general permutation walk and
+/// the quantized plane adaptor, now means: plane-capable factory, events
+/// off.
 #[test]
 fn auto_mode_selects_plane_only_when_compatible() {
     let params = Params::fault_free(6, 1e-2).unwrap();
@@ -207,19 +253,42 @@ fn auto_mode_selects_plane_only_when_compatible() {
         .build();
     assert!(!events_on.uses_plane(), "event log forces the trait path");
 
-    let descending = Simulation::builder(params)
-        .algorithm(factories::dac(params))
-        .delivery_order(anondyn::sim::DeliveryOrder::DescendingSenders)
+    for order in [
+        DeliveryOrder::DescendingSenders,
+        DeliveryOrder::Shuffled(42),
+    ] {
+        let sim = Simulation::builder(params)
+            .algorithm(factories::dac(params))
+            .delivery_order(order)
+            .build();
+        assert!(
+            sim.uses_plane(),
+            "{order:?} drives the plane through the shared permutation"
+        );
+    }
+
+    let quantized = Simulation::builder(params)
+        .algorithm(quantized_factory(factories::dac(params), Precision::new(8)))
         .build();
     assert!(
-        !descending.uses_plane(),
-        "non-ascending orders keep the trait path"
+        quantized.uses_plane(),
+        "quantized dac inherits the plane via the wire-encoding adaptor"
     );
 
     let no_plane_alg = Simulation::builder(params)
         .algorithm(factories::reliable_ac(params))
         .build();
     assert!(!no_plane_alg.uses_plane(), "baselines have no plane");
+    let quantized_no_plane = Simulation::builder(params)
+        .algorithm(quantized_factory(
+            factories::reliable_ac(params),
+            Precision::new(8),
+        ))
+        .build();
+    assert!(
+        !quantized_no_plane.uses_plane(),
+        "wrapping cannot conjure a plane the inner algorithm lacks"
+    );
 }
 
 /// A same-round jump-then-same-phase delivery schedule, end to end: one
