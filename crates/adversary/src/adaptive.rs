@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -59,6 +59,34 @@ impl Adversary for AdaptiveClosest {
             });
             for &u in self.scratch.iter().take(self.d) {
                 out.insert(u, v);
+            }
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: CSR — the `d` value-nearest senders are an
+        // arbitrary id set. Selection is the dense fill's verbatim; the
+        // only extra step is re-sorting the chosen prefix by id, because
+        // `LinkPlane::push_link` requires ascending sender order (the
+        // dense `EdgeSet` is order-insensitive, so the link *set* is
+        // unchanged).
+        let n = view.params.n();
+        for v in NodeId::all(n) {
+            let my_value = view.values[v.index()].get();
+            view.senders_for_into(v, &mut self.scratch);
+            self.scratch.sort_unstable_by(|&a, &b| {
+                let da = (view.values[a.index()].get() - my_value).abs();
+                let db = (view.values[b.index()].get() - my_value).abs();
+                da.total_cmp(&db).then(a.cmp(&b))
+            });
+            self.scratch.truncate(self.d);
+            self.scratch.sort_unstable();
+            for &u in &self.scratch {
+                out.push_link(v, u);
             }
         }
     }

@@ -1,4 +1,5 @@
-use adn_graph::{generators, EdgeSet};
+use adn_graph::{generators, EdgeSet, LinkPlane};
+use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
 
@@ -63,6 +64,26 @@ impl Adversary for Alternating {
             // fresh clone of it every burst round; silent rounds write
             // nothing (`out` arrives cleared).
             out.copy_from(&self.burst);
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: CSR — the burst is an arbitrary stored graph,
+        // copied row-exact. Crucially NOT recorded as runs: run rows carry
+        // the implicit `∩ deliverers` semantics, but the dense fill copies
+        // the burst verbatim without pruning non-deliverers (the engine
+        // prunes at realization time), and the sparse rows must match the
+        // dense fill bit for bit.
+        let t = view.round.as_u64() as usize;
+        if t % self.period != self.period - 1 {
+            return;
+        }
+        for v in NodeId::all(view.params.n()) {
+            self.burst.in_neighbors(v).for_each(|u| out.push_link(v, u));
         }
     }
 

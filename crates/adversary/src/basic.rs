@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -24,6 +24,23 @@ impl Adversary for Complete {
         }
     }
 
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: one full-id-range run per receiver —
+        // `deliverers \ {v}` in O(1) space, whatever the degree.
+        let n = view.params.n();
+        if n == 0 {
+            return;
+        }
+        let hi = NodeId::new(n - 1);
+        for v in NodeId::all(n) {
+            out.push_run(v, NodeId::new(0), hi);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "complete"
     }
@@ -37,6 +54,12 @@ pub struct Silence;
 
 impl Adversary for Silence {
     fn edges_into(&mut self, _view: &AdversaryView<'_>, _out: &mut EdgeSet) {}
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, _view: &AdversaryView<'_>, _out: &mut LinkPlane) {}
 
     fn name(&self) -> &'static str {
         "silence"

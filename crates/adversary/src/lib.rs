@@ -65,7 +65,7 @@ pub use transitional::{Eventually, Isolate};
 
 use std::fmt;
 
-use adn_graph::{EdgeSet, NodeSet};
+use adn_graph::{EdgeSet, LinkPlane, NodeSet};
 use adn_types::{Params, Phase, Round, Value};
 
 /// Snapshot of the system the adversary may inspect before choosing `E(t)`.
@@ -138,6 +138,35 @@ pub trait Adversary: fmt::Debug {
     /// drives it — `tests/alloc_free.rs` pins the whole gallery.
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         *out = self.edges(view);
+    }
+
+    /// Whether this adversary can fill a sparse [`LinkPlane`] via
+    /// [`Adversary::sparse_into`]. Defaults to `false`; every gallery
+    /// strategy overrides it to `true` and declares its natural row kind
+    /// (id-range runs for the broadcast/window/partition shapes, CSR for
+    /// the bounded-degree and exact-row shapes). The engine only takes
+    /// the sparse delivery path when this returns `true`; the dense
+    /// [`Adversary::edges_into`] fill remains the oracle the sparse rows
+    /// are fuzzed against.
+    fn sparse_capable(&self) -> bool {
+        false
+    }
+
+    /// Writes the round's links into the engine's reused sparse
+    /// [`LinkPlane`] (passed freshly [`LinkPlane::begin_round`]-ed with
+    /// the view's deliverer set). Must choose **exactly** the links
+    /// [`Adversary::edges_into`] chooses — run rows carry the implicit
+    /// `∩ deliverers \ {receiver}` semantics, CSR rows are exact — so the
+    /// sparse and dense paths stay byte-identical.
+    ///
+    /// The default panics: the engine never calls it unless
+    /// [`Adversary::sparse_capable`] says so.
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        let _ = (view, out);
+        panic!(
+            "sparse_into called on {}, which is not sparse-capable",
+            self.name()
+        );
     }
 
     /// Short name for reports.

@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -112,6 +112,51 @@ impl Adversary for OmitOne {
             // word-parallel copy and one bit clear.
             out.assign_in_neighbors(v, view.deliverers);
             out.remove(omitted, v);
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: the full id range split around the omitted
+        // sender — at most two runs per receiver, whatever n is. The
+        // omission choice is the dense fill's verbatim.
+        let n = view.params.n();
+        if n == 0 {
+            return;
+        }
+        let t = view.round.as_u64() as usize;
+        let total = view.deliverers.len();
+        let value_best = match self.rule {
+            OmitRule::RoundRobin => (None, None),
+            _ => self.best_two(view),
+        };
+        let hi = NodeId::new(n - 1);
+        for v in NodeId::all(n) {
+            let v_delivers = view.deliverers.contains(v);
+            let m = total - usize::from(v_delivers);
+            if m == 0 {
+                continue;
+            }
+            let omitted = match self.rule {
+                OmitRule::RoundRobin => {
+                    let k = (t + v.index()) % m;
+                    let k = if v_delivers && k >= view.deliverers.rank(v) {
+                        k + 1
+                    } else {
+                        k
+                    };
+                    view.deliverers.nth(k).expect("index within deliverers")
+                }
+                _ => match value_best {
+                    (Some(best), _) if best != v => best,
+                    (_, Some(second)) => second,
+                    _ => unreachable!("m > 0 guarantees a candidate"),
+                },
+            };
+            out.push_run_except(v, NodeId::new(0), hi, omitted);
         }
     }
 

@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -54,6 +54,26 @@ impl Adversary for Partition {
                 (split, n - 1)
             };
             out.insert_range_from(v, view.deliverers, NodeId::new(lo), NodeId::new(hi));
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: one id-range run per receiver — its own
+        // group's id range, with the run semantics (∩ deliverers \ {v})
+        // matching the dense path's `insert_range_from` exactly.
+        let n = view.params.n();
+        let split = self.split.min(n);
+        for v in NodeId::all(n) {
+            let (lo, hi) = if v.index() < split {
+                (0, split - 1)
+            } else {
+                (split, n - 1)
+            };
+            out.push_run(v, NodeId::new(lo), NodeId::new(hi));
         }
     }
 
@@ -133,6 +153,26 @@ impl Adversary for Theorem10Split {
             }
             if v.index() >= b_start {
                 out.insert_range_from(v, view.deliverers, NodeId::new(b_start), NodeId::new(n - 1));
+            }
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: one run per group membership; overlap members
+        // record both runs and the plane's read path coalesces them.
+        let n = view.params.n();
+        let a_end = self.group_size;
+        let b_start = n - self.group_size;
+        for v in NodeId::all(n) {
+            if v.index() < a_end {
+                out.push_run(v, NodeId::new(0), NodeId::new(a_end - 1));
+            }
+            if v.index() >= b_start {
+                out.push_run(v, NodeId::new(b_start), NodeId::new(n - 1));
             }
         }
     }

@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::rng::SplitMix64;
 use adn_types::NodeId;
 
@@ -50,6 +50,28 @@ impl Adversary for RandomLinks {
             view.deliverers.for_each(|u| {
                 if u != v && rng.next_bool(p) {
                     out.insert(u, v);
+                }
+            });
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: CSR — each kept link is an explicit draw with
+        // no range structure. The loop shape (ascending receiver-major,
+        // ascending senders within a receiver) is the dense fill's
+        // verbatim, so the Bernoulli draw sequence — part of the per-seed
+        // determinism contract — is identical, and the ascending sender
+        // order is exactly what `LinkPlane::push_link` requires.
+        let n = view.params.n();
+        for v in NodeId::all(n) {
+            let (rng, p) = (&mut self.rng, self.p);
+            view.deliverers.for_each(|u| {
+                if u != v && rng.next_bool(p) {
+                    out.push_link(v, u);
                 }
             });
         }

@@ -7,10 +7,13 @@
 //! the allocation the word-parallel link plane exists to avoid. Instead,
 //! [`SenderList`] holds the ascending *full* deliverer list (refilled in
 //! place once per round) and maps each reduced-list index run onto at most
-//! two contiguous id ranges of the deliverer set, each OR'd into the
-//! receiver's row word-parallel.
+//! two contiguous id ranges of the deliverer set. The range computation is
+//! shared between both fill targets: the dense path ORs each range into
+//! the receiver's `EdgeSet` row word-parallel, the sparse path records the
+//! same range as an O(1) [`LinkPlane`](adn_graph::LinkPlane) run — so the
+//! two representations agree by construction.
 
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::AdversaryView;
@@ -36,25 +39,38 @@ impl SenderList {
         self.senders.binary_search(&v).ok()
     }
 
-    /// Inserts the links of the full-list index run `[a, b)` into `v`'s
-    /// row. The run is contiguous in the ascending deliverer list, so it
-    /// covers exactly the deliverers in the id range
-    /// `[senders[a], senders[b-1]]` — one word-parallel range OR.
-    fn insert_run(
+    /// Maps the **reduced-list** ("deliverers minus `v`") index run
+    /// `[a, b)` onto id ranges of the deliverer set, stepping over `v`'s
+    /// own rank (`rank`, as returned by [`SenderList::rank_of`]), and
+    /// emits each as an inclusive `(lo, hi)` id pair. Empty runs emit
+    /// nothing. Both fill paths route through here, so their index math
+    /// is identical by construction.
+    fn for_each_reduced_run(
         &self,
-        view: &AdversaryView<'_>,
-        out: &mut EdgeSet,
-        v: NodeId,
+        rank: Option<usize>,
         a: usize,
         b: usize,
+        mut emit: impl FnMut(NodeId, NodeId),
     ) {
-        out.insert_range_from(v, view.deliverers, self.senders[a], self.senders[b - 1]);
+        if a == b {
+            return;
+        }
+        // A full-list index run [a, b) is contiguous in the ascending
+        // deliverer list, so it covers exactly the deliverers in the id
+        // range [senders[a], senders[b-1]].
+        let mut run = |a: usize, b: usize| emit(self.senders[a], self.senders[b - 1]);
+        match rank {
+            Some(p) if a < p && b > p => {
+                run(a, p);
+                run(p + 1, b + 1);
+            }
+            Some(p) if a >= p => run(a + 1, b + 1),
+            _ => run(a, b),
+        }
     }
 
-    /// Inserts the links of the **reduced-list** ("deliverers minus `v`")
-    /// index run `[a, b)` into `v`'s row, stepping over `v`'s own rank
-    /// (`rank`, as returned by [`SenderList::rank_of`]). Empty runs are
-    /// no-ops.
+    /// Inserts the links of the reduced-list index run `[a, b)` into
+    /// `v`'s dense row — one word-parallel range OR per emitted range.
     pub fn insert_reduced_run(
         &self,
         view: &AdversaryView<'_>,
@@ -64,16 +80,22 @@ impl SenderList {
         a: usize,
         b: usize,
     ) {
-        if a == b {
-            return;
-        }
-        match rank {
-            Some(p) if a < p && b > p => {
-                self.insert_run(view, out, v, a, p);
-                self.insert_run(view, out, v, p + 1, b + 1);
-            }
-            Some(p) if a >= p => self.insert_run(view, out, v, a + 1, b + 1),
-            _ => self.insert_run(view, out, v, a, b),
-        }
+        self.for_each_reduced_run(rank, a, b, |lo, hi| {
+            out.insert_range_from(v, view.deliverers, lo, hi);
+        });
+    }
+
+    /// Records the links of the reduced-list index run `[a, b)` as sparse
+    /// runs on `v`'s [`LinkPlane`] row — the same id ranges the dense
+    /// path ORs, in O(1) space each.
+    pub fn push_reduced_run(
+        &self,
+        out: &mut LinkPlane,
+        v: NodeId,
+        rank: Option<usize>,
+        a: usize,
+        b: usize,
+    ) {
+        self.for_each_reduced_run(rank, a, b, |lo, hi| out.push_run(v, lo, hi));
     }
 }

@@ -1,4 +1,4 @@
-use adn_graph::{EdgeSet, NodeSet};
+use adn_graph::{EdgeSet, LinkPlane, NodeSet};
 use adn_types::NodeId;
 
 use crate::{Adversary, AdversaryView};
@@ -101,6 +101,68 @@ impl Adversary for Spread {
             // receiver has not heard this window, in one word-parallel
             // sweep that also advances the window's heard-set.
             out.insert_lowest_from(v, view.deliverers, &mut self.heard[v.index()], installment);
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: CSR — each round delivers a small installment
+        // of explicit fresh senders per receiver, which no id range can
+        // express once the heard-sets diverge. The word walk mirrors
+        // `EdgeSet::insert_lowest_from` exactly (ascending words, lowest
+        // `remaining` bits kept), including the heard-set advance, so both
+        // fills leave the adversary in the same state.
+        let n = view.params.n();
+        if self.heard.len() != n {
+            self.heard = (0..n).map(|_| NodeSet::new(n)).collect();
+        }
+        let k = (view.round.as_u64() as usize) % self.t_window;
+        if k == 0 {
+            for heard in &mut self.heard {
+                heard.clear();
+            }
+        }
+        let installment = self.slice(k).len();
+        if installment == 0 {
+            return;
+        }
+        for v in NodeId::all(n) {
+            let heard = &mut self.heard[v.index()];
+            let (vw, vb) = (v.index() / 64, v.index() % 64);
+            let mut remaining = installment;
+            for (wi, mut cand) in view.deliverers.iter_words() {
+                if remaining == 0 {
+                    break;
+                }
+                cand &= !heard.word(wi);
+                if wi == vw {
+                    cand &= !(1u64 << vb);
+                }
+                if cand == 0 {
+                    continue;
+                }
+                let have = cand.count_ones() as usize;
+                let take = if have <= remaining {
+                    cand
+                } else {
+                    let mut rest = cand;
+                    for _ in 0..remaining {
+                        rest &= rest - 1;
+                    }
+                    cand ^ rest
+                };
+                let mut bits = take;
+                while bits != 0 {
+                    let u = NodeId::new(wi * 64 + bits.trailing_zeros() as usize);
+                    out.push_link(v, u);
+                    heard.insert(u);
+                    bits &= bits - 1;
+                }
+                remaining -= take.count_ones() as usize;
+            }
         }
     }
 

@@ -1,4 +1,4 @@
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::NodeId;
 
 use crate::runs::SenderList;
@@ -80,6 +80,39 @@ impl Adversary for Staggered {
                 .insert_reduced_run(view, out, v, rank, start, start + first);
             self.senders
                 .insert_reduced_run(view, out, v, rank, 0, d - first);
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: id-range runs on the served group's rows; the
+        // starved groups keep empty rows. Same window math as the dense
+        // fill, emitted through the shared `SenderList` range mapping.
+        let n = view.params.n();
+        let t = view.round.as_u64() as usize;
+        let turn = t % self.groups;
+        let m = self.senders.begin_round(view);
+        if m == 0 {
+            return;
+        }
+        for v in NodeId::all(n) {
+            if v.index() % self.groups != turn {
+                continue;
+            }
+            let rank = self.senders.rank_of(v);
+            let len = m - usize::from(rank.is_some());
+            if len == 0 {
+                continue;
+            }
+            let d = self.d.min(len);
+            let start = (t * d + v.index()) % len;
+            let first = d.min(len - start);
+            self.senders
+                .push_reduced_run(out, v, rank, start, start + first);
+            self.senders.push_reduced_run(out, v, rank, 0, d - first);
         }
     }
 

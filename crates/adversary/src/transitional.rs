@@ -2,7 +2,7 @@
 //! networks (the "early works" model the paper contrasts with in §III) and
 //! temporary isolation of individual nodes (stragglers).
 
-use adn_graph::EdgeSet;
+use adn_graph::{EdgeSet, LinkPlane};
 use adn_types::{NodeId, Round};
 
 use crate::{Adversary, AdversaryView};
@@ -44,6 +44,26 @@ impl Adversary for Eventually {
         // receiver, exactly as [`crate::Complete`].
         for v in NodeId::all(view.params.n()) {
             out.assign_in_neighbors(v, view.deliverers);
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: nothing during the chaotic prefix, then one
+        // full-id-range run per receiver — exactly [`crate::Complete`].
+        if view.round < self.stabilize_at {
+            return;
+        }
+        let n = view.params.n();
+        if n == 0 {
+            return;
+        }
+        let hi = NodeId::new(n - 1);
+        for v in NodeId::all(n) {
+            out.push_run(v, NodeId::new(0), hi);
         }
     }
 
@@ -97,6 +117,33 @@ impl Adversary for Isolate {
             out.assign_in_neighbors(v, view.deliverers);
             if cut && self.victim.index() < n {
                 out.remove(self.victim, v);
+            }
+        }
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
+        // Natural row kind: the full id range, split around the victim
+        // during the outage — at most two runs per receiver, and the
+        // victim's own row stays empty while cut.
+        let n = view.params.n();
+        if n == 0 {
+            return;
+        }
+        let cut = self.is_isolated(view.round);
+        let lo = NodeId::new(0);
+        let hi = NodeId::new(n - 1);
+        for v in NodeId::all(n) {
+            if cut && v == self.victim {
+                continue;
+            }
+            if cut && self.victim.index() < n {
+                out.push_run_except(v, lo, hi, self.victim);
+            } else {
+                out.push_run(v, lo, hi);
             }
         }
     }

@@ -1,0 +1,148 @@
+//! E19 — Scaling past the dense plane: sparse link rows and sharded
+//! delivery.
+//!
+//! E18 stops at n = 1024/2048 because everything below it is O(n²) per
+//! round: the dense n×n link bitmap, its realized-schedule twin, and the
+//! per-receiver port permutation tables. This experiment exercises the
+//! row-kind link plane (run/CSR rows, O(active links) memory), the
+//! arithmetic rotation port numbering (O(n) state), and the receiver-range
+//! sharded delivery loop — the configuration that carries DAC rounds at
+//! n = 100 000 and beyond.
+//!
+//! The registry entry runs a reduced n (kept small so `run_all` stays
+//! quick); the `exp19_scale` binary defaults to the full n = 100 000
+//! demonstration. Both drive DAC at ε = 0.25 (pend = 2 — phases, not
+//! wall-clock, bound the run) under two sparse-shaped adversaries —
+//! strategies whose natural row kind is the O(1)-space id-range run:
+//! `Rotating(n/2+1)` (one rotation-window run per receiver, every round)
+//! and `Staggered(n/2+1, 4)` (the same runs, but only one receiver group
+//! in four served per round — the windowed (T = 4, d) regime). CSR-kind
+//! strategies (spread, random, adaptive) stay honest O(links) and at
+//! d ≈ n/2 would out-weigh the bitmap they replace; the run-kind rows
+//! are where the scaling headroom comes from.
+//! Every configuration is run single-shard and 2-shard; the sharded
+//! merge is deterministic, so rounds/outputs must agree exactly and only
+//! the wall clock may differ. Wall times and rounds/sec are measured on
+//! whatever box runs this — this workspace's bench box exposes **one
+//! core**, so sharding here demonstrates correctness and overhead, not
+//! speedup; see `BENCH_e19_scale.json` for the recorded numbers.
+
+use std::fmt::Write;
+use std::time::Instant;
+
+use adn_adversary::AdversarySpec;
+use adn_analysis::Table;
+use adn_sim::{factories, LinkMode, Simulation, StopReason};
+use adn_types::Params;
+
+use crate::harness::peak_rss_bytes;
+
+/// Registry entry: a reduced-n smoke of the same configuration matrix
+/// (n = 8192 is already past the dense port-table cap, so `Auto` link
+/// selection would pick the sparse plane too — we pin it explicitly).
+pub fn run() -> String {
+    run_at(8_192)
+}
+
+/// Runs the full scaling matrix at `n` and returns the report.
+pub fn run_at(n: usize) -> String {
+    let mut out = String::new();
+    let eps = 0.25;
+    let mut t = Table::new([
+        "adversary",
+        "shards",
+        "rounds",
+        "wall ms",
+        "rounds/s",
+        "links KB",
+        "dense bitmap KB",
+        "ratio",
+    ]);
+    type SpecFor = fn(usize) -> AdversarySpec;
+    let specs: [(&str, SpecFor); 2] = [
+        (
+            "rotating(n/2+1)",
+            (|n| AdversarySpec::Rotating { d: n / 2 + 1 }) as SpecFor,
+        ),
+        ("staggered(n/2+1,4)", |n| AdversarySpec::Staggered {
+            d: n / 2 + 1,
+            groups: 4,
+        }),
+    ];
+    let dense_bitmap_bytes = n * n / 8;
+    let mut reference_rounds = None;
+    for (name, spec) in specs {
+        for shards in [1usize, 2] {
+            let params = Params::fault_free(n, eps).expect("valid params");
+            let mut sim = Simulation::builder(params)
+                .inputs_random(7)
+                .adversary(spec(n).build(n, 0, 7))
+                .algorithm(factories::dac(params))
+                .link_mode(LinkMode::Sparse)
+                .shards(shards)
+                .record_schedule(false)
+                .observe_phases(false)
+                .max_rounds(64)
+                .build();
+            assert!(sim.uses_sparse_links(), "{name}: sparse plane engaged");
+            assert_eq!(sim.shards(), shards, "{name}: shard count respected");
+            let started = Instant::now();
+            sim.step();
+            let links_bytes = sim
+                .link_plane_heap_bytes()
+                .expect("sparse runs expose link-plane heap");
+            let outcome = sim.run();
+            let wall = started.elapsed();
+            assert_eq!(outcome.reason(), StopReason::AllOutput, "{name}");
+            assert!(outcome.eps_agreement(eps), "{name}");
+            // The sharded run must land on exactly the round count of its
+            // single-shard twin (the merge is input-ordered and
+            // deterministic); across adversaries rounds legitimately vary.
+            match (shards, reference_rounds) {
+                (1, _) => reference_rounds = Some(outcome.rounds()),
+                (_, Some(r)) => assert_eq!(outcome.rounds(), r, "{name}: shard determinism"),
+                _ => unreachable!("single-shard runs first"),
+            }
+            t.row([
+                name.to_string(),
+                shards.to_string(),
+                outcome.rounds().to_string(),
+                wall.as_millis().to_string(),
+                format!("{:.2}", outcome.rounds() as f64 / wall.as_secs_f64()),
+                (links_bytes / 1024).to_string(),
+                (dense_bitmap_bytes / 1024).to_string(),
+                format!("{:.0}x", dense_bitmap_bytes as f64 / links_bytes as f64),
+            ]);
+        }
+    }
+    writeln!(out, "n = {n}, eps = {eps} (pend = 2), DAC, fault-free\n").unwrap();
+    writeln!(out, "{t}").unwrap();
+    if let Some(peak) = peak_rss_bytes() {
+        writeln!(out, "process peak RSS: {} MB", peak / (1024 * 1024)).unwrap();
+    }
+    writeln!(
+        out,
+        "check: the sparse link plane holds O(1) id-range runs per\n\
+         receiver row for both adversaries, where the dense bitmap needs\n\
+         n^2/8 bytes (and the realized-schedule twin doubles it);\n\
+         rotation ports replace the O(n^2) per-receiver tables, which cap\n\
+         out at n = 4096. Staggered needs ~4x the rounds of rotating (one\n\
+         receiver group in four served per round — the windowed regime).\n\
+         Sharded runs finish in exactly the rounds of their single-shard\n\
+         twins: delivery is receiver-range partitioned and merged in\n\
+         input order, so the wall clock is the only column allowed to\n\
+         move."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reduced_n_matrix_completes_sparse_and_sharded() {
+        let r = super::run_at(4_099); // odd prime-ish, > dense port cap
+        assert!(r.contains("rotating(n/2+1)"));
+        assert!(r.contains("staggered(n/2+1,4)"));
+    }
+}

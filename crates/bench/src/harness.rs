@@ -143,16 +143,26 @@ impl Runner {
         let Ok(path) = std::env::var("ADN_BENCH_OUT") else {
             return;
         };
+        // One process-wide peak, stamped on every record of the group:
+        // per-benchmark attribution is impossible after the fact (the
+        // high-water mark only ratchets up), but the group peak is what a
+        // memory budget cares about.
+        let peak = peak_rss_bytes();
         let mut out = String::new();
         for r in &self.records {
-            writeln!(
+            write!(
                 out,
-                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"per_sec\":{:.1}}}",
+                "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"per_sec\":{:.1}",
                 r.id,
                 r.median_ns,
                 r.mean_ns,
                 r.per_sec()
             )
+            .expect("writing to a String cannot fail");
+            match peak {
+                Some(bytes) => writeln!(out, ",\"peak_rss_bytes\":{bytes}}}"),
+                None => writeln!(out, "}}"),
+            }
             .expect("writing to a String cannot fail");
         }
         let mut file = std::fs::OpenOptions::new()
@@ -163,6 +173,27 @@ impl Runner {
         file.write_all(out.as_bytes())
             .unwrap_or_else(|e| panic!("ADN_BENCH_OUT={path}: {e}"));
     }
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. This is the high-water
+/// mark over the whole process lifetime — for a benchmark or experiment
+/// it bounds the working set of everything run so far.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
 }
 
 fn format_ns(ns: f64) -> String {
@@ -188,6 +219,17 @@ mod tests {
             iters_per_sample: 8,
         };
         assert!((r.per_sec() - 5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_vm_hwm_reads_kib_lines() {
+        let status = "Name:\tbench\nVmPeak:\t  999 kB\nVmHWM:\t  20480 kB\nVmRSS:\t 100 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(20480 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tbench\n"), None);
+        // The live probe works on any Linux CI box.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
     }
 
     #[test]

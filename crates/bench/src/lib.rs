@@ -29,6 +29,7 @@ pub mod e15_exact;
 pub mod e16_property_zoo;
 pub mod e17_quantization;
 pub mod e18_scale;
+pub mod e19_scale;
 pub mod harness;
 
 /// Seeds used by every multi-seed experiment (deterministic sweep).
@@ -130,6 +131,11 @@ pub fn all() -> Vec<ExperimentEntry> {
             "Scale: simulator throughput and n-independence of phases",
             e18_scale::run,
         ),
+        (
+            "E19",
+            "Scale past the dense plane: sparse links + sharded delivery",
+            e19_scale::run,
+        ),
     ]
 }
 
@@ -138,7 +144,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let all = super::all();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         for (i, (id, title, _)) in all.iter().enumerate() {
             assert_eq!(*id, format!("E{:02}", i + 1));
             assert!(!title.is_empty());

@@ -71,7 +71,7 @@ pub use dac::Dac;
 pub use dbac::Dbac;
 pub use full_exchange::FullExchange;
 pub use piggyback::DbacPiggyback;
-pub use plane::{AlgorithmPlane, DacPlane, DbacPlane};
+pub use plane::{AlgorithmPlane, DacPlane, DbacPlane, PlaneShard, MAX_PLANE_SHARDS};
 
 use std::fmt;
 

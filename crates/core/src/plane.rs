@@ -99,6 +99,36 @@ pub trait AlgorithmPlane: fmt::Debug {
     /// Mirrors `Algorithm::receive` exactly.
     fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]);
 
+    /// Delivers one round's worth of single-message links to one
+    /// receiver, in slice order — the receiver-major path the sparse link
+    /// plane drives (each entry is one sender's broadcast on the port the
+    /// receiver hears it on, senders ascending). Must be observationally
+    /// identical to calling [`AlgorithmPlane::receive`] once per entry;
+    /// the default does exactly that, while the columnar planes override
+    /// it to split their columns once per receiver instead of per link.
+    fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
+        for &(port, msg) in batch {
+            self.receive(receiver, port, std::slice::from_ref(&msg));
+        }
+    }
+
+    /// Splits the plane into per-receiver-range [`PlaneShard`]s for the
+    /// sharded delivery loop: shard `i` owns receivers
+    /// `bounds[i]..bounds[i + 1]` and only ever mutates their columns, so
+    /// the shards can be driven from different threads. Returns `false`
+    /// (leaving `out` untouched) when the plane cannot shard — the
+    /// default, which makes the engine fall back to single-shard
+    /// delivery. Wire-format adaptors must **not** forward this to an
+    /// inner plane: a shard drives the inner columns directly and would
+    /// bypass the adaptor's decode.
+    ///
+    /// `bounds` is ascending with `bounds[0] == 0`, ends at
+    /// [`AlgorithmPlane::n`], and has one more entry than `out`.
+    fn fill_shards<'a>(&'a mut self, bounds: &[usize], out: &mut [Option<PlaneShard<'a>>]) -> bool {
+        let _ = (bounds, out);
+        false
+    }
+
     /// End-of-round hook for every slot in `executing`, ascending —
     /// mirrors `Algorithm::end_round`.
     fn end_round(&mut self, executing: &NodeSet);
@@ -106,6 +136,83 @@ pub trait AlgorithmPlane: fmt::Debug {
     /// Short algorithm name for reports (matches the trait
     /// implementation's `name`).
     fn name(&self) -> &'static str;
+}
+
+/// Upper bound on delivery shards a plane can be split into
+/// ([`AlgorithmPlane::fill_shards`]); the engine sizes its fixed shard
+/// scratch against it.
+pub const MAX_PLANE_SHARDS: usize = 8;
+
+/// One receiver-range slice of a columnar plane
+/// (see [`AlgorithmPlane::fill_shards`]): exclusive `&mut` views of the
+/// columns for receivers `base..base + len`, safe to drive from its own
+/// thread while sibling shards run on theirs.
+pub struct PlaneShard<'a> {
+    base: usize,
+    repr: ShardRepr<'a>,
+}
+
+enum ShardRepr<'a> {
+    Dac(DacCols<'a>),
+    Dbac(DbacCols<'a>),
+}
+
+impl PlaneShard<'_> {
+    /// First receiver this shard owns.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Delivers one round's worth of single-message links to `receiver`
+    /// (a **global** slot index inside this shard's range), in slice
+    /// order — the sharded mirror of [`AlgorithmPlane::receive_many`].
+    #[inline]
+    pub fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
+        let v = receiver - self.base;
+        match &mut self.repr {
+            ShardRepr::Dac(cols) => {
+                for &(port, msg) in batch {
+                    cols.process(v, port, msg);
+                }
+            }
+            ShardRepr::Dbac(cols) => {
+                for &(port, msg) in batch {
+                    cols.process(v, port, msg);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for PlaneShard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.repr {
+            ShardRepr::Dac(_) => "dac",
+            ShardRepr::Dbac(_) => "dbac",
+        };
+        write!(f, "PlaneShard({kind}, base {})", self.base)
+    }
+}
+
+/// Carves the first `at` elements off `*s` (for per-shard column
+/// splitting — each call hands the caller an exclusive prefix and leaves
+/// the tail for the remaining shards).
+fn take_split<'a, T>(s: &mut &'a mut [T], at: usize) -> &'a mut [T] {
+    let (head, rest) = std::mem::take(s).split_at_mut(at);
+    *s = rest;
+    head
+}
+
+/// Checks the [`AlgorithmPlane::fill_shards`] `bounds` contract against a
+/// plane of `n` slots.
+fn assert_shard_bounds(n: usize, bounds: &[usize], shards: usize) {
+    assert_eq!(bounds.len(), shards + 1, "one bound per shard edge");
+    assert_eq!(bounds[0], 0, "first shard starts at slot 0");
+    assert_eq!(bounds[shards], n, "last shard ends at n");
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "bounds must ascend"
+    );
 }
 
 /// [`Dac`](crate::Dac) in struct-of-arrays layout: one plane holds every
@@ -322,6 +429,41 @@ impl AlgorithmPlane for DacPlane {
         for &msg in batch {
             cols.process(receiver, port, msg);
         }
+    }
+
+    fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
+        let mut cols = self.cols();
+        for &(port, msg) in batch {
+            cols.process(receiver, port, msg);
+        }
+    }
+
+    fn fill_shards<'a>(&'a mut self, bounds: &[usize], out: &mut [Option<PlaneShard<'a>>]) -> bool {
+        assert_shard_bounds(self.phase.len(), bounds, out.len());
+        let (pend, foreign_quorum, row_words) = (self.pend, self.foreign_quorum, self.row_words);
+        let (mut phase, mut value) = (&mut self.phase[..], &mut self.value[..]);
+        let (mut vmin, mut vmax) = (&mut self.vmin[..], &mut self.vmax[..]);
+        let mut ports_seen = &mut self.ports_seen[..];
+        let (mut seen_count, mut output) = (&mut self.seen_count[..], &mut self.output[..]);
+        for (i, slot) in out.iter_mut().enumerate() {
+            let len = bounds[i + 1] - bounds[i];
+            *slot = Some(PlaneShard {
+                base: bounds[i],
+                repr: ShardRepr::Dac(DacCols {
+                    pend,
+                    foreign_quorum,
+                    row_words,
+                    phase: take_split(&mut phase, len),
+                    value: take_split(&mut value, len),
+                    vmin: take_split(&mut vmin, len),
+                    vmax: take_split(&mut vmax, len),
+                    ports_seen: take_split(&mut ports_seen, len * row_words),
+                    seen_count: take_split(&mut seen_count, len),
+                    output: take_split(&mut output, len),
+                }),
+            });
+        }
+        true
     }
 
     fn end_round(&mut self, executing: &NodeSet) {
@@ -627,6 +769,51 @@ impl AlgorithmPlane for DbacPlane {
         }
     }
 
+    fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
+        // Every entry is one honest single-message link (the sparse path
+        // never routes Byzantine fabrications here), so no per-batch
+        // phase sorting is needed — this is `receive` with a 1-message
+        // batch per entry, columns split once.
+        let mut cols = self.cols();
+        for &(port, msg) in batch {
+            cols.process(receiver, port, msg);
+        }
+    }
+
+    fn fill_shards<'a>(&'a mut self, bounds: &[usize], out: &mut [Option<PlaneShard<'a>>]) -> bool {
+        assert_shard_bounds(self.phase.len(), bounds, out.len());
+        let (pend, foreign_quorum) = (self.pend, self.foreign_quorum);
+        let (row_words, cap) = (self.row_words, self.cap);
+        let (mut phase, mut value) = (&mut self.phase[..], &mut self.value[..]);
+        let mut ports_seen = &mut self.ports_seen[..];
+        let mut seen_count = &mut self.seen_count[..];
+        let (mut low, mut low_len) = (&mut self.low[..], &mut self.low_len[..]);
+        let (mut high, mut high_len) = (&mut self.high[..], &mut self.high_len[..]);
+        let mut output = &mut self.output[..];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let len = bounds[i + 1] - bounds[i];
+            *slot = Some(PlaneShard {
+                base: bounds[i],
+                repr: ShardRepr::Dbac(DbacCols {
+                    pend,
+                    foreign_quorum,
+                    row_words,
+                    cap,
+                    phase: take_split(&mut phase, len),
+                    value: take_split(&mut value, len),
+                    ports_seen: take_split(&mut ports_seen, len * row_words),
+                    seen_count: take_split(&mut seen_count, len),
+                    low: take_split(&mut low, len * cap),
+                    low_len: take_split(&mut low_len, len),
+                    high: take_split(&mut high, len * cap),
+                    high_len: take_split(&mut high_len, len),
+                    output: take_split(&mut output, len),
+                }),
+            });
+        }
+        true
+    }
+
     fn end_round(&mut self, executing: &NodeSet) {
         let mut cols = self.cols();
         executing.for_each(|id| cols.try_advance(id.index()));
@@ -795,6 +982,97 @@ mod tests {
         assert!(plane.phases().iter().all(|&p| p == Phase::ZERO));
         assert_eq!(plane.n(), 3);
         assert_eq!(plane.name(), "dac");
+    }
+
+    #[test]
+    fn receive_many_matches_per_link_receives() {
+        let params = Params::new(6, 1, 0.1).unwrap();
+        let inputs = vec![Value::HALF; 6];
+        let script = [
+            (Port::new(1), msg(0.2, 0)),
+            (Port::new(2), msg(0.9, 0)),
+            (Port::new(3), msg(0.4, 1)),
+            (Port::new(4), msg(0.6, 0)),
+        ];
+        let mut bulk_dac = DacPlane::with_pend(params, &inputs, 3);
+        let mut link_dac = DacPlane::with_pend(params, &inputs, 3);
+        bulk_dac.receive_many(2, &script);
+        for &(port, m) in &script {
+            link_dac.receive(2, port, &[m]);
+        }
+        assert_eq!(bulk_dac.phases(), link_dac.phases());
+        assert_eq!(bulk_dac.values(), link_dac.values());
+        let mut bulk_dbac = DbacPlane::with_pend(params, &inputs, 3);
+        let mut link_dbac = DbacPlane::with_pend(params, &inputs, 3);
+        bulk_dbac.receive_many(2, &script);
+        for &(port, m) in &script {
+            link_dbac.receive(2, port, &[m]);
+        }
+        assert_eq!(bulk_dbac.phases(), link_dbac.phases());
+        assert_eq!(bulk_dbac.values(), link_dbac.values());
+    }
+
+    #[test]
+    fn shards_mirror_whole_plane_delivery() {
+        let params = Params::new(7, 1, 0.1).unwrap();
+        let inputs: Vec<Value> = (0..7).map(|i| val(i as f64 / 10.0)).collect();
+        let deliver = |shard: &mut PlaneShard<'_>, lo: usize, hi: usize| {
+            for v in lo..hi {
+                let batch = [
+                    (Port::new(1), msg(0.8, 0)),
+                    (Port::new(2), msg(0.1, 0)),
+                    (Port::new(3), msg(0.5, 0)),
+                ];
+                shard.receive_many(v, &batch);
+            }
+        };
+        let bounds = [0usize, 3, 7];
+        let mut whole = DacPlane::with_pend(params, &inputs, 4);
+        let mut sharded = DacPlane::with_pend(params, &inputs, 4);
+        {
+            let mut shards: [Option<PlaneShard<'_>>; 2] = [None, None];
+            assert!(sharded.fill_shards(&bounds, &mut shards));
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let s = shard.as_mut().unwrap();
+                assert_eq!(s.base(), bounds[i]);
+                deliver(s, bounds[i], bounds[i + 1]);
+            }
+        }
+        for v in 0..7 {
+            whole.receive_many(
+                v,
+                &[
+                    (Port::new(1), msg(0.8, 0)),
+                    (Port::new(2), msg(0.1, 0)),
+                    (Port::new(3), msg(0.5, 0)),
+                ],
+            );
+        }
+        assert_eq!(whole.phases(), sharded.phases());
+        assert_eq!(whole.values(), sharded.values());
+        assert_eq!(whole.outputs(), sharded.outputs());
+        // Same drill for DBAC, whose trim slabs split at `len * cap`.
+        let mut whole = DbacPlane::with_pend(params, &inputs, 4);
+        let mut sharded = DbacPlane::with_pend(params, &inputs, 4);
+        {
+            let mut shards: [Option<PlaneShard<'_>>; 2] = [None, None];
+            assert!(sharded.fill_shards(&bounds, &mut shards));
+            for (i, shard) in shards.iter_mut().enumerate() {
+                deliver(shard.as_mut().unwrap(), bounds[i], bounds[i + 1]);
+            }
+        }
+        for v in 0..7 {
+            whole.receive_many(
+                v,
+                &[
+                    (Port::new(1), msg(0.8, 0)),
+                    (Port::new(2), msg(0.1, 0)),
+                    (Port::new(3), msg(0.5, 0)),
+                ],
+            );
+        }
+        assert_eq!(whole.phases(), sharded.phases());
+        assert_eq!(whole.values(), sharded.values());
     }
 
     #[test]

@@ -37,10 +37,29 @@ impl EdgeSet {
         }
     }
 
+    /// Largest `n` for which the dense constructors ([`EdgeSet::complete`])
+    /// will allocate an `n × n` bitmap — 128 MB of links. Past this, a
+    /// dense round graph is almost certainly a mistake: use the sparse
+    /// [`LinkPlane`](crate::LinkPlane) row store, whose run rows represent
+    /// the same broadcast-shaped graphs in O(1) space per receiver.
+    pub const MAX_DENSE_N: usize = 1 << 15;
+
     /// The complete graph without self-loops: every node hears every other.
     ///
     /// This is the `(1, n-1)`-dynaDegree extreme of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`EdgeSet::MAX_DENSE_N`], with a pointer at
+    /// the sparse plane — failing fast beats an OOM abort deep inside an
+    /// experiment.
     pub fn complete(n: usize) -> Self {
+        assert!(
+            n <= Self::MAX_DENSE_N,
+            "EdgeSet::complete(n = {n}) would allocate a {n}×{n} dense bitmap \
+             (cap: {}); large systems should use the sparse LinkPlane rows instead",
+            Self::MAX_DENSE_N
+        );
         let mut e = EdgeSet::empty(n);
         for v in 0..n {
             for u in 0..n {
@@ -121,6 +140,15 @@ impl EdgeSet {
     /// per-row bounds check, iterator-fusable).
     pub fn in_neighbor_sets(&self) -> &[NodeSet] {
         &self.in_neighbors
+    }
+
+    /// Mutable per-receiver in-neighbor sets, for bulk writers that split
+    /// the rows into disjoint receiver ranges (the sharded delivery
+    /// plane records realized links into each shard's own row slice).
+    /// Callers must uphold the set invariants: no self-loops, every id
+    /// below `n`.
+    pub fn in_neighbor_sets_mut(&mut self) -> &mut [NodeSet] {
+        &mut self.in_neighbors
     }
 
     /// Number of distinct in-neighbors of `v`.
@@ -435,6 +463,12 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         EdgeSet::empty(3).insert(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse LinkPlane")]
+    fn complete_past_dense_cap_fails_fast() {
+        EdgeSet::complete(EdgeSet::MAX_DENSE_N + 1);
     }
 
     #[test]

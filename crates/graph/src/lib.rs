@@ -45,11 +45,13 @@ pub mod connectivity;
 pub mod dot;
 mod edgeset;
 pub mod generators;
+mod linkplane;
 mod nodeset;
 mod schedule;
 mod window;
 
 pub use edgeset::EdgeSet;
+pub use linkplane::{LinkPlane, LinkRows, MAX_RUNS_PER_ROW};
 pub use nodeset::NodeSet;
 pub use schedule::Schedule;
 pub use window::WindowUnion;

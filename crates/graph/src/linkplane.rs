@@ -1,0 +1,625 @@
+//! Sparse/hybrid per-receiver link rows for large systems.
+//!
+//! [`EdgeSet`] stores one round's links as `n` dense bit rows — `n²/8`
+//! bytes no matter how few links the adversary actually chooses. That is
+//! the right trade below a few thousand nodes (word-parallel everything),
+//! but at `n = 100 000` a single bitmap is 1.25 GB and the engine keeps
+//! three. Most gallery adversaries, however, produce *structured* rows:
+//!
+//! * Rotating / Staggered / Partition / Theorem10 / Isolate / Eventually /
+//!   Complete rows are unions of at most a few **id ranges** of the round's
+//!   deliverer set — O(1) words per receiver regardless of degree;
+//! * Spread / Random / AdaptiveClosest / Alternating / Omit rows are either
+//!   bounded-degree or exact small lists — a **CSR** row of sender ids.
+//!
+//! [`LinkPlane`] stores exactly that: per receiver, either up to
+//! [`MAX_RUNS_PER_ROW`] inclusive id ranges (interpreted against the
+//! round's deliverer set, self-loop stripped — the same semantics as
+//! [`EdgeSet::insert_range_from`]) or a contiguous CSR slice of exact
+//! sender ids. Reads go through [`LinkRows`], the row-access trait that
+//! [`EdgeSet`] also implements, so the delivery engine and the window
+//! checker compile against one interface and the dense path stays the
+//! byte-identical oracle.
+
+use std::fmt;
+
+use adn_types::NodeId;
+
+use crate::{EdgeSet, NodeSet};
+
+/// Maximum id ranges a run-shaped row may hold. Four covers every gallery
+/// adversary: a rotating window wraps into two ranges, and excluding one
+/// id (the receiver's rank reduction or an omitted sender) splits each
+/// range at most once more.
+pub const MAX_RUNS_PER_ROW: usize = 4;
+
+/// Read access to one round's per-receiver link rows.
+///
+/// The one required method is [`LinkRows::for_each_in`] — visit a
+/// receiver's in-neighbors in ascending id order — from which the
+/// aggregate defaults derive. [`EdgeSet`] (dense bit rows) and
+/// [`LinkPlane`] (runs / CSR rows) both implement it, so consumers like
+/// the delivery loop and [`WindowUnion`](crate::WindowUnion) are written
+/// once against the trait.
+pub trait LinkRows {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Calls `f` for every in-neighbor of `v`, ascending by id.
+    fn for_each_in(&self, v: NodeId, f: impl FnMut(NodeId));
+
+    /// Number of distinct in-neighbors of `v`.
+    fn in_degree(&self, v: NodeId) -> usize {
+        let mut c = 0;
+        self.for_each_in(v, |_| c += 1);
+        c
+    }
+
+    /// Calls `f` for every `(sender, receiver)` pair, receiver-major and
+    /// ascending-sender within a receiver.
+    fn for_each_edge(&self, mut f: impl FnMut(NodeId, NodeId)) {
+        for v_idx in 0..self.n() {
+            let v = NodeId::new(v_idx);
+            self.for_each_in(v, |u| f(u, v));
+        }
+    }
+
+    /// Total number of directed links.
+    fn edge_count(&self) -> usize {
+        let mut c = 0;
+        for v_idx in 0..self.n() {
+            c += self.in_degree(NodeId::new(v_idx));
+        }
+        c
+    }
+
+    /// Minimum in-degree over a set of receivers (`None` if empty).
+    fn min_in_degree_over_set(&self, receivers: &NodeSet) -> Option<usize> {
+        let mut min = None;
+        receivers.for_each(|v| {
+            let d = self.in_degree(v);
+            min = Some(min.map_or(d, |m: usize| m.min(d)));
+        });
+        min
+    }
+}
+
+impl LinkRows for EdgeSet {
+    fn n(&self) -> usize {
+        EdgeSet::n(self)
+    }
+
+    #[inline]
+    fn for_each_in(&self, v: NodeId, f: impl FnMut(NodeId)) {
+        self.in_neighbors(v).for_each(f);
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        EdgeSet::in_degree(self, v)
+    }
+
+    fn edge_count(&self) -> usize {
+        EdgeSet::edge_count(self)
+    }
+}
+
+/// One round's links in sparse/hybrid form: per receiver, either up to
+/// [`MAX_RUNS_PER_ROW`] id ranges of the round's deliverer set or an
+/// exact CSR list of sender ids.
+///
+/// Row semantics:
+///
+/// * a **run** `(lo, hi)` (inclusive) contributes
+///   `deliverers ∩ {lo..=hi} \ {v}` — exactly what
+///   [`EdgeSet::insert_range_from`] inserts, so adversaries emit the same
+///   ranges on both paths. Runs may overlap and arrive unsorted (a
+///   rotating window wraps; Theorem 10's overlap nodes belong to two
+///   groups); reads sort and coalesce them on the stack first, so each
+///   link is visited once, ascending.
+/// * a **CSR** row holds the exact ascending sender ids pushed via
+///   [`LinkPlane::push_link`] — *not* intersected with the deliverer set,
+///   because strategies with precomputed bursts (Alternating) copy rows
+///   verbatim on the dense path too.
+///
+/// A row uses one kind per round; mixing runs and CSR in the same row is
+/// a caller bug (debug-asserted). All storage is allocated once and
+/// reused: [`LinkPlane::begin_round`] is a capacity-preserving clear.
+///
+/// ```
+/// use adn_graph::{LinkPlane, LinkRows, NodeSet};
+/// use adn_types::NodeId;
+///
+/// let mut lp = LinkPlane::new(6);
+/// lp.begin_round(&NodeSet::full(6));
+/// lp.push_run(NodeId::new(0), NodeId::new(2), NodeId::new(4));
+/// let row: Vec<usize> = {
+///     let mut v = Vec::new();
+///     lp.for_each_in(NodeId::new(0), |u| v.push(u.index()));
+///     v
+/// };
+/// assert_eq!(row, vec![2, 3, 4]);
+/// assert_eq!(lp.in_degree(NodeId::new(0)), 3);
+/// ```
+#[derive(Clone)]
+pub struct LinkPlane {
+    n: usize,
+    /// The round's transmitting senders — the base set run rows intersect.
+    deliverers: NodeSet,
+    /// Flat `n × MAX_RUNS_PER_ROW` inclusive id ranges.
+    runs: Vec<(u32, u32)>,
+    /// Number of valid runs per receiver row.
+    runs_len: Vec<u8>,
+    /// CSR row starts into `csr_items` (valid iff `csr_len[v] > 0` or the
+    /// row is being filled).
+    csr_start: Vec<u32>,
+    /// CSR row lengths.
+    csr_len: Vec<u32>,
+    /// Shared pool of CSR sender ids; each row is one contiguous slice.
+    csr_items: Vec<u32>,
+}
+
+impl LinkPlane {
+    /// An empty plane over `n` nodes. The CSR pool starts empty and grows
+    /// to the busiest round's total degree, then is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not fit the plane's 32-bit id encoding.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "n = {n} exceeds the 32-bit id space");
+        LinkPlane {
+            n,
+            deliverers: NodeSet::new(n),
+            runs: vec![(0, 0); n * MAX_RUNS_PER_ROW],
+            runs_len: vec![0; n],
+            csr_start: vec![0; n],
+            csr_len: vec![0; n],
+            csr_items: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Starts a new round: adopts the round's deliverer set (the base of
+    /// every run row) and clears all rows, preserving capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn begin_round(&mut self, deliverers: &NodeSet) {
+        self.deliverers.copy_from(deliverers);
+        self.runs_len.fill(0);
+        self.csr_len.fill(0);
+        self.csr_items.clear();
+    }
+
+    /// The round's deliverer set run rows are interpreted against.
+    pub fn deliverers(&self) -> &NodeSet {
+        &self.deliverers
+    }
+
+    /// Appends the run `deliverers ∩ {lo..=hi} \ {v}` to `v`'s row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, an endpoint is out of range, or the row
+    /// already holds [`MAX_RUNS_PER_ROW`] runs; debug-panics if the row
+    /// already holds CSR links.
+    pub fn push_run(&mut self, v: NodeId, lo: NodeId, hi: NodeId) {
+        assert!(lo <= hi, "empty range: {lo} > {hi}");
+        assert!(hi.index() < self.n, "sender {hi} out of range");
+        debug_assert_eq!(self.csr_len[v.index()], 0, "row {v} mixes CSR and runs");
+        let len = &mut self.runs_len[v.index()];
+        assert!(
+            (*len as usize) < MAX_RUNS_PER_ROW,
+            "row {v} exceeds {MAX_RUNS_PER_ROW} runs"
+        );
+        self.runs[v.index() * MAX_RUNS_PER_ROW + *len as usize] =
+            (lo.index() as u32, hi.index() as u32);
+        *len += 1;
+    }
+
+    /// Appends `deliverers ∩ {lo..=hi} \ {v, except}` to `v`'s row: the
+    /// range split around one excluded sender (an omitted node, an
+    /// isolation victim). Emits zero, one, or two runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LinkPlane::push_run`].
+    pub fn push_run_except(&mut self, v: NodeId, lo: NodeId, hi: NodeId, except: NodeId) {
+        let e = except.index();
+        if e < lo.index() || e > hi.index() {
+            self.push_run(v, lo, hi);
+            return;
+        }
+        if e > lo.index() {
+            self.push_run(v, lo, NodeId::new(e - 1));
+        }
+        if e < hi.index() {
+            self.push_run(v, NodeId::new(e + 1), hi);
+        }
+    }
+
+    /// Appends the exact sender `u` to `v`'s CSR row.
+    ///
+    /// All links of one row must be pushed consecutively (each row is one
+    /// contiguous slice of the shared pool) and in ascending sender order;
+    /// both are debug-asserted, as is the absence of self-loops and run
+    /// entries in the same row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or the pool exceeds the 32-bit index
+    /// space.
+    pub fn push_link(&mut self, v: NodeId, u: NodeId) {
+        assert!(u.index() < self.n, "sender {u} out of range");
+        debug_assert_ne!(u, v, "self-loops are not part of the model");
+        debug_assert_eq!(self.runs_len[v.index()], 0, "row {v} mixes runs and CSR");
+        assert!(
+            self.csr_items.len() < u32::MAX as usize,
+            "CSR pool exceeds the 32-bit index space"
+        );
+        let len = &mut self.csr_len[v.index()];
+        if *len == 0 {
+            self.csr_start[v.index()] = self.csr_items.len() as u32;
+        } else {
+            debug_assert_eq!(
+                self.csr_start[v.index()] as usize + *len as usize,
+                self.csr_items.len(),
+                "row {v} is not the pool tail: CSR rows must be filled contiguously"
+            );
+            debug_assert!(
+                *self.csr_items.last().unwrap() < u.index() as u32,
+                "row {v}: links must be pushed in ascending sender order"
+            );
+        }
+        self.csr_items.push(u.index() as u32);
+        *len += 1;
+    }
+
+    /// Sorts and coalesces `v`'s runs into ascending disjoint ranges on
+    /// the stack. Returns the ranges and their count.
+    #[inline]
+    fn merged_runs(&self, v: NodeId) -> ([(u32, u32); MAX_RUNS_PER_ROW], usize) {
+        let len = self.runs_len[v.index()] as usize;
+        let base = v.index() * MAX_RUNS_PER_ROW;
+        let mut rs = [(0u32, 0u32); MAX_RUNS_PER_ROW];
+        rs[..len].copy_from_slice(&self.runs[base..base + len]);
+        // Insertion sort by lo — at most 4 elements.
+        for i in 1..len {
+            let mut j = i;
+            while j > 0 && rs[j - 1].0 > rs[j].0 {
+                rs.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        // Coalesce overlapping or adjacent ranges in place.
+        let mut m = 0;
+        for i in 1..len {
+            if rs[i].0 <= rs[m].1.saturating_add(1) {
+                rs[m].1 = rs[m].1.max(rs[i].1);
+            } else {
+                m += 1;
+                rs[m] = rs[i];
+            }
+        }
+        (rs, if len == 0 { 0 } else { m + 1 })
+    }
+
+    /// Word-walks `deliverers ∩ {lo..=hi} \ {skip}`, ascending.
+    #[inline]
+    fn walk_range(&self, lo: usize, hi: usize, skip: usize, mut f: impl FnMut(NodeId)) {
+        let words = self.deliverers.words();
+        let (lw, lb) = (lo / 64, lo % 64);
+        let (hw, hb) = (hi / 64, hi % 64);
+        let (sw, sb) = (skip / 64, skip % 64);
+        for (w, &dw) in words.iter().enumerate().take(hw + 1).skip(lw) {
+            let mut mask = u64::MAX;
+            if w == lw {
+                mask &= u64::MAX << lb;
+            }
+            if w == hw {
+                mask &= u64::MAX >> (63 - hb);
+            }
+            if w == sw {
+                mask &= !(1u64 << sb);
+            }
+            let mut word = dw & mask;
+            let wbase = w * 64;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(NodeId::new(wbase + bit));
+            }
+        }
+    }
+
+    /// Popcount of `deliverers ∩ {lo..=hi} \ {skip}`.
+    #[inline]
+    fn count_range(&self, lo: usize, hi: usize, skip: usize) -> usize {
+        let words = self.deliverers.words();
+        let (lw, lb) = (lo / 64, lo % 64);
+        let (hw, hb) = (hi / 64, hi % 64);
+        let (sw, sb) = (skip / 64, skip % 64);
+        let mut c = 0usize;
+        for (w, &dw) in words.iter().enumerate().take(hw + 1).skip(lw) {
+            let mut mask = u64::MAX;
+            if w == lw {
+                mask &= u64::MAX << lb;
+            }
+            if w == hw {
+                mask &= u64::MAX >> (63 - hb);
+            }
+            if w == sw {
+                mask &= !(1u64 << sb);
+            }
+            c += (dw & mask).count_ones() as usize;
+        }
+        c
+    }
+
+    /// Writes this round's links into a dense [`EdgeSet`] (cleared
+    /// first) — the bridge to dense-only consumers (equivalence tests,
+    /// schedule recording).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn fill_edgeset(&self, out: &mut EdgeSet) {
+        assert_eq!(self.n, LinkRows::n(out), "node count mismatch");
+        out.clear();
+        for v_idx in 0..self.n {
+            let v = NodeId::new(v_idx);
+            let (rs, m) = self.merged_runs(v);
+            for &(lo, hi) in &rs[..m] {
+                out.insert_range_from(
+                    v,
+                    &self.deliverers,
+                    NodeId::new(lo as usize),
+                    NodeId::new(hi as usize),
+                );
+            }
+            // `csr_start` is only meaningful while the row has links —
+            // `begin_round` truncates the pool without rewriting starts.
+            let l = self.csr_len[v_idx] as usize;
+            if l > 0 {
+                let s = self.csr_start[v_idx] as usize;
+                for &u in &self.csr_items[s..s + l] {
+                    out.insert(NodeId::new(u as usize), v);
+                }
+            }
+        }
+    }
+
+    /// Bytes of heap memory currently held — the quantity the scaling
+    /// benchmarks compare against the `3 · n²/8`-byte dense arena.
+    pub fn heap_bytes(&self) -> usize {
+        self.deliverers.words().len() * 8
+            + self.runs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.runs_len.capacity()
+            + self.csr_start.capacity() * 4
+            + self.csr_len.capacity() * 4
+            + self.csr_items.capacity() * 4
+    }
+}
+
+impl LinkRows for LinkPlane {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn for_each_in(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        let v_idx = v.index();
+        if self.runs_len[v_idx] > 0 {
+            let (rs, m) = self.merged_runs(v);
+            for &(lo, hi) in &rs[..m] {
+                self.walk_range(lo as usize, hi as usize, v_idx, &mut f);
+            }
+            return;
+        }
+        // `csr_start` is stale while the row is empty (see `fill_edgeset`).
+        let l = self.csr_len[v_idx] as usize;
+        if l > 0 {
+            let s = self.csr_start[v_idx] as usize;
+            for &u in &self.csr_items[s..s + l] {
+                f(NodeId::new(u as usize));
+            }
+        }
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        let v_idx = v.index();
+        if self.runs_len[v_idx] > 0 {
+            let (rs, m) = self.merged_runs(v);
+            return rs[..m]
+                .iter()
+                .map(|&(lo, hi)| self.count_range(lo as usize, hi as usize, v_idx))
+                .sum();
+        }
+        self.csr_len[v_idx] as usize
+    }
+}
+
+impl fmt::Debug for LinkPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LinkPlane(n={}, edges={})",
+            self.n,
+            LinkRows::edge_count(self)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(lp: &LinkPlane, v: usize) -> Vec<usize> {
+        let mut got = Vec::new();
+        lp.for_each_in(NodeId::new(v), |u| got.push(u.index()));
+        got
+    }
+
+    #[test]
+    fn run_row_intersects_deliverers_and_strips_self() {
+        let n = 140;
+        let mut lp = LinkPlane::new(n);
+        let mut deliverers = NodeSet::full(n);
+        deliverers.remove(NodeId::new(70));
+        lp.begin_round(&deliverers);
+        lp.push_run(NodeId::new(65), NodeId::new(60), NodeId::new(75));
+        assert_eq!(
+            row(&lp, 65),
+            vec![60, 61, 62, 63, 64, 66, 67, 68, 69, 71, 72, 73, 74, 75]
+        );
+        assert_eq!(lp.in_degree(NodeId::new(65)), 14);
+        assert_eq!(row(&lp, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn wrapped_and_overlapping_runs_merge_ascending() {
+        let n = 100;
+        let mut lp = LinkPlane::new(n);
+        lp.begin_round(&NodeSet::full(n));
+        let v = NodeId::new(50);
+        // A wrapped rotating window: [90, 99] then [0, 5], pushed out of
+        // order, plus an overlap with the first.
+        lp.push_run(v, NodeId::new(90), NodeId::new(99));
+        lp.push_run(v, NodeId::new(0), NodeId::new(5));
+        lp.push_run(v, NodeId::new(95), NodeId::new(99));
+        let expect: Vec<usize> = (0..=5).chain(90..=99).collect();
+        assert_eq!(row(&lp, 50), expect);
+        assert_eq!(lp.in_degree(v), expect.len());
+    }
+
+    #[test]
+    fn adjacent_runs_coalesce_without_double_visits() {
+        let n = 64;
+        let mut lp = LinkPlane::new(n);
+        lp.begin_round(&NodeSet::full(n));
+        let v = NodeId::new(0);
+        lp.push_run(v, NodeId::new(1), NodeId::new(10));
+        lp.push_run(v, NodeId::new(11), NodeId::new(20));
+        assert_eq!(row(&lp, 0), (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_run_except_splits_around_excluded_sender() {
+        let n = 32;
+        let mut lp = LinkPlane::new(n);
+        lp.begin_round(&NodeSet::full(n));
+        let v = NodeId::new(0);
+        lp.push_run_except(v, NodeId::new(1), NodeId::new(10), NodeId::new(5));
+        let expect: Vec<usize> = (1..=10).filter(|&u| u != 5).collect();
+        assert_eq!(row(&lp, 0), expect);
+        // Exclusions at the boundary or outside the range degrade to the
+        // plain run.
+        let w = NodeId::new(31);
+        lp.push_run_except(w, NodeId::new(1), NodeId::new(3), NodeId::new(1));
+        assert_eq!(row(&lp, 31), vec![2, 3]);
+        let x = NodeId::new(30);
+        lp.push_run_except(x, NodeId::new(1), NodeId::new(3), NodeId::new(20));
+        assert_eq!(row(&lp, 30), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn csr_rows_are_exact_and_ignore_deliverers() {
+        let n = 70;
+        let mut lp = LinkPlane::new(n);
+        // Sender 69 is not a deliverer, yet a CSR row may list it (the
+        // Alternating burst contract: rows are copied verbatim).
+        let deliverers = NodeSet::from_ids(n, [NodeId::new(1)]);
+        lp.begin_round(&deliverers);
+        lp.push_link(NodeId::new(0), NodeId::new(2));
+        lp.push_link(NodeId::new(0), NodeId::new(69));
+        lp.push_link(NodeId::new(3), NodeId::new(1));
+        assert_eq!(row(&lp, 0), vec![2, 69]);
+        assert_eq!(row(&lp, 3), vec![1]);
+        assert_eq!(lp.in_degree(NodeId::new(0)), 2);
+        assert_eq!(LinkRows::edge_count(&lp), 3);
+    }
+
+    #[test]
+    fn begin_round_clears_rows_and_keeps_capacity() {
+        let n = 16;
+        let mut lp = LinkPlane::new(n);
+        lp.begin_round(&NodeSet::full(n));
+        lp.push_run(NodeId::new(0), NodeId::new(1), NodeId::new(5));
+        lp.push_link(NodeId::new(2), NodeId::new(0));
+        let cap = lp.csr_items.capacity();
+        lp.begin_round(&NodeSet::full(n));
+        assert_eq!(LinkRows::edge_count(&lp), 0);
+        assert_eq!(lp.csr_items.capacity(), cap, "clear must not free");
+        // Rows are reusable with either kind after the clear.
+        lp.push_link(NodeId::new(0), NodeId::new(3));
+        assert_eq!(row(&lp, 0), vec![3]);
+    }
+
+    #[test]
+    fn fill_edgeset_matches_trait_reads() {
+        let n = 130;
+        let mut lp = LinkPlane::new(n);
+        let mut deliverers = NodeSet::full(n);
+        deliverers.remove(NodeId::new(64));
+        lp.begin_round(&deliverers);
+        lp.push_run(NodeId::new(5), NodeId::new(0), NodeId::new(70));
+        lp.push_run(NodeId::new(5), NodeId::new(120), NodeId::new(129));
+        lp.push_link(NodeId::new(6), NodeId::new(64));
+        lp.push_link(NodeId::new(6), NodeId::new(65));
+        let mut dense = EdgeSet::complete(n); // pre-soiled: must be overwritten
+        lp.fill_edgeset(&mut dense);
+        assert_eq!(EdgeSet::edge_count(&dense), LinkRows::edge_count(&lp));
+        let mut got = Vec::new();
+        LinkRows::for_each_edge(&lp, |u, v| got.push((u, v)));
+        let mut expect = Vec::new();
+        dense.for_each_edge(|u, v| expect.push((u, v)));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn edgeset_implements_link_rows() {
+        let e = EdgeSet::from_pairs(70, [(0, 1), (65, 2), (1, 65)]);
+        let mut got = Vec::new();
+        LinkRows::for_each_in(&e, NodeId::new(65), |u| got.push(u.index()));
+        assert_eq!(got, vec![1]);
+        assert_eq!(LinkRows::in_degree(&e, NodeId::new(2)), 1);
+        assert_eq!(LinkRows::edge_count(&e), 3);
+        let honest = NodeSet::full(70);
+        assert_eq!(e.min_in_degree_over_set(&honest), Some(0));
+    }
+
+    #[test]
+    fn heap_bytes_tracks_csr_growth() {
+        let n = 256;
+        let mut lp = LinkPlane::new(n);
+        let before = lp.heap_bytes();
+        lp.begin_round(&NodeSet::full(n));
+        for u in 1..100 {
+            lp.push_link(NodeId::new(0), NodeId::new(u));
+        }
+        assert!(lp.heap_bytes() >= before + 4 * 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_runs_panic() {
+        let mut lp = LinkPlane::new(8);
+        lp.begin_round(&NodeSet::full(8));
+        for _ in 0..=MAX_RUNS_PER_ROW {
+            lp.push_run(NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn backwards_run_panics() {
+        let mut lp = LinkPlane::new(8);
+        lp.begin_round(&NodeSet::full(8));
+        lp.push_run(NodeId::new(0), NodeId::new(5), NodeId::new(4));
+    }
+}

@@ -23,7 +23,7 @@ use std::fmt;
 
 use adn_types::{NodeId, Round};
 
-use crate::{EdgeSet, NodeSet, Schedule};
+use crate::{EdgeSet, LinkRows, NodeSet, Schedule};
 
 /// Widest window served by the block-decomposed degree scan; larger
 /// windows fall back to the counter slide (whose cost has no `T` factor
@@ -109,14 +109,32 @@ impl WindowUnion {
     ///
     /// Panics if the edge set is for a different node count.
     pub fn push(&mut self, edges: &EdgeSet) {
-        assert_eq!(edges.n(), self.n, "node count mismatch");
+        self.push_rows(edges);
+    }
+
+    /// The row-generic form of [`WindowUnion::push`]: aggregates any
+    /// [`LinkRows`] implementation — dense [`EdgeSet`] rows or the sparse
+    /// [`LinkPlane`](crate::LinkPlane) — into the window, so the checkers
+    /// compile against one trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are for a different node count, or if a link's
+    /// window multiplicity would overflow its `u32` counter (a window of
+    /// more than `u32::MAX` rounds — checked, not wrapped, because at
+    /// 10⁵-node scale silent counter wraparound would corrupt every
+    /// degree the checker reports).
+    pub fn push_rows<E: LinkRows>(&mut self, rows: &E) {
+        assert_eq!(rows.n(), self.n, "node count mismatch");
         for v_idx in 0..self.n {
             let row = &mut self.counts[v_idx * self.n..(v_idx + 1) * self.n];
             let mut fresh = 0u32;
-            edges.in_neighbors(NodeId::new(v_idx)).for_each(|u| {
+            rows.for_each_in(NodeId::new(v_idx), |u| {
                 let c = &mut row[u.index()];
                 fresh += u32::from(*c == 0);
-                *c += 1;
+                *c = c
+                    .checked_add(1)
+                    .expect("window link multiplicity overflows u32");
             });
             self.degrees[v_idx] += fresh;
         }
@@ -132,12 +150,22 @@ impl WindowUnion {
     /// Panics if the edge set is for a different node count, if the window
     /// is empty, or if a popped link was never pushed.
     pub fn pop(&mut self, edges: &EdgeSet) {
-        assert_eq!(edges.n(), self.n, "node count mismatch");
+        self.pop_rows(edges);
+    }
+
+    /// The row-generic form of [`WindowUnion::pop`] (see
+    /// [`WindowUnion::push_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WindowUnion::pop`].
+    pub fn pop_rows<E: LinkRows>(&mut self, rows: &E) {
+        assert_eq!(rows.n(), self.n, "node count mismatch");
         assert!(self.rounds > 0, "pop from an empty window");
         for v_idx in 0..self.n {
             let row = &mut self.counts[v_idx * self.n..(v_idx + 1) * self.n];
             let mut gone = 0u32;
-            edges.in_neighbors(NodeId::new(v_idx)).for_each(|u| {
+            rows.for_each_in(NodeId::new(v_idx), |u| {
                 let c = &mut row[u.index()];
                 assert!(*c > 0, "popped link ({u}, {v_idx}) was never pushed");
                 *c -= 1;
@@ -350,6 +378,18 @@ impl WindowUnion {
         min
     }
 
+    /// Sets one link's multiplicity directly — test-only access for the
+    /// counter-overflow boundary, which honest pushes cannot reach in a
+    /// test's lifetime.
+    #[cfg(test)]
+    fn force_count_for_test(&mut self, u: NodeId, v: NodeId, c: u32) {
+        let slot = &mut self.counts[v.index() * self.n + u.index()];
+        if *slot == 0 && c > 0 {
+            self.degrees[v.index()] += 1;
+        }
+        *slot = c;
+    }
+
     /// The distinct in-neighbors of `v` across the window, written into
     /// `out` (cleared first).
     pub fn union_in_neighbors_into(&self, v: NodeId, out: &mut NodeSet) {
@@ -444,6 +484,36 @@ mod tests {
         assert_eq!(w.degree(NodeId::new(1)), 0);
         w.push(&pairs(3, &[(2, 0)]));
         assert_eq!(w.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn push_rows_accepts_sparse_link_planes() {
+        use crate::{LinkPlane, NodeSet};
+        let n = 70;
+        let mut lp = LinkPlane::new(n);
+        lp.begin_round(&NodeSet::full(n));
+        lp.push_run(NodeId::new(1), NodeId::new(0), NodeId::new(65));
+        lp.push_link(NodeId::new(2), NodeId::new(69));
+        let mut dense = EdgeSet::empty(n);
+        lp.fill_edgeset(&mut dense);
+        let mut ws = WindowUnion::new(n);
+        ws.push_rows(&lp);
+        let mut wd = WindowUnion::new(n);
+        wd.push(&dense);
+        for v in NodeId::all(n) {
+            assert_eq!(ws.degree(v), wd.degree(v), "receiver {v}");
+        }
+        ws.pop_rows(&lp);
+        assert!(ws.is_empty());
+        assert_eq!(ws.degree(NodeId::new(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn push_at_counter_boundary_is_checked_not_wrapped() {
+        let mut w = WindowUnion::new(3);
+        w.force_count_for_test(NodeId::new(0), NodeId::new(1), u32::MAX);
+        w.push(&pairs(3, &[(0, 1)]));
     }
 
     #[test]

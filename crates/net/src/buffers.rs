@@ -150,6 +150,29 @@ impl RoundBuffers {
         }
     }
 
+    /// Allocates the arena for a **sparse-path** simulation of `n` nodes:
+    /// every dense `O(n²)` edge structure (`chosen`, `chosen_out`,
+    /// `plane_receivers`, and — unless the run records its schedule —
+    /// `realized`) is left at size zero, so the arena is `O(n)` and a
+    /// 100 000-node run does not pay three 1.25 GB bitmaps it never
+    /// reads. The sparse engine keeps the round's links in a
+    /// `LinkPlane` instead and must not touch the zero-sized fields
+    /// (`begin_round` still clears them, which is a no-op).
+    ///
+    /// `realized` stays full-size iff `record_schedule` — the recorded
+    /// schedule is a sequence of dense `EdgeSet`s, so recording runs
+    /// (the equivalence fuzz at small `n`) still materialize realized
+    /// links densely.
+    pub fn sparse(n: usize, record_schedule: bool) -> Self {
+        RoundBuffers {
+            realized: EdgeSet::empty(if record_schedule { n } else { 0 }),
+            chosen: EdgeSet::empty(0),
+            chosen_out: EdgeSet::empty(0),
+            plane_receivers: NodeSet::new(0),
+            ..RoundBuffers::new(n)
+        }
+    }
+
     /// Rebuilds the sender-major view of this round's chosen links:
     /// `chosen_out` becomes the transpose of `chosen` (one blocked
     /// bit-matrix transpose, no allocation).
@@ -231,6 +254,20 @@ mod tests {
         assert_eq!(b.classes[1], SenderClass::Silent);
         assert!(b.active.is_empty());
         assert_eq!(b.batch_capacities(), caps, "clear must not free");
+    }
+
+    #[test]
+    fn sparse_arena_skips_dense_edge_structures() {
+        let mut b = RoundBuffers::sparse(100, false);
+        assert_eq!(b.n(), 100);
+        assert_eq!(b.batches.len(), 100);
+        assert_eq!(b.chosen.n(), 0);
+        assert_eq!(b.chosen_out.n(), 0);
+        assert_eq!(b.realized.n(), 0);
+        b.begin_round(); // clearing the zero-sized structures is a no-op
+        let with_schedule = RoundBuffers::sparse(100, true);
+        assert_eq!(with_schedule.realized.n(), 100, "recording needs realized");
+        assert_eq!(with_schedule.chosen.n(), 0);
     }
 
     #[test]

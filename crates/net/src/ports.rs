@@ -16,6 +16,18 @@ use adn_types::{NodeId, Port};
 /// substrate — not the sender — decides which port a fabricated message
 /// arrives on.
 ///
+/// Three representations, chosen by constructor:
+///
+/// * [`PortNumbering::random`] — an explicit `n × n` table of independent
+///   uniform bijections, the strongest anonymity model. O(n²) memory, so
+///   it is capped at [`PortNumbering::MAX_DENSE_N`] nodes;
+/// * [`PortNumbering::rotation`] — per-receiver private rotations
+///   `port = (sender + bᵣ) mod n`: still a different bijection at every
+///   receiver, but O(n) memory and one add per lookup — the numbering
+///   the sparse large-`n` delivery path uses;
+/// * [`PortNumbering::identity`] — `port = sender` arithmetically, O(1)
+///   memory; for tests that need predictable ports.
+///
 /// ```
 /// use adn_net::PortNumbering;
 /// use adn_types::NodeId;
@@ -31,49 +43,84 @@ use adn_types::{NodeId, Port};
 #[derive(Clone)]
 pub struct PortNumbering {
     n: usize,
+    repr: Repr,
+    /// The transposed dense table, sender-major:
+    /// `transposed[sender * n + receiver] = port`. The columnar delivery
+    /// plane walks one *sender's* out-neighbors at a time, so it reads
+    /// this layout sequentially (`ports_to`) where a row-major table
+    /// would stride by `n` per receiver. Built lazily on the first
+    /// `ports_to` call — for any representation — so runs on the trait
+    /// path and the sparse path never pay the `n²`-word table.
+    transposed: OnceLock<Vec<Port>>,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
     /// Flat row-major table: `map[receiver * n + sender] = port`.
     ///
     /// One indexed load per lookup — `port_of` sits in the delivery
     /// plane's inner loop, where the former `Vec<Vec<usize>>` cost a
     /// second pointer chase per delivered message.
-    map: Vec<Port>,
-    /// The transposed table, sender-major:
-    /// `transposed[sender * n + receiver] = port`. The columnar delivery
-    /// plane walks one *sender's* out-neighbors at a time, so it reads
-    /// this layout sequentially (`ports_to`) where the row-major table
-    /// would stride by `n` per receiver. Built lazily on the first
-    /// `ports_to` call: runs on the trait path never pay the extra
-    /// `n²`-word table.
-    transposed: OnceLock<Vec<Port>>,
+    Table(Vec<Port>),
+    /// `port = sender`, computed arithmetically.
+    Identity,
+    /// `port = (sender + offset[receiver]) mod n`, offsets seeded
+    /// independently per receiver.
+    Rotation(Vec<u32>),
 }
 
-/// The transposed table is a pure function of `map`, so identity (and
-/// hashing-adjacent uses) compare the receiver-major table only.
+/// The transposed table is a pure function of the representation, so
+/// identity (and hashing-adjacent uses) compare `n` and the
+/// representation only. Numberings built by different constructors
+/// compare unequal even where their mappings happen to coincide.
 impl PartialEq for PortNumbering {
     fn eq(&self, other: &Self) -> bool {
-        self.n == other.n && self.map == other.map
+        self.n == other.n && self.repr == other.repr
     }
 }
 
 impl Eq for PortNumbering {}
 
 impl PortNumbering {
+    /// Largest `n` for which the dense `n × n` representations — the
+    /// [`PortNumbering::random`] table and the lazy
+    /// [`PortNumbering::ports_to`] transpose — may be materialized
+    /// (128 MB of ports at the cap). Larger systems must use
+    /// [`PortNumbering::rotation`] (the simulation builder switches
+    /// automatically) and the per-link arithmetic of
+    /// [`PortNumbering::port_of`] on the sparse delivery path.
+    pub const MAX_DENSE_N: usize = 1 << 12;
+
     /// The identity numbering: every receiver maps sender `j` to port `j`.
     ///
     /// Handy in unit tests where ports must be predictable. Correct
     /// algorithms may not exploit this (they cannot know it), and the
-    /// integration tests run both numberings to check invariance.
+    /// integration tests run multiple numberings to check invariance.
+    /// O(1) memory at any `n`.
     pub fn identity(n: usize) -> Self {
         PortNumbering {
             n,
-            map: (0..n).flat_map(|_| (0..n).map(Port::new)).collect(),
+            repr: Repr::Identity,
             transposed: OnceLock::new(),
         }
     }
 
     /// An independent uniformly random bijection at every receiver,
     /// deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`PortNumbering::MAX_DENSE_N`] — the table
+    /// is `n²` words, and failing fast with a pointer at
+    /// [`PortNumbering::rotation`] beats an OOM abort deep inside an
+    /// experiment.
     pub fn random(n: usize, seed: u64) -> Self {
+        assert!(
+            n <= Self::MAX_DENSE_N,
+            "PortNumbering::random(n = {n}) would allocate an n×n port table \
+             (cap: {}); large systems should use PortNumbering::rotation",
+            Self::MAX_DENSE_N
+        );
         let mut rng = SplitMix64::new(seed);
         let mut map = Vec::with_capacity(n * n);
         for _ in 0..n {
@@ -81,7 +128,30 @@ impl PortNumbering {
         }
         PortNumbering {
             n,
-            map,
+            repr: Repr::Table(map),
+            transposed: OnceLock::new(),
+        }
+    }
+
+    /// A private rotation at every receiver: receiver `r` hears sender
+    /// `s` on port `(s + bᵣ) mod n`, with the offsets `bᵣ` drawn
+    /// independently from `seed`. Every receiver still has its own
+    /// bijection — a node cannot translate its port numbers into anyone
+    /// else's — but the whole numbering is `n` words instead of `n²`,
+    /// which is what lets executions at `n = 100 000+` keep the paper's
+    /// anonymity model without a multi-gigabyte table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n` does not fit the 32-bit offset encoding.
+    pub fn rotation(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "a rotation numbering needs at least one node");
+        assert!(n < u32::MAX as usize, "n = {n} exceeds the 32-bit id space");
+        let mut rng = SplitMix64::new(seed);
+        let offsets = (0..n).map(|_| rng.next_index(n) as u32).collect();
+        PortNumbering {
+            n,
+            repr: Repr::Rotation(offsets),
             transposed: OnceLock::new(),
         }
     }
@@ -99,14 +169,20 @@ impl PortNumbering {
     #[inline]
     pub fn port_of(&self, receiver: NodeId, sender: NodeId) -> Port {
         assert!(sender.index() < self.n, "sender {sender} out of range");
-        self.map[receiver.index() * self.n + sender.index()]
-    }
-
-    /// The whole flat `receiver * n + sender → port` table, row-major by
-    /// receiver — for consumers that want to hoist even the multiply out
-    /// of their inner loop.
-    pub fn table(&self) -> &[Port] {
-        &self.map
+        match &self.repr {
+            Repr::Table(map) => map[receiver.index() * self.n + sender.index()],
+            Repr::Identity => {
+                assert!(
+                    receiver.index() < self.n,
+                    "receiver {receiver} out of range"
+                );
+                Port::new(sender.index())
+            }
+            Repr::Rotation(offsets) => {
+                let p = sender.index() + offsets[receiver.index()] as usize;
+                Port::new(if p >= self.n { p - self.n } else { p })
+            }
+        }
     }
 
     /// The port column of one sender: `ports_to(u)[v]` is the port on
@@ -114,18 +190,28 @@ impl PortNumbering {
     /// out contiguously. The columnar delivery plane indexes this slice
     /// while walking a sender's out-neighbor bitset, so consecutive
     /// receivers hit consecutive memory. The whole transposed table is
-    /// built once, on the first call.
+    /// built once, on the first call, whatever the representation.
     ///
     /// # Panics
     ///
-    /// Panics if the sender is out of range.
+    /// Panics if the sender is out of range, or if `n` exceeds
+    /// [`PortNumbering::MAX_DENSE_N`] — the transpose is an `n²`-word
+    /// table, and large-`n` paths compute [`PortNumbering::port_of`] per
+    /// link instead.
     #[inline]
     pub fn ports_to(&self, sender: NodeId) -> &[Port] {
+        assert!(
+            self.n <= Self::MAX_DENSE_N,
+            "ports_to would materialize an n×n transpose at n = {} (cap: {}); \
+             the sparse delivery path computes port_of per link instead",
+            self.n,
+            Self::MAX_DENSE_N
+        );
         let transposed = self.transposed.get_or_init(|| {
             let mut t = vec![Port::new(0); self.n * self.n];
             for r in 0..self.n {
                 for s in 0..self.n {
-                    t[s * self.n + r] = self.map[r * self.n + s];
+                    t[s * self.n + r] = self.port_of(NodeId::new(r), NodeId::new(s));
                 }
             }
             t
@@ -140,18 +226,46 @@ impl PortNumbering {
     ///
     /// Panics if the receiver or port is out of range.
     pub fn sender_at(&self, receiver: NodeId, port: Port) -> NodeId {
-        let row = &self.map[receiver.index() * self.n..(receiver.index() + 1) * self.n];
-        let sender = row
-            .iter()
-            .position(|&p| p == port)
-            .unwrap_or_else(|| panic!("port {port} out of range at receiver {receiver}"));
-        NodeId::new(sender)
+        match &self.repr {
+            Repr::Table(map) => {
+                let row = &map[receiver.index() * self.n..(receiver.index() + 1) * self.n];
+                let sender = row
+                    .iter()
+                    .position(|&p| p == port)
+                    .unwrap_or_else(|| panic!("port {port} out of range at receiver {receiver}"));
+                NodeId::new(sender)
+            }
+            Repr::Identity => {
+                assert!(
+                    receiver.index() < self.n,
+                    "receiver {receiver} out of range"
+                );
+                assert!(
+                    port.index() < self.n,
+                    "port {port} out of range at receiver {receiver}"
+                );
+                NodeId::new(port.index())
+            }
+            Repr::Rotation(offsets) => {
+                assert!(
+                    port.index() < self.n,
+                    "port {port} out of range at receiver {receiver}"
+                );
+                let s = port.index() + self.n - offsets[receiver.index()] as usize;
+                NodeId::new(if s >= self.n { s - self.n } else { s })
+            }
+        }
     }
 }
 
 impl fmt::Debug for PortNumbering {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PortNumbering(n={})", self.n)
+        let kind = match self.repr {
+            Repr::Table(_) => "random",
+            Repr::Identity => "identity",
+            Repr::Rotation(_) => "rotation",
+        };
+        write!(f, "PortNumbering(n={}, {kind})", self.n)
     }
 }
 
@@ -180,9 +294,28 @@ mod tests {
     }
 
     #[test]
+    fn rotation_rows_are_bijections() {
+        let pn = PortNumbering::rotation(17, 3);
+        for r in NodeId::all(17) {
+            let mut ports: Vec<usize> = NodeId::all(17).map(|s| pn.port_of(r, s).index()).collect();
+            ports.sort_unstable();
+            assert_eq!(ports, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn random_is_deterministic_in_seed() {
         assert_eq!(PortNumbering::random(8, 9), PortNumbering::random(8, 9));
         assert_ne!(PortNumbering::random(8, 9), PortNumbering::random(8, 10));
+    }
+
+    #[test]
+    fn rotation_is_deterministic_in_seed() {
+        assert_eq!(PortNumbering::rotation(8, 9), PortNumbering::rotation(8, 9));
+        assert_ne!(
+            PortNumbering::rotation(8, 9),
+            PortNumbering::rotation(8, 10)
+        );
     }
 
     #[test]
@@ -200,24 +333,48 @@ mod tests {
     }
 
     #[test]
-    fn ports_to_matches_port_of() {
-        let pn = PortNumbering::random(9, 11);
-        for s in NodeId::all(9) {
-            let col = pn.ports_to(s);
-            assert_eq!(col.len(), 9);
-            for r in NodeId::all(9) {
-                assert_eq!(col[r.index()], pn.port_of(r, s));
+    fn rotation_receivers_generally_disagree() {
+        // 64 receivers with independent offsets in 0..64: all-equal has
+        // probability 64⁻⁶³.
+        let pn = PortNumbering::rotation(64, 7);
+        let first: Vec<usize> = NodeId::all(64)
+            .map(|r| pn.port_of(r, NodeId::new(0)).index())
+            .collect();
+        assert!(
+            first.iter().any(|&p| p != first[0]),
+            "private rotations should differ between receivers"
+        );
+    }
+
+    #[test]
+    fn ports_to_matches_port_of_for_every_repr() {
+        for pn in [
+            PortNumbering::random(9, 11),
+            PortNumbering::rotation(9, 11),
+            PortNumbering::identity(9),
+        ] {
+            for s in NodeId::all(9) {
+                let col = pn.ports_to(s);
+                assert_eq!(col.len(), 9);
+                for r in NodeId::all(9) {
+                    assert_eq!(col[r.index()], pn.port_of(r, s), "{pn:?}");
+                }
             }
         }
     }
 
     #[test]
-    fn sender_at_inverts_port_of() {
-        let pn = PortNumbering::random(9, 11);
-        for r in NodeId::all(9) {
-            for s in NodeId::all(9) {
-                let p = pn.port_of(r, s);
-                assert_eq!(pn.sender_at(r, p), s);
+    fn sender_at_inverts_port_of_for_every_repr() {
+        for pn in [
+            PortNumbering::random(9, 11),
+            PortNumbering::rotation(9, 11),
+            PortNumbering::identity(9),
+        ] {
+            for r in NodeId::all(9) {
+                for s in NodeId::all(9) {
+                    let p = pn.port_of(r, s);
+                    assert_eq!(pn.sender_at(r, p), s, "{pn:?}");
+                }
             }
         }
     }
@@ -227,5 +384,32 @@ mod tests {
     fn sender_at_bad_port_panics() {
         let pn = PortNumbering::identity(3);
         pn.sender_at(NodeId::new(0), Port::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "PortNumbering::rotation")]
+    fn random_past_dense_cap_fails_fast() {
+        PortNumbering::random(PortNumbering::MAX_DENSE_N + 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "port_of per link")]
+    fn ports_to_past_dense_cap_fails_fast() {
+        let pn = PortNumbering::rotation(PortNumbering::MAX_DENSE_N + 1, 1);
+        pn.ports_to(NodeId::new(0));
+    }
+
+    #[test]
+    fn rotation_is_arithmetic_at_large_n() {
+        // The point of the representation: O(n) memory, so a 100k-node
+        // numbering is constructible and consecutive senders land on
+        // consecutive ports (mod n) at every receiver.
+        let n = 100_000;
+        let pn = PortNumbering::rotation(n, 5);
+        let r = NodeId::new(12_345);
+        let a = pn.port_of(r, NodeId::new(0)).index();
+        let b = pn.port_of(r, NodeId::new(1)).index();
+        assert_eq!(b, (a + 1) % n);
+        assert_eq!(pn.sender_at(r, Port::new(a)), NodeId::new(0));
     }
 }

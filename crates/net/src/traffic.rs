@@ -36,11 +36,18 @@ impl Traffic {
     }
 
     /// Records one link firing with a batch of `batch_len` messages.
+    ///
+    /// All counters saturate at `u64::MAX` instead of wrapping: a
+    /// 100 000-node run delivers ~5·10⁹ links *per round*, so the
+    /// `links · batch · 128` bit product is the first place a silent
+    /// wraparound would corrupt an experiment's report.
     pub fn record_delivery(&mut self, batch_len: usize) {
         let k = batch_len as u64;
-        self.deliveries += 1;
-        self.messages += k;
-        self.bits += k * Message::WIRE_BITS;
+        self.deliveries = self.deliveries.saturating_add(1);
+        self.messages = self.messages.saturating_add(k);
+        self.bits = self
+            .bits
+            .saturating_add(k.saturating_mul(Message::WIRE_BITS));
         self.max_batch = self.max_batch.max(k);
     }
 
@@ -49,14 +56,17 @@ impl Traffic {
     /// [`Traffic::record_delivery`] used by the columnar delivery plane,
     /// where one broadcast reaches a popcounted set of receivers at once.
     /// Equivalent to calling `record_delivery(batch_len)` `links` times.
+    /// Saturates like [`Traffic::record_delivery`].
     pub fn record_uniform_deliveries(&mut self, links: u64, batch_len: usize) {
         if links == 0 {
             return;
         }
         let k = batch_len as u64;
-        self.deliveries += links;
-        self.messages += links * k;
-        self.bits += links * k * Message::WIRE_BITS;
+        self.deliveries = self.deliveries.saturating_add(links);
+        self.messages = self.messages.saturating_add(links.saturating_mul(k));
+        self.bits = self
+            .bits
+            .saturating_add(links.saturating_mul(k).saturating_mul(Message::WIRE_BITS));
         self.max_batch = self.max_batch.max(k);
     }
 
@@ -86,11 +96,13 @@ impl Traffic {
         self.max_batch * Message::WIRE_BITS
     }
 
-    /// Merges another meter into this one (counters add, peaks max).
+    /// Merges another meter into this one (counters add saturating,
+    /// peaks max) — also how the sharded delivery plane folds its
+    /// per-shard meters back together in shard order.
     pub fn merge(&mut self, other: &Traffic) {
-        self.deliveries += other.deliveries;
-        self.messages += other.messages;
-        self.bits += other.bits;
+        self.deliveries = self.deliveries.saturating_add(other.deliveries);
+        self.messages = self.messages.saturating_add(other.messages);
+        self.bits = self.bits.saturating_add(other.bits);
         self.max_batch = self.max_batch.max(other.max_batch);
     }
 }
@@ -156,6 +168,26 @@ mod tests {
         assert_eq!(a.deliveries(), 2);
         assert_eq!(a.messages(), 6);
         assert_eq!(a.max_batch(), 4);
+    }
+
+    #[test]
+    fn counters_saturate_at_the_boundary_instead_of_wrapping() {
+        let mut t = Traffic::new();
+        // One bulk record already past any realistic scale: the bit
+        // product alone overflows u64 by a factor of ~128.
+        t.record_uniform_deliveries(u64::MAX / 2, 3);
+        assert_eq!(t.bits(), u64::MAX, "bits must pin, not wrap");
+        let messages_before = t.messages();
+        t.record_uniform_deliveries(u64::MAX / 2, 3);
+        assert!(t.messages() >= messages_before, "no wraparound");
+        assert_eq!(t.deliveries(), u64::MAX - 1);
+        t.record_delivery(1);
+        t.record_delivery(1);
+        assert_eq!(t.deliveries(), u64::MAX, "per-link adds saturate too");
+        let mut merged = Traffic::new();
+        merged.record_delivery(1);
+        merged.merge(&t);
+        assert_eq!(merged.deliveries(), u64::MAX, "merge saturates");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use adn_adversary::{Adversary, Complete};
-use adn_core::AlgorithmFactory;
+use adn_core::{AlgorithmFactory, MAX_PLANE_SHARDS};
 use adn_faults::{ByzantineStrategy, CrashSchedule};
 use adn_net::PortNumbering;
 use adn_types::{NodeId, Params, Value};
@@ -34,6 +34,34 @@ pub enum PlaneMode {
     Never,
 }
 
+/// How one round's chosen links are represented: dense `O(n²)`-bit
+/// [`EdgeSet`](adn_graph::EdgeSet) rows (the semantic oracle) or the
+/// sparse [`LinkPlane`](adn_graph::LinkPlane) of id-range runs and CSR
+/// rows that scales rounds past `n = 100 000`.
+///
+/// The sparse path additionally requires a **sparse-compatible** run: the
+/// columnar plane active, ascending-sender delivery, a
+/// [`sparse_capable`](adn_adversary::Adversary::sparse_capable)
+/// adversary, and no Byzantine nodes (a coalition strategy's fabrication
+/// order is part of its observable state, and only the dense sender-major
+/// walk reproduces it). Crash faults are fully supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkMode {
+    /// Sparse when the run is sparse-compatible **and** `n` exceeds
+    /// [`PortNumbering::MAX_DENSE_N`] (below that, dense word-parallel
+    /// rows win); dense otherwise. The default.
+    #[default]
+    Auto,
+    /// Always dense, even at sizes where the dense arena is gigabytes —
+    /// the reference path for differential tests.
+    Dense,
+    /// Require the sparse path.
+    ///
+    /// `build` panics if the run is not sparse-compatible — for tests and
+    /// benches that must not silently measure the dense path.
+    Sparse,
+}
+
 /// Builder for a [`Simulation`].
 ///
 /// Defaults: spread inputs, the [`Complete`] adversary, no faults, a
@@ -56,7 +84,12 @@ pub struct SimBuilder {
     pub(crate) adversary: Box<dyn Adversary>,
     pub(crate) crash: CrashSchedule,
     pub(crate) byzantine: Vec<(NodeId, Box<dyn ByzantineStrategy>)>,
-    pub(crate) ports: PortNumbering,
+    /// `None` until built: the default numbering depends on `n` (a seeded
+    /// random table up to [`PortNumbering::MAX_DENSE_N`], the `O(n)`
+    /// rotation family above it), and materializing an explicit table for
+    /// a 100 000-node run the user never asked one for would defeat the
+    /// sparse plane.
+    pub(crate) ports: Option<PortNumbering>,
     pub(crate) factory: Option<AlgorithmFactory>,
     pub(crate) max_rounds: u64,
     pub(crate) range_oracle: Option<f64>,
@@ -65,6 +98,10 @@ pub struct SimBuilder {
     pub(crate) observe_phases: bool,
     pub(crate) delivery_order: DeliveryOrder,
     pub(crate) plane_mode: PlaneMode,
+    pub(crate) link_mode: LinkMode,
+    /// Receiver-range shards the delivery loop fans out over (1 = no
+    /// fan-out). Only the sparse path shards; see [`SimBuilder::shards`].
+    pub(crate) shards: usize,
     /// Whether the shared sender permutation masks out senders that
     /// deliver nothing this round. Always `true` in production (the mask
     /// is behaviorally invisible — a silent sender's delivery was always
@@ -93,7 +130,7 @@ impl SimBuilder {
             adversary: Box::new(Complete),
             crash: CrashSchedule::new(params.n()),
             byzantine: Vec::new(),
-            ports: PortNumbering::random(params.n(), 0xC0FFEE),
+            ports: None,
             factory: None,
             max_rounds: 100_000,
             range_oracle: None,
@@ -102,8 +139,24 @@ impl SimBuilder {
             observe_phases: true,
             delivery_order: DeliveryOrder::AscendingSenders,
             plane_mode: PlaneMode::Auto,
+            link_mode: LinkMode::Auto,
+            shards: 1,
             mask_silent: true,
         }
+    }
+
+    /// Resolves the port numbering: the user's explicit choice, or the
+    /// size-appropriate default — the historical seeded-random table up
+    /// to [`PortNumbering::MAX_DENSE_N`] (byte-identical to every
+    /// pre-sparse run), the `O(n)` rotation family above it.
+    pub(crate) fn resolve_ports(ports: Option<PortNumbering>, n: usize) -> PortNumbering {
+        ports.unwrap_or_else(|| {
+            if n <= PortNumbering::MAX_DENSE_N {
+                PortNumbering::random(n, 0xC0FFEE)
+            } else {
+                PortNumbering::rotation(n, 0xC0FFEE)
+            }
+        })
     }
 
     /// Sets the initial values (must have length `n`).
@@ -161,10 +214,11 @@ impl SimBuilder {
         self
     }
 
-    /// Explicit port numbering (default: seeded random).
+    /// Explicit port numbering (default: seeded random up to
+    /// [`PortNumbering::MAX_DENSE_N`] nodes, seeded rotation above).
     pub fn ports(mut self, ports: PortNumbering) -> Self {
         assert_eq!(ports.n(), self.params.n(), "port numbering size mismatch");
-        self.ports = ports;
+        self.ports = Some(ports);
         self
     }
 
@@ -203,6 +257,36 @@ impl SimBuilder {
     /// as event recording is off). See [`PlaneMode`].
     pub fn algorithm_plane(mut self, mode: PlaneMode) -> Self {
         self.plane_mode = mode;
+        self
+    }
+
+    /// How the round's chosen links are represented (default:
+    /// [`LinkMode::Auto`] — the sparse [`LinkPlane`](adn_graph::LinkPlane)
+    /// for sparse-compatible runs past
+    /// [`PortNumbering::MAX_DENSE_N`] nodes, dense bit rows otherwise).
+    /// See [`LinkMode`].
+    pub fn link_mode(mut self, mode: LinkMode) -> Self {
+        self.link_mode = mode;
+        self
+    }
+
+    /// Fans the delivery loop out over `shards` receiver-range shards
+    /// with a deterministic input-ordered merge — byte-identical to
+    /// single-shard delivery (default: 1). Only the sparse receiver-major
+    /// path shards; a run that resolves to dense links or a plane that
+    /// cannot split (e.g. the quantized wrapper) falls back to
+    /// single-shard delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds
+    /// [`MAX_PLANE_SHARDS`](adn_core::MAX_PLANE_SHARDS).
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(
+            (1..=MAX_PLANE_SHARDS).contains(&shards),
+            "shards must be in 1..={MAX_PLANE_SHARDS}, got {shards}"
+        );
+        self.shards = shards;
         self
     }
 

@@ -1,15 +1,18 @@
+use std::sync::{Mutex, PoisonError};
+
 use adn_adversary::{Adversary, AdversaryView};
-use adn_core::{Algorithm, AlgorithmPlane};
+use adn_core::{Algorithm, AlgorithmPlane, PlaneShard, MAX_PLANE_SHARDS};
 use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
-use adn_graph::Schedule;
+use adn_graph::{LinkPlane, LinkRows, NodeSet, Schedule};
 use adn_net::{PortNumbering, RoundBuffers, SenderClass, Traffic};
-use adn_types::{Message, NodeId, Params, Phase, Round, Value, ValueInterval};
+use adn_types::{Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 
 use adn_types::rng::SplitMix64;
 
-use crate::builder::{PlaneMode, SimBuilder};
+use crate::builder::{LinkMode, PlaneMode, SimBuilder};
 use crate::observer::{Observer, RoundTrace};
 use crate::outcome::{Outcome, StopReason};
+use crate::shardpool::ShardPool;
 use crate::trace::{Event, EventLog};
 
 /// The message a plane-driven sender broadcasts: its start-of-round
@@ -19,6 +22,98 @@ use crate::trace::{Event, EventLog};
 #[inline]
 fn plane_message(buffers: &RoundBuffers, u: usize) -> Message {
     Message::new(buffers.values[u], buffers.phases[u])
+}
+
+/// The shared read-only context of one sparse round's delivery — one
+/// bundle so the per-range walker and the per-shard jobs borrow the same
+/// fields.
+struct SparseRound<'a> {
+    links: &'a LinkPlane,
+    classes: &'a [SenderClass],
+    honest: &'a NodeSet,
+    crash: &'a CrashSchedule,
+    ports: &'a PortNumbering,
+    /// Per-sender wire message, staged once per active sender per round.
+    wire: &'a [Message],
+    t: Round,
+}
+
+/// What sender `u`'s link into `v` delivers this round, if anything —
+/// the sparse mirror of the dense path's per-class delivery rules
+/// (Byzantine senders are excluded from sparse runs by construction).
+#[inline]
+fn link_delivery(env: &SparseRound<'_>, u: NodeId, v: NodeId) -> Option<(Port, Message)> {
+    match env.classes[u.index()] {
+        SenderClass::Present => Some((env.ports.port_of(v, u), env.wire[u.index()])),
+        SenderClass::Partial if env.crash.delivers(u, env.t, v) => {
+            Some((env.ports.port_of(v, u), env.wire[u.index()]))
+        }
+        SenderClass::Partial | SenderClass::Silent => None,
+        SenderClass::Byzantine => unreachable!("sparse runs exclude Byzantine nodes"),
+    }
+}
+
+/// Delivers receivers `lo..hi` of one sparse round: receiver-major over
+/// the link plane's rows (senders ascending within a receiver — the same
+/// per-receiver arrival order as the dense sender-major walk), batching
+/// each receiver's `(port, message)` pairs into `rx` and handing them to
+/// `deliver` (the whole plane, or this range's shard). When `rows` is
+/// set (schedule recording), realized links land in `rows[v - lo]`.
+fn deliver_sparse_range(
+    env: &SparseRound<'_>,
+    lo: usize,
+    hi: usize,
+    rx: &mut Vec<(Port, Message)>,
+    mut rows: Option<&mut [NodeSet]>,
+    traffic: &mut Traffic,
+    deliver: &mut impl FnMut(usize, &[(Port, Message)]),
+) {
+    for v_idx in lo..hi {
+        let v = NodeId::new(v_idx);
+        if !env.honest.contains(v) {
+            continue;
+        }
+        rx.clear();
+        match rows.as_deref_mut() {
+            Some(r) => {
+                let row = &mut r[v_idx - lo];
+                env.links.for_each_in(v, |u| {
+                    if let Some(entry) = link_delivery(env, u, v) {
+                        rx.push(entry);
+                        row.insert(u);
+                    }
+                });
+            }
+            None => env.links.for_each_in(v, |u| {
+                if let Some(entry) = link_delivery(env, u, v) {
+                    rx.push(entry);
+                }
+            }),
+        }
+        if !rx.is_empty() {
+            traffic.record_uniform_deliveries(rx.len() as u64, 1);
+            deliver(v_idx, rx);
+        }
+    }
+}
+
+/// One shard's exclusive round state: its plane slice, its receive
+/// scratch, its realized rows, and its traffic meter (merged back in
+/// shard order — the deterministic input-ordered merge).
+struct ShardCtx<'a> {
+    shard: PlaneShard<'a>,
+    rx: &'a mut Vec<(Port, Message)>,
+    rows: Option<&'a mut [NodeSet]>,
+    traffic: Traffic,
+}
+
+/// Carves the first `at` elements off `*s` — hands each shard an
+/// exclusive prefix of the realized rows and leaves the tail for the
+/// rest.
+fn take_split<'a, T>(s: &mut &'a mut [T], at: usize) -> &'a mut [T] {
+    let (head, rest) = std::mem::take(s).split_at_mut(at);
+    *s = rest;
+    head
 }
 
 /// The order in which one receiver's deliveries are processed within a
@@ -77,6 +172,24 @@ pub struct Simulation {
     /// Reusable per-round arena: batches, snapshots, link sets, scratch.
     /// Persisted across rounds so steady-state `step`s never allocate.
     buffers: RoundBuffers,
+    /// `Some` on the sparse path: the round's chosen links as id-range
+    /// runs / CSR rows instead of dense bit rows (see
+    /// [`LinkMode`](crate::LinkMode)). Taken out of its slot per round
+    /// like `plane`.
+    links: Option<LinkPlane>,
+    /// Per-sender wire messages of the sparse path, staged once per
+    /// active sender per round (empty on the dense path).
+    wire: Vec<Message>,
+    /// Receiver-range shards the delivery loop fans out over (1 = no
+    /// fan-out; always 1 on the dense path).
+    shards: usize,
+    /// `shards + 1` ascending receiver bounds; shard `i` owns
+    /// `shard_bounds[i]..shard_bounds[i + 1]`.
+    shard_bounds: Vec<usize>,
+    /// One receive-scratch per shard, persisted across rounds.
+    shard_rx: Vec<Vec<(Port, Message)>>,
+    /// Parked worker threads for `shards > 1`, spawned once at build.
+    pool: Option<ShardPool>,
     traffic: Traffic,
     events: Option<EventLog>,
     /// Which nodes had already decided before the current round (for
@@ -189,10 +302,38 @@ impl Simulation {
             .filter(|id| byz[id.index()].is_none() && !b.crash.faulty_nodes().contains(id))
             .collect();
 
+        // Sparse link representation: requires the plane (the sparse
+        // delivery is receiver-major over plane slots), ascending-sender
+        // delivery, a sparse-capable adversary, and no Byzantine nodes
+        // (a coalition strategy's fabrication order is observable state
+        // only the dense sender-major walk reproduces).
+        let sparse_ok = use_plane
+            && b.delivery_order == DeliveryOrder::AscendingSenders
+            && b.adversary.sparse_capable()
+            && byz.iter().all(Option::is_none);
+        let use_sparse = match b.link_mode {
+            LinkMode::Dense => false,
+            LinkMode::Auto => sparse_ok && n > PortNumbering::MAX_DENSE_N,
+            LinkMode::Sparse => {
+                assert!(
+                    sparse_ok,
+                    "LinkMode::Sparse requires a sparse-compatible run: a columnar \
+                     algorithm plane (plane-capable factory, no event recording), \
+                     ascending-sender delivery, a sparse-capable adversary, and no \
+                     Byzantine nodes"
+                );
+                true
+            }
+        };
+        // Only the sparse receiver-major path shards; a dense run keeps
+        // its single-threaded sender-major delivery.
+        let shards = if use_sparse { b.shards } else { 1 };
+        let shard_bounds: Vec<usize> = (0..=shards).map(|i| n * i / shards).collect();
+
         Simulation {
             params: b.params,
             inputs: b.inputs,
-            ports: b.ports,
+            ports: SimBuilder::resolve_ports(b.ports, n),
             adversary: b.adversary,
             crash: b.crash,
             byz,
@@ -207,7 +348,17 @@ impl Simulation {
             schedule: Schedule::new(n),
             record_schedule: b.record_schedule,
             observe_phases: b.observe_phases,
-            buffers: RoundBuffers::new(n),
+            buffers: if use_sparse {
+                RoundBuffers::sparse(n, b.record_schedule)
+            } else {
+                RoundBuffers::new(n)
+            },
+            links: use_sparse.then(|| LinkPlane::new(n)),
+            wire: vec![Message::new(Value::HALF, Phase::ZERO); if use_sparse { n } else { 0 }],
+            shards,
+            shard_bounds,
+            shard_rx: (0..shards).map(|_| Vec::new()).collect(),
+            pool: (shards > 1).then(|| ShardPool::new(shards - 1)),
             traffic: Traffic::new(),
             events: b.record_events.then(EventLog::new),
             was_decided: vec![false; n],
@@ -238,6 +389,25 @@ impl Simulation {
     /// [`PlaneMode`](crate::builder::PlaneMode).
     pub fn uses_plane(&self) -> bool {
         self.plane.is_some()
+    }
+
+    /// Whether the sparse link plane carries this run's chosen links
+    /// (vs dense `O(n²)`-bit edge rows). See [`LinkMode`](crate::LinkMode).
+    pub fn uses_sparse_links(&self) -> bool {
+        self.links.is_some()
+    }
+
+    /// Heap bytes currently held by the sparse link plane (`None` on the
+    /// dense path) — what the scaling benchmarks compare against the
+    /// dense path's three `n²/8`-byte bitmaps.
+    pub fn link_plane_heap_bytes(&self) -> Option<usize> {
+        self.links.as_ref().map(LinkPlane::heap_bytes)
+    }
+
+    /// Receiver-range shards the delivery loop fans out over (1 = no
+    /// fan-out).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Phase of a non-Byzantine node (`None` for Byzantine slots).
@@ -290,10 +460,12 @@ impl Simulation {
         let n = self.params.n();
         let t = self.round;
 
-        // The plane is moved out of its slot for the whole round so the
-        // borrow checker sees it as disjoint from every engine field; it
-        // is restored before the method returns.
+        // The plane (and, on the sparse path, the link plane) is moved
+        // out of its slot for the whole round so the borrow checker sees
+        // it as disjoint from every engine field; both are restored
+        // before the method returns.
         let mut plane = self.plane.take();
+        let mut links = self.links.take();
 
         // --- Reset the persistent arena (capacity-preserving clears). ---
         self.buffers.begin_round();
@@ -342,7 +514,8 @@ impl Simulation {
             }
         }
 
-        // --- Adversary picks E(t), writing into the reused edge set. ---
+        // --- Adversary picks E(t): into the reused dense edge set, or —
+        // on the sparse path — into the link plane's run/CSR rows. ---
         let view = AdversaryView {
             round: t,
             params: self.params,
@@ -351,7 +524,13 @@ impl Simulation {
             deliverers: &self.buffers.deliverers,
             honest: &self.buffers.honest,
         };
-        self.adversary.edges_into(&view, &mut self.buffers.chosen);
+        match links.as_mut() {
+            Some(lp) => {
+                lp.begin_round(&self.buffers.deliverers);
+                self.adversary.sparse_into(&view, lp);
+            }
+            None => self.adversary.edges_into(&view, &mut self.buffers.chosen),
+        }
 
         // --- Broadcasts from transmitting non-Byzantine nodes. The trait
         // path stages each batch into the per-node persistent buffer; the
@@ -444,11 +623,12 @@ impl Simulation {
         // orders walk the shared permutation (its order is part of the
         // determinism contract — see `DeliveryOrder::Shuffled`). ---
         let words = n.div_ceil(64);
-        if let Some(p) = plane.as_deref_mut() {
-            self.deliver_plane(p, t);
-        } else {
-            self.deliver_trait_path(t, words);
+        match (plane.as_deref_mut(), links.as_ref()) {
+            (Some(p), Some(lp)) => self.deliver_sparse(p, lp, t),
+            (Some(p), None) => self.deliver_plane(p, t),
+            (None, _) => self.deliver_trait_path(t, words),
         }
+        self.links = links;
         if self.record_schedule {
             self.schedule.push(self.buffers.realized.clone());
         }
@@ -794,6 +974,155 @@ impl Simulation {
                     }
                 }
             }
+        }
+    }
+
+    /// The sparse delivery path: receiver-major over the link plane's
+    /// run/CSR rows, optionally fanned out over receiver-range shards.
+    /// Per receiver the senders arrive ascending — exactly the order the
+    /// dense sender-major walk hits that receiver in — and every
+    /// delivered link carries the sender's once-encoded start-of-round
+    /// snapshot, so the path is byte-identical to
+    /// [`Simulation::deliver_plane`] over the same links.
+    fn deliver_sparse(&mut self, plane: &mut dyn AlgorithmPlane, links: &LinkPlane, t: Round) {
+        let n = self.params.n();
+        // Stage every active sender's wire message once, exactly as the
+        // dense plane path encodes once per sender (Byzantine senders
+        // cannot occur here, so active = Present ∪ Partial).
+        {
+            let Simulation { buffers, wire, .. } = self;
+            buffers.active.for_each(|u| {
+                wire[u.index()] = plane.encode_wire(plane_message(buffers, u.index()));
+            });
+        }
+        if self.shards > 1 {
+            let mut slots: [Option<PlaneShard<'_>>; MAX_PLANE_SHARDS] = Default::default();
+            let shards = self.shards;
+            if plane.fill_shards(&self.shard_bounds, &mut slots[..shards]) {
+                self.deliver_sparse_sharded(&mut slots[..shards], links, t);
+                return;
+            }
+            // A plane that cannot split (wire-format adaptors like the
+            // quantized wrapper) falls back to single-shard delivery —
+            // byte-identical by the sharding contract, just not parallel.
+        }
+        let record = self.record_schedule;
+        let Simulation {
+            buffers,
+            crash,
+            ports,
+            wire,
+            traffic,
+            shard_rx,
+            ..
+        } = self;
+        let env = SparseRound {
+            links,
+            classes: &buffers.classes,
+            honest: &buffers.honest,
+            crash,
+            ports,
+            wire,
+            t,
+        };
+        let rows = record.then(|| buffers.realized.in_neighbor_sets_mut());
+        deliver_sparse_range(
+            &env,
+            0,
+            n,
+            &mut shard_rx[0],
+            rows,
+            traffic,
+            &mut |v, batch| plane.receive_many(v, batch),
+        );
+    }
+
+    /// The sharded body of [`Simulation::deliver_sparse`]: one
+    /// [`ShardCtx`] per receiver range, driven concurrently by the
+    /// persistent pool (shard 0 on this thread), then merged back in
+    /// shard order — receivers, realized rows, and traffic all land
+    /// exactly where the single-shard walk would have put them.
+    fn deliver_sparse_sharded(
+        &mut self,
+        slots: &mut [Option<PlaneShard<'_>>],
+        links: &LinkPlane,
+        t: Round,
+    ) {
+        let shards = self.shards;
+        let record = self.record_schedule;
+        let Simulation {
+            buffers,
+            crash,
+            ports,
+            wire,
+            traffic,
+            shard_rx,
+            shard_bounds,
+            pool,
+            ..
+        } = self;
+        let env = SparseRound {
+            links,
+            classes: &buffers.classes,
+            honest: &buffers.honest,
+            crash,
+            ports,
+            wire,
+            t,
+        };
+        let mut rows_rest: &mut [NodeSet] = if record {
+            buffers.realized.in_neighbor_sets_mut()
+        } else {
+            &mut []
+        };
+        let mut rx_iter = shard_rx.iter_mut();
+        let mut ctxs: [Option<Mutex<ShardCtx<'_>>>; MAX_PLANE_SHARDS] =
+            std::array::from_fn(|_| None);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let shard = slot.take().expect("fill_shards fills every requested slot");
+            debug_assert_eq!(shard.base(), shard_bounds[i]);
+            let span = shard_bounds[i + 1] - shard_bounds[i];
+            ctxs[i] = Some(Mutex::new(ShardCtx {
+                shard,
+                rx: rx_iter.next().expect("one receive scratch per shard"),
+                rows: record.then(|| take_split(&mut rows_rest, span)),
+                traffic: Traffic::new(),
+            }));
+        }
+        let run_shard = |i: usize| {
+            let mut guard = ctxs[i]
+                .as_ref()
+                .expect("context built for every shard")
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let ShardCtx {
+                shard,
+                rx,
+                rows,
+                traffic,
+            } = &mut *guard;
+            deliver_sparse_range(
+                &env,
+                shard_bounds[i],
+                shard_bounds[i + 1],
+                rx,
+                rows.as_deref_mut(),
+                traffic,
+                &mut |v, batch| shard.receive_many(v, batch),
+            );
+        };
+        pool.as_ref()
+            .expect("sharded simulation spawned a pool")
+            .run(&run_shard);
+        // Deterministic input-ordered merge: fold the per-shard meters
+        // back in shard order (the only cross-shard state — receivers and
+        // realized rows were partitioned, not copied).
+        for ctx in ctxs.into_iter().take(shards) {
+            let ctx = ctx
+                .expect("context built for every shard")
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner);
+            traffic.merge(&ctx.traffic);
         }
     }
 
@@ -1234,6 +1563,68 @@ mod tests {
                 "{order:?}: event logs must not see the mask"
             );
         }
+    }
+
+    #[test]
+    fn sparse_links_and_shards_are_byte_identical_to_dense() {
+        use crate::builder::LinkMode;
+        let n = 33;
+        let p = params(n, 1, 1e-3);
+        let mk = |mode: LinkMode, shards: usize| {
+            let mut crash = CrashSchedule::new(n);
+            crash.crash(
+                NodeId::new(7),
+                Round::new(2),
+                CrashSurvivors::Subset(vec![NodeId::new(0), NodeId::new(20)]),
+            );
+            Simulation::builder(p)
+                .inputs_random(99)
+                .adversary(AdversarySpec::Rotating { d: 20 }.build(n, 1, 5))
+                .crashes(crash)
+                .algorithm(factories::dac(p))
+                .link_mode(mode)
+                .shards(shards)
+                .run()
+        };
+        let dense = mk(LinkMode::Dense, 1);
+        assert!(dense.rounds() > 4, "crash must land mid-run");
+        for shards in [1, 3] {
+            let sparse = mk(LinkMode::Sparse, shards);
+            assert_eq!(dense.rounds(), sparse.rounds(), "shards={shards}");
+            assert_eq!(dense.honest_outputs(), sparse.honest_outputs());
+            assert_eq!(dense.traffic(), sparse.traffic(), "shards={shards}");
+            assert_eq!(dense.schedule(), sparse.schedule(), "shards={shards}");
+            assert_eq!(dense.traces(), sparse.traces(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn link_mode_auto_stays_dense_below_the_port_cap() {
+        use crate::builder::LinkMode;
+        let p = params(8, 0, 1e-2);
+        let sim = Simulation::builder(p).algorithm(factories::dac(p)).build();
+        assert!(!sim.uses_sparse_links(), "Auto stays dense at n = 8");
+        assert_eq!(sim.shards(), 1);
+        let sim = Simulation::builder(p)
+            .algorithm(factories::dac(p))
+            .link_mode(LinkMode::Sparse)
+            .shards(2)
+            .build();
+        assert!(sim.uses_sparse_links());
+        assert_eq!(sim.shards(), 2);
+        assert!(sim.link_plane_heap_bytes().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse-compatible")]
+    fn sparse_mode_rejects_non_ascending_delivery() {
+        use crate::builder::LinkMode;
+        let p = params(8, 0, 1e-2);
+        let _ = Simulation::builder(p)
+            .algorithm(factories::dac(p))
+            .delivery_order(DeliveryOrder::DescendingSenders)
+            .link_mode(LinkMode::Sparse)
+            .build();
     }
 
     #[test]

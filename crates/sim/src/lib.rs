@@ -54,10 +54,11 @@ mod observer;
 mod outcome;
 mod pool;
 pub mod quantized;
+mod shardpool;
 pub mod trace;
 pub mod workload;
 
-pub use builder::{PlaneMode, SimBuilder};
+pub use builder::{LinkMode, PlaneMode, SimBuilder};
 pub use engine::{DeliveryOrder, Simulation};
 pub use observer::{PhaseRecord, RoundTrace};
 pub use outcome::{Outcome, StopReason};

@@ -1,0 +1,256 @@
+//! Persistent worker pool for the sharded delivery plane.
+//!
+//! `std::thread::scope` would be the obvious way to fan a round's
+//! delivery out over receiver-range shards, but it spawns (and therefore
+//! heap-allocates) fresh threads every round — the engine's steady-state
+//! `step` must stay allocation-free. [`ShardPool`] spawns its workers
+//! once, parks them on a condvar, and per round hands them one shared
+//! `Fn(usize)` job: worker `i` runs `job(i)` for shards `1..shards` while
+//! the **caller's thread runs shard `0`**, so a single-core box pays no
+//! handoff for the first shard and a run with `shards = 1` never touches
+//! the pool at all.
+//!
+//! The job closure borrows round-local state, so its lifetime cannot be
+//! `'static`; the pool erases the lifetime into a raw fat pointer and
+//! restores soundness by construction: [`ShardPool::run`] does not return
+//! until every worker has finished the job (even if a shard panics —
+//! panics are caught, held until all shards are done, then resumed on the
+//! caller).
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The current job: a lifetime-erased `&(dyn Fn(usize) + Sync)`. Only
+/// valid for the epoch it was published in; [`ShardPool::run`] keeps the
+/// real borrow alive until every worker has retired the epoch.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (calling it from several threads is
+// fine), and `run` guarantees it outlives every use — workers only
+// dereference a job between publication and their completion signal,
+// both of which happen inside `run`'s borrow of the closure.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Incremented per published job; workers run each epoch once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current epoch's job.
+    running: usize,
+    /// First worker panic of the epoch, resumed on the caller.
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between epochs.
+    work: Condvar,
+    /// The caller parks here until `running` drains to zero.
+    done: Condvar,
+}
+
+/// A fixed set of parked worker threads that execute one shared
+/// `Fn(usize)` job per round. See the [module docs](self).
+pub(crate) struct ShardPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardPool(workers={})", self.workers.len())
+    }
+}
+
+impl ShardPool {
+    /// Spawns `workers` parked threads (the pool serves `workers + 1`
+    /// shards — the caller's thread drives shard 0).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("shard-{}", i + 1))
+                    .spawn(move || worker_loop(&shared, i + 1))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Runs `job(i)` for every shard `i` in `0..=workers`: shards
+    /// `1..` on the parked workers, shard 0 on the calling thread. Blocks
+    /// until **all** shards finish; if any shard panicked, resumes the
+    /// first panic on the caller only after the others are done (so the
+    /// job's borrows never outlive a still-running worker).
+    ///
+    /// Steady-state allocation-free: publishing the job takes one mutex
+    /// and two condvar signals, nothing else.
+    pub(crate) fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY (lifetime erasure): the transmute only widens the trait
+        // object's lifetime bound to `'static`; the pointer is only
+        // dereferenced by workers between the publication below and the
+        // drain loop at the bottom of this function, during which `job`'s
+        // real borrow is held.
+        let erased = Job(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                job as *const (dyn Fn(usize) + Sync + '_),
+            )
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert_eq!(st.running, 0, "previous epoch fully drained");
+            st.epoch += 1;
+            st.job = Some(erased);
+            st.running = self.workers.len();
+            self.shared.work.notify_all();
+        }
+        // Shard 0 on the caller's thread, panic deferred like a worker's.
+        let own = catch_unwind(AssertUnwindSafe(|| job(0))).err();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.running > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panic = st.panic.take();
+        drop(st);
+        if let Some(payload) = own.or(worker_panic) {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, shard: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("published epoch carries a job");
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: `run` keeps the closure borrow alive until `running`
+        // hits zero, which we only signal after returning from the call.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(shard) }));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_shard_runs_exactly_once_per_epoch() {
+        let pool = ShardPool::new(3);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        for round in 1..=50 {
+            pool.run(&|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), round);
+            }
+        }
+    }
+
+    #[test]
+    fn job_borrows_round_local_state() {
+        let pool = ShardPool::new(2);
+        let mut totals = vec![0usize; 3];
+        for _ in 0..10 {
+            let cells: Vec<Mutex<&mut usize>> = totals.iter_mut().map(Mutex::new).collect();
+            pool.run(&|i| {
+                **cells[i].lock().unwrap() += i + 1;
+            });
+        }
+        assert_eq!(totals, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_resumes_on_caller_after_drain() {
+        let pool = ShardPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|i| {
+                if i == 2 {
+                    panic!("shard 2 exploded");
+                }
+            });
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "shard 2 exploded");
+        // The pool survives a panicked epoch and runs the next one.
+        let ran = AtomicUsize::new(0);
+        pool.run(&|_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn caller_panic_waits_for_workers() {
+        let pool = ShardPool::new(1);
+        let worker_done = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|i| {
+                if i == 0 {
+                    panic!("caller shard exploded");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                worker_done.fetch_add(1, Ordering::SeqCst);
+            });
+        }))
+        .expect_err("panic must propagate");
+        // By the time `run` unwound, the worker had finished — its borrow
+        // of `worker_done` never outlived the call.
+        assert_eq!(worker_done.load(Ordering::SeqCst), 1);
+        drop(err);
+    }
+}

@@ -6,8 +6,9 @@
 //! replicating the pre-port `edges()` body is driven through the same
 //! sequence of adversary views — across seeds × crash schedules × silent
 //! flicker (non-monotone deliverer sets) — and every round's links must be
-//! **byte-identical**, both through `edges_into` and through the
-//! allocate-then-fill `edges()` shim.
+//! **byte-identical**, through `edges_into`, through the allocate-then-fill
+//! `edges()` shim, *and* through the sparse `sparse_into` row fill (decoded
+//! back to an `EdgeSet` via `LinkPlane::fill_edgeset`).
 //!
 //! `Spread` is the one strategy whose semantics were *fixed* in the port
 //! (fresh-sender installments instead of raw slice re-indexing, see its
@@ -24,7 +25,7 @@ use anondyn::adversary::{
     AdaptiveClosest, Adversary, AdversaryView, Alternating, Complete, Eventually, Isolate, OmitOne,
     OmitRule, Partition, RandomLinks, Rotating, Silence, Spread, Staggered, Theorem10Split,
 };
-use anondyn::graph::{generators, EdgeSet, NodeSet};
+use anondyn::graph::{generators, EdgeSet, LinkPlane, NodeSet};
 use anondyn::types::rng::SplitMix64;
 use anondyn::types::{NodeId, Params, Phase, Round, Value};
 
@@ -331,6 +332,8 @@ struct Case {
     ported: Box<dyn Adversary>,
     /// A twin instance driven through the `edges()` shim.
     shim: Box<dyn Adversary>,
+    /// A twin instance driven through the sparse `sparse_into` fill.
+    sparse: Box<dyn Adversary>,
     oracle: Oracle,
 }
 
@@ -339,7 +342,8 @@ impl Case {
         Case {
             name,
             ported: Box::new(adv.clone()),
-            shim: Box::new(adv),
+            shim: Box::new(adv.clone()),
+            sparse: Box::new(adv),
             oracle,
         }
     }
@@ -452,6 +456,8 @@ fn run_seed(seed: u64) {
     let honest = NodeSet::full(n);
     let mut vrng = SplitMix64::new(seed ^ 0x7A15);
     let mut out = EdgeSet::empty(n);
+    let mut plane = LinkPlane::new(n);
+    let mut plane_out = EdgeSet::empty(n);
     for t in 0..rounds {
         let values: Vec<Value> = (0..n).map(|_| Value::saturating(vrng.next_f64())).collect();
         let mut deliverers = NodeSet::full(n);
@@ -486,6 +492,22 @@ fn run_seed(seed: u64) {
             assert_eq!(
                 via_shim, expect,
                 "seed {seed} round {t}: {} edges() shim diverges from the reference",
+                case.name
+            );
+            // Every gallery strategy also declares a sparse row fill; a
+            // third twin drives it and the recorded rows — decoded back
+            // through the run/CSR semantics — must be the same links.
+            assert!(
+                case.sparse.sparse_capable(),
+                "{} lost its sparse fill",
+                case.name
+            );
+            plane.begin_round(&deliverers);
+            case.sparse.sparse_into(&view, &mut plane);
+            plane.fill_edgeset(&mut plane_out);
+            assert_eq!(
+                plane_out, expect,
+                "seed {seed} round {t}: {} sparse rows diverge from the reference",
                 case.name
             );
         }

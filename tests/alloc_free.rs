@@ -19,7 +19,7 @@ use anondyn::graph::{checker, generators};
 use anondyn::net::codec::Precision;
 use anondyn::prelude::*;
 use anondyn::sim::quantized::quantized_factory;
-use anondyn::sim::DeliveryOrder;
+use anondyn::sim::{DeliveryOrder, LinkMode};
 use anondyn::types::rng::SplitMix64;
 
 struct CountingAllocator;
@@ -93,6 +93,24 @@ fn lean_dac_quantized(n: usize, mode: PlaneMode) -> Simulation {
         .build()
 }
 
+/// A lean sparse-link DAC run — row-kind link plane instead of the dense
+/// bitmap, receiver-major delivery, optionally sharded across the
+/// persistent worker pool.
+fn lean_dac_sparse(n: usize, shards: usize) -> Simulation {
+    let params = Params::fault_free(n, 1e-6).unwrap();
+    Simulation::builder(params)
+        .inputs_random(1)
+        .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, 1))
+        .algorithm(factories::dac_with_pend(params, u64::MAX))
+        .algorithm_plane(PlaneMode::Always)
+        .link_mode(LinkMode::Sparse)
+        .shards(shards)
+        .record_schedule(false)
+        .observe_phases(false)
+        .max_rounds(u64::MAX)
+        .build()
+}
+
 #[test]
 fn steady_state_step_performs_zero_allocations() {
     // --- The round engine's delivery loop, on both the columnar plane
@@ -140,8 +158,19 @@ fn steady_state_step_performs_zero_allocations() {
             "dbac/plane/shuffled",
             lean_dbac(32, PlaneMode::Always, Shuffled(7)),
         ),
+        // The sparse link plane: row-kind rows + receiver-major delivery,
+        // single-shard and sharded. The sharded case pins the whole
+        // per-round fan-out — column split, worker handoff (futex-based
+        // mutex/condvar, no heap), per-shard traffic merge.
+        ("dac/sparse", lean_dac_sparse(32, 1)),
+        ("dac/sparse/sharded", lean_dac_sparse(32, 3)),
     ] {
-        assert_eq!(sim.uses_plane(), name.contains("plane"), "{name}");
+        assert_eq!(
+            sim.uses_plane(),
+            name.contains("plane") || name.contains("sparse"),
+            "{name}"
+        );
+        assert_eq!(sim.uses_sparse_links(), name.contains("sparse"), "{name}");
         // Warmup: grow every buffer to its steady-state capacity. 70
         // rounds also pushes the internal round-trace vector past a
         // power-of-two boundary (cap 128), so the measured window below

@@ -20,7 +20,7 @@ use anondyn::faults::{strategies, CrashSurvivors};
 use anondyn::net::codec::Precision;
 use anondyn::prelude::*;
 use anondyn::sim::quantized::quantized_factory;
-use anondyn::sim::DeliveryOrder;
+use anondyn::sim::{DeliveryOrder, LinkMode};
 use anondyn::types::rng::SplitMix64;
 
 fn fuzz_seeds() -> u64 {
@@ -157,6 +157,44 @@ fn run(cfg: &Config, mode: PlaneMode) -> Outcome {
     sim.run()
 }
 
+/// Like [`run`], but pins the plane on and selects the link plane
+/// representation (and shard count) explicitly.
+fn run_links(cfg: &Config, link_mode: LinkMode, shards: usize) -> Outcome {
+    let n = cfg.params.n();
+    let mut factory = if cfg.dbac {
+        factories::dbac_with_pend(cfg.params, cfg.pend)
+    } else {
+        factories::dac_with_pend(cfg.params, cfg.pend)
+    };
+    if let Some(bits) = cfg.quantize_bits {
+        factory = quantized_factory(factory, Precision::new(bits));
+    }
+    let sim = Simulation::builder(cfg.params)
+        .inputs_random(cfg.seed ^ 0xBEEF)
+        .adversary(cfg.adversary.build(n, cfg.params.f(), cfg.seed ^ 0xC0DE))
+        .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
+        .crashes(cfg.crash.clone())
+        .delivery_order(cfg.order)
+        .algorithm(factory)
+        .algorithm_plane(PlaneMode::Always)
+        .link_mode(link_mode)
+        .shards(shards)
+        .max_rounds(100)
+        .build();
+    let sparse = link_mode == LinkMode::Sparse;
+    assert_eq!(
+        sim.uses_sparse_links(),
+        sparse,
+        "{link_mode:?} must pick the intended link representation"
+    );
+    assert_eq!(
+        sim.shards(),
+        if sparse { shards } else { 1 },
+        "only the sparse path shards"
+    );
+    sim.run()
+}
+
 fn assert_identical(cfg: &Config, mode: PlaneMode, reference: &Outcome, plane: &Outcome) {
     let n = cfg.params.n();
     let ctx = format!(
@@ -228,6 +266,44 @@ fn plane_matches_trait_path_across_the_configuration_space() {
             non_ascending >= seeds / 3,
             "only {non_ascending}/{seeds} non-ascending draws"
         );
+        assert!(
+            quantized >= seeds / 5,
+            "only {quantized}/{seeds} quantized draws"
+        );
+    }
+}
+
+/// The sparse link plane — single-shard and sharded — must be
+/// byte-identical to the dense per-receiver-port reference on the same
+/// configurations: same rounds, outputs, traffic, schedule, traces, and
+/// phase multisets. Sparse runs support crashes but not Byzantine
+/// senders, and deliver in ascending sender order, so the draw is
+/// redirected onto those axes rather than skipped; everything else
+/// (adversary, crash mix, ε, pend, algorithm, quantization) fuzzes as
+/// before. Quantized draws additionally exercise the sharded path's
+/// single-shard fallback: the wire-format adaptor does not split into
+/// columns, so `fill_shards` declines and delivery stays on one shard.
+#[test]
+fn sparse_and_sharded_links_match_the_dense_plane() {
+    let seeds = fuzz_seeds();
+    let mut crashy = 0u64;
+    let mut quantized = 0u64;
+    for seed in 0..seeds {
+        let mut cfg = draw(seed);
+        cfg.byz.clear();
+        cfg.order = DeliveryOrder::AscendingSenders;
+        let reference = run_links(&cfg, LinkMode::Dense, 1);
+        for shards in [1usize, 2, 5] {
+            let sparse = run_links(&cfg, LinkMode::Sparse, shards);
+            assert_identical(&cfg, PlaneMode::Always, &reference, &sparse);
+        }
+        crashy += u64::from(cfg.crash.fault_count() > 0);
+        quantized += u64::from(cfg.quantize_bits.is_some());
+    }
+    // The redirected draw must still cover the interesting axes: crashes
+    // mid-run on the sparse path, and quantized wires on the fallback.
+    if seeds >= 40 {
+        assert!(crashy >= seeds / 8, "only {crashy}/{seeds} crashy draws");
         assert!(
             quantized >= seeds / 5,
             "only {quantized}/{seeds} quantized draws"

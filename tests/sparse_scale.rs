@@ -1,0 +1,44 @@
+//! Memory-scaling pin for the sparse link plane.
+//!
+//! The point of the row-kind link plane is that adversaries with
+//! structured footprints (rotation windows, id ranges, thin CSR rows)
+//! cost O(active links) — not O(n²) — to represent. This test pins the
+//! headline ratio from the scaling work: at n = 16 384, a rotating
+//! adversary's link plane must occupy at most a **tenth** of the dense
+//! n×n bitmap it replaces (the dense `EdgeSet` holds n rows of n bits,
+//! i.e. n²/8 bytes of heap, before counting the realized-schedule twin).
+
+use anondyn::prelude::*;
+use anondyn::sim::{LinkMode, PlaneMode};
+
+#[test]
+fn sparse_rotating_link_plane_is_at_least_10x_smaller_than_dense_at_16k() {
+    let n = 16_384;
+    let params = Params::fault_free(n, 0.25).unwrap();
+    let mut sim = Simulation::builder(params)
+        .inputs_random(1)
+        .adversary(AdversarySpec::Rotating { d: n / 2 + 1 }.build(n, 0, 7))
+        .algorithm(factories::dac_with_pend(params, u64::MAX))
+        .algorithm_plane(PlaneMode::Always)
+        .link_mode(LinkMode::Sparse)
+        .record_schedule(false)
+        .observe_phases(false)
+        .max_rounds(u64::MAX)
+        .build();
+    assert!(sim.uses_sparse_links(), "explicit sparse mode must engage");
+    // One round fills every row (rotation rows have constant shape, so
+    // the plane's run arena is already at steady capacity) before the
+    // heap is measured.
+    sim.step();
+    assert!(sim.stopped().is_none(), "run must still be live");
+    let sparse_bytes = sim
+        .link_plane_heap_bytes()
+        .expect("sparse runs expose the link-plane heap");
+    let dense_bitmap_bytes = n * n / 8;
+    assert!(
+        sparse_bytes * 10 <= dense_bitmap_bytes,
+        "sparse link plane ({sparse_bytes} B) must be ≤ 1/10 of the dense \
+         bitmap ({dense_bitmap_bytes} B) at n={n}; ratio {:.1}x",
+        dense_bitmap_bytes as f64 / sparse_bytes as f64
+    );
+}
