@@ -169,6 +169,18 @@ pub trait Adversary: fmt::Debug {
         );
     }
 
+    /// Resets per-instance state at the start of service instance
+    /// `instance` (counting from 0; the service layer calls it for
+    /// instance 0 too). Stateful adversaries ([`RandomLinks`] is the one
+    /// gallery case) reseed their generators from the instance number
+    /// here, so instance `k` of a service run chooses byte-identical links
+    /// to a standalone run whose adversary also received
+    /// `begin_instance(k)`. Stateless strategies keep the default no-op;
+    /// single-instance runs never call this.
+    fn begin_instance(&mut self, instance: u64) {
+        let _ = instance;
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }

@@ -14,6 +14,7 @@ use crate::{Adversary, AdversaryView};
 #[derive(Debug, Clone)]
 pub struct RandomLinks {
     p: f64,
+    seed: u64,
     rng: SplitMix64,
 }
 
@@ -28,6 +29,7 @@ impl RandomLinks {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
         RandomLinks {
             p,
+            seed,
             rng: SplitMix64::new(seed),
         }
     }
@@ -77,6 +79,13 @@ impl Adversary for RandomLinks {
         }
     }
 
+    fn begin_instance(&mut self, instance: u64) {
+        // Instance 0 reseeds to the construction stream, so a service's
+        // first instance matches a plain single-instance run byte for
+        // byte; later instances draw from disjoint deterministic streams.
+        self.rng = SplitMix64::new(self.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+
     fn name(&self) -> &'static str {
         "random-links"
     }
@@ -110,6 +119,28 @@ mod tests {
         assert_eq!(a, b);
         let c = record(&mut RandomLinks::new(0.5, 8), 6, 4);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn begin_instance_reseeds_deterministically() {
+        // A long-lived adversary at instance k must match a fresh one that
+        // received the same begin_instance(k) — the service-vs-standalone
+        // oracle contract.
+        let mut long_lived = RandomLinks::new(0.5, 7);
+        let _burn = record(&mut long_lived, 6, 4);
+        long_lived.begin_instance(3);
+        let a = record(&mut long_lived, 6, 4);
+        let mut fresh = RandomLinks::new(0.5, 7);
+        fresh.begin_instance(3);
+        let b = record(&mut fresh, 6, 4);
+        assert_eq!(a, b);
+        // Instance 0 is the construction stream.
+        let mut zero = RandomLinks::new(0.5, 7);
+        zero.begin_instance(0);
+        assert_eq!(
+            record(&mut zero, 6, 4),
+            record(&mut RandomLinks::new(0.5, 7), 6, 4)
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod e16_property_zoo;
 pub mod e17_quantization;
 pub mod e18_scale;
 pub mod e19_scale;
+pub mod e20_service;
 pub mod harness;
 
 /// Seeds used by every multi-seed experiment (deterministic sweep).
@@ -136,6 +137,11 @@ pub fn all() -> Vec<ExperimentEntry> {
             "Scale past the dense plane: sparse links + sharded delivery",
             e19_scale::run,
         ),
+        (
+            "E20",
+            "Service mode: repeated instances under churn + round caps",
+            e20_service::run,
+        ),
     ]
 }
 
@@ -144,7 +150,7 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let all = super::all();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
         for (i, (id, title, _)) in all.iter().enumerate() {
             assert_eq!(*id, format!("E{:02}", i + 1));
             assert!(!title.is_empty());

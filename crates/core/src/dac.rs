@@ -183,6 +183,15 @@ impl Algorithm for Dac {
         self.value
     }
 
+    fn reset_instance(&mut self, input: Value) -> bool {
+        self.value = input;
+        self.phase = Phase::ZERO;
+        self.output = None;
+        self.reset();
+        self.maybe_output();
+        true
+    }
+
     fn name(&self) -> &'static str {
         "dac"
     }
@@ -337,6 +346,22 @@ mod tests {
         node.receive(Port::new(2), &[msg(0.6, 0)]);
         let v = node.current_value().get();
         assert!((0.2..=0.6).contains(&v));
+    }
+
+    #[test]
+    fn reset_instance_matches_fresh_construction() {
+        let mut used = Dac::new(params(5, 1), Value::ZERO);
+        used.receive(Port::new(1), &[msg(1.0, 0)]);
+        used.receive(Port::new(2), &[msg(0.5, 0)]);
+        assert!(used.phase() > Phase::ZERO);
+        assert!(used.reset_instance(Value::new(0.3).unwrap()));
+        let fresh = Dac::new(params(5, 1), Value::new(0.3).unwrap());
+        assert_eq!(format!("{used:?}"), format!("{fresh:?}"));
+        // Including the degenerate pend = 0 case, which decides instantly.
+        let p = Params::new(3, 1, 1.0).unwrap();
+        let mut node = Dac::new(p, Value::ZERO);
+        assert!(node.reset_instance(Value::new(0.8).unwrap()));
+        assert_eq!(node.output().unwrap().get(), 0.8);
     }
 
     #[test]

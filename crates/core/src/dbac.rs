@@ -239,6 +239,16 @@ impl Algorithm for Dbac {
         self.value
     }
 
+    fn reset_instance(&mut self, input: Value) -> bool {
+        self.value = input;
+        self.phase = Phase::ZERO;
+        self.output = None;
+        self.sort_scratch.clear();
+        self.reset();
+        self.maybe_output();
+        true
+    }
+
     fn name(&self) -> &'static str {
         "dbac"
     }
@@ -370,6 +380,22 @@ mod tests {
         // Frozen afterwards.
         node.receive(Port::new(1), &[msg(0.0, 1)]);
         assert_eq!(node.distinct_count(), 1);
+    }
+
+    #[test]
+    fn reset_instance_matches_fresh_construction() {
+        let mut used = Dbac::with_pend(params(), val(0.5), 10);
+        for p in 1..=4 {
+            node_recv(&mut used, p, 0.5 - 0.05 * p as f64);
+        }
+        assert!(used.distinct_count() > 1 || used.phase() > Phase::ZERO);
+        assert!(used.reset_instance(val(0.7)));
+        let fresh = Dbac::with_pend(params(), val(0.7), 10);
+        assert_eq!(format!("{used:?}"), format!("{fresh:?}"));
+    }
+
+    fn node_recv(node: &mut Dbac, port: usize, v: f64) {
+        node.receive(Port::new(port), &[msg(v, 0)]);
     }
 
     #[test]

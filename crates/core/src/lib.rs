@@ -120,6 +120,19 @@ pub trait Algorithm: fmt::Debug {
     /// The node's current state value (for observers and adversaries).
     fn current_value(&self) -> Value;
 
+    /// Resets the node to its initial state against a fresh `input`, as if
+    /// freshly constructed — the per-node half of the service layer's
+    /// allocation-free instance turnover (the columnar half is
+    /// [`AlgorithmPlane::reset_instance`]). Returns `false` (leaving the
+    /// state untouched) if the algorithm does not support in-place resets;
+    /// the service layer refuses to run such algorithms rather than
+    /// silently reconstructing them. DAC and DBAC override this; the
+    /// baselines and piggybacking variants keep the default.
+    fn reset_instance(&mut self, input: Value) -> bool {
+        let _ = input;
+        false
+    }
+
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;
 }

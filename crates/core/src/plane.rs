@@ -133,6 +133,24 @@ pub trait AlgorithmPlane: fmt::Debug {
     /// mirrors `Algorithm::end_round`.
     fn end_round(&mut self, executing: &NodeSet);
 
+    /// Resets every slot to its initial state against a fresh input
+    /// vector, in place, as if the plane were freshly constructed —
+    /// the columnar half of the service layer's allocation-free instance
+    /// turnover (the per-node half is `Algorithm::reset_instance`).
+    /// Returns `false` (leaving the plane untouched) when in-place resets
+    /// are unsupported, making the service layer refuse rather than
+    /// silently rebuild. The DAC/DBAC planes override this; wire-format
+    /// adaptors forward it to their inner plane (resetting state columns
+    /// does not touch the wire encoding).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `inputs.len() != self.n()`.
+    fn reset_instance(&mut self, inputs: &[Value]) -> bool {
+        let _ = inputs;
+        false
+    }
+
     /// Short algorithm name for reports (matches the trait
     /// implementation's `name`).
     fn name(&self) -> &'static str;
@@ -469,6 +487,20 @@ impl AlgorithmPlane for DacPlane {
     fn end_round(&mut self, executing: &NodeSet) {
         let mut cols = self.cols();
         executing.for_each(|id| cols.try_advance(id.index()));
+    }
+
+    fn reset_instance(&mut self, inputs: &[Value]) -> bool {
+        let n = self.phase.len();
+        assert_eq!(inputs.len(), n, "one input per slot");
+        let mut cols = self.cols();
+        for (v, input) in inputs.iter().enumerate() {
+            cols.phase[v] = Phase::ZERO;
+            cols.value[v] = *input;
+            cols.output[v] = None;
+            cols.reset(v);
+            cols.maybe_output(v);
+        }
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -819,6 +851,21 @@ impl AlgorithmPlane for DbacPlane {
         executing.for_each(|id| cols.try_advance(id.index()));
     }
 
+    fn reset_instance(&mut self, inputs: &[Value]) -> bool {
+        let n = self.phase.len();
+        assert_eq!(inputs.len(), n, "one input per slot");
+        self.sort_scratch.clear();
+        let mut cols = self.cols();
+        for (v, input) in inputs.iter().enumerate() {
+            cols.phase[v] = Phase::ZERO;
+            cols.value[v] = *input;
+            cols.output[v] = None;
+            cols.reset(v);
+            cols.maybe_output(v);
+        }
+        true
+    }
+
     fn name(&self) -> &'static str {
         "dbac"
     }
@@ -1073,6 +1120,51 @@ mod tests {
         }
         assert_eq!(whole.phases(), sharded.phases());
         assert_eq!(whole.values(), sharded.values());
+    }
+
+    #[test]
+    fn reset_instance_is_observationally_fresh() {
+        let params = Params::new(6, 1, 0.1).unwrap();
+        let dirty_script = [
+            (Port::new(1), msg(0.2, 0)),
+            (Port::new(2), msg(0.9, 1)),
+            (Port::new(3), msg(0.4, 0)),
+        ];
+        let follow_script = [
+            (Port::new(2), msg(0.7, 0)),
+            (Port::new(4), msg(0.3, 0)),
+            (Port::new(1), msg(0.6, 1)),
+        ];
+        let old_inputs = vec![Value::HALF; 6];
+        let new_inputs: Vec<Value> = (0..6).map(|i| val(i as f64 / 10.0)).collect();
+        // A used-then-reset plane must behave exactly like a fresh one
+        // under any follow-up script — for DAC and DBAC alike.
+        let mut used_dac = DacPlane::with_pend(params, &old_inputs, 3);
+        for v in 0..6 {
+            used_dac.receive_many(v, &dirty_script);
+        }
+        assert!(used_dac.reset_instance(&new_inputs));
+        let mut fresh_dac = DacPlane::with_pend(params, &new_inputs, 3);
+        for v in 0..6 {
+            used_dac.receive_many(v, &follow_script);
+            fresh_dac.receive_many(v, &follow_script);
+        }
+        assert_eq!(used_dac.phases(), fresh_dac.phases());
+        assert_eq!(used_dac.values(), fresh_dac.values());
+        assert_eq!(used_dac.outputs(), fresh_dac.outputs());
+        let mut used_dbac = DbacPlane::with_pend(params, &old_inputs, 3);
+        for v in 0..6 {
+            used_dbac.receive_many(v, &dirty_script);
+        }
+        assert!(used_dbac.reset_instance(&new_inputs));
+        let mut fresh_dbac = DbacPlane::with_pend(params, &new_inputs, 3);
+        for v in 0..6 {
+            used_dbac.receive_many(v, &follow_script);
+            fresh_dbac.receive_many(v, &follow_script);
+        }
+        assert_eq!(used_dbac.phases(), fresh_dbac.phases());
+        assert_eq!(used_dbac.values(), fresh_dbac.values());
+        assert_eq!(used_dbac.outputs(), fresh_dbac.outputs());
     }
 
     #[test]

@@ -30,8 +30,11 @@ pub enum CrashSurvivors {
 ///
 /// A node with crash round `r` behaves correctly in rounds `< r`, performs
 /// a possibly-partial broadcast in round `r` (per [`CrashSurvivors`]), and
-/// is silent from round `r + 1` on. Crashed nodes never recover — this is
-/// the paper's crash model, not crash-recovery.
+/// is silent from round `r + 1` on. Within one schedule, crashed nodes
+/// never recover — this is the paper's crash model. Crash-recovery lives
+/// one level up: a [`crate::ChurnPlan`] tracks up/down transitions across
+/// a whole service run and projects each instance's view onto a
+/// `CrashSchedule` via [`crate::ChurnPlan::slice_into`].
 ///
 /// ```
 /// use adn_faults::{CrashSchedule, CrashSurvivors};
@@ -94,19 +97,40 @@ impl CrashSchedule {
         self.events[node.index()] = Some((round, survivors));
     }
 
+    /// Removes every crash, keeping the schedule's size and capacity — the
+    /// in-place refresh used by [`crate::ChurnPlan::slice_into`] between
+    /// service instances.
+    pub fn clear(&mut self) {
+        for e in &mut self.events {
+            *e = None;
+        }
+    }
+
     /// Number of nodes this schedule covers.
     pub fn n(&self) -> usize {
         self.events.len()
     }
 
     /// Nodes that crash at some point (the paper's set `B` under the crash
-    /// model), in index order.
+    /// model), in index order. Allocates a fresh vector per call — hot
+    /// paths should use [`CrashSchedule::is_faulty`] or
+    /// [`CrashSchedule::faulty_iter`] instead.
     pub fn faulty_nodes(&self) -> Vec<NodeId> {
+        self.faulty_iter().collect()
+    }
+
+    /// Iterates the crashing nodes in index order without allocating.
+    pub fn faulty_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.events
             .iter()
             .enumerate()
             .filter_map(|(i, e)| e.as_ref().map(|_| NodeId::new(i)))
-            .collect()
+    }
+
+    /// Whether `node` crashes at some point in this schedule — the O(1)
+    /// membership test behind [`CrashSchedule::faulty_nodes`].
+    pub fn is_faulty(&self, node: NodeId) -> bool {
+        self.events[node.index()].is_some()
     }
 
     /// Number of faulty nodes.
@@ -303,6 +327,18 @@ mod tests {
         assert_eq!(cs.faulty_nodes(), vec![NodeId::new(1)]);
         assert!(cs.delivers(NodeId::new(1), Round::new(7), NodeId::new(0)));
         assert!(!cs.delivers(NodeId::new(1), Round::new(8), NodeId::new(0)));
+    }
+
+    #[test]
+    fn clear_and_o1_membership() {
+        let mut cs = CrashSchedule::at_rounds(4, [(NodeId::new(1), Round::new(7))]);
+        assert!(cs.is_faulty(NodeId::new(1)));
+        assert!(!cs.is_faulty(NodeId::new(0)));
+        assert_eq!(cs.faulty_iter().collect::<Vec<_>>(), cs.faulty_nodes());
+        cs.clear();
+        assert_eq!(cs.n(), 4);
+        assert_eq!(cs.fault_count(), 0);
+        assert!(!cs.is_faulty(NodeId::new(1)));
     }
 
     #[test]

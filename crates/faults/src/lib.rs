@@ -20,10 +20,12 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod churn;
 pub mod colluding;
 mod crash;
 pub mod strategies;
 
+pub use churn::{ChurnPlan, DownKind};
 pub use crash::{CrashSchedule, CrashSurvivors};
 
 use std::fmt;
@@ -94,6 +96,17 @@ pub trait ByzantineStrategy: fmt::Debug {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Resets per-instance state at the start of service instance
+    /// `instance` (counting from 0; the service calls it for instance 0
+    /// too). Stateful strategies (like [`strategies::RandomNoise`]) reseed
+    /// their generators from the instance number here, so instance `k` of
+    /// a service run fabricates byte-identically to a standalone run whose
+    /// strategy also received `begin_instance(k)`. Stateless strategies
+    /// keep the default no-op; single-instance runs never call this.
+    fn begin_instance(&mut self, instance: u64) {
+        let _ = instance;
+    }
 
     /// Whether this node transmits at all. A non-transmitting Byzantine
     /// node (like [`strategies::Silent`]) cannot count toward anyone's

@@ -79,6 +79,7 @@ impl ByzantineStrategy for Extreme {
 /// Sends independent uniform noise to every destination every round.
 #[derive(Debug)]
 pub struct RandomNoise {
+    seed: u64,
     rng: SplitMix64,
 }
 
@@ -86,6 +87,7 @@ impl RandomNoise {
     /// Creates a noise attacker with its own deterministic stream.
     pub fn new(seed: u64) -> Self {
         RandomNoise {
+            seed,
             rng: SplitMix64::new(seed),
         }
     }
@@ -99,6 +101,13 @@ impl ByzantineStrategy for RandomNoise {
 
     fn name(&self) -> &'static str {
         "random-noise"
+    }
+
+    fn begin_instance(&mut self, instance: u64) {
+        // Instance 0 reseeds to the construction stream, so a service's
+        // first instance matches a plain single-instance run byte for
+        // byte; later instances draw from disjoint deterministic streams.
+        self.rng = SplitMix64::new(self.seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     }
 }
 

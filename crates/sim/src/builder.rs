@@ -108,6 +108,9 @@ pub struct SimBuilder {
     /// a no-op — and skips the dead walks); the engine's masking
     /// regression test flips it off to prove the invisibility.
     pub(crate) mask_silent: bool,
+    /// Whether `build` skips the `f`-bound fault asserts. See
+    /// [`SimBuilder::allow_fault_overflow`].
+    pub(crate) allow_fault_overflow: bool,
 }
 
 impl std::fmt::Debug for SimBuilder {
@@ -142,6 +145,7 @@ impl SimBuilder {
             link_mode: LinkMode::Auto,
             shards: 1,
             mask_silent: true,
+            allow_fault_overflow: false,
         }
     }
 
@@ -314,6 +318,18 @@ impl SimBuilder {
     /// nothing.
     pub fn observe_phases(mut self, on: bool) -> Self {
         self.observe_phases = on;
+        self
+    }
+
+    /// Permits fault assignments that exceed the bound `f` (default:
+    /// off — `build` panics on them). A churn plan's slice for one
+    /// instance can put more than `f` nodes down at once; the service
+    /// layer and its standalone-oracle tests run those instances anyway
+    /// and *record* the degradation instead of refusing to simulate it.
+    /// The algorithms' correctness guarantees do not apply beyond the
+    /// bound.
+    pub fn allow_fault_overflow(mut self, on: bool) -> Self {
+        self.allow_fault_overflow = on;
         self
     }
 

@@ -228,17 +228,19 @@ impl Simulation {
         let factory = b
             .factory
             .expect("SimBuilder::algorithm is required before build/run");
-        assert!(
-            b.byzantine.len() <= b.params.f(),
-            "{} byzantine nodes exceed the fault bound f = {}",
-            b.byzantine.len(),
-            b.params.f()
-        );
-        assert!(
-            b.byzantine.len() + b.crash.fault_count() <= b.params.f(),
-            "total faults exceed the bound f = {}",
-            b.params.f()
-        );
+        if !b.allow_fault_overflow {
+            assert!(
+                b.byzantine.len() <= b.params.f(),
+                "{} byzantine nodes exceed the fault bound f = {}",
+                b.byzantine.len(),
+                b.params.f()
+            );
+            assert!(
+                b.byzantine.len() + b.crash.fault_count() <= b.params.f(),
+                "total faults exceed the bound f = {}",
+                b.params.f()
+            );
+        }
 
         let mut byz: Vec<Option<Box<dyn ByzantineStrategy>>> = (0..n).map(|_| None).collect();
         for (id, strategy) in b.byzantine {
@@ -299,7 +301,7 @@ impl Simulation {
             }
         }
         let fault_free: Vec<NodeId> = NodeId::all(n)
-            .filter(|id| byz[id.index()].is_none() && !b.crash.faulty_nodes().contains(id))
+            .filter(|id| byz[id.index()].is_none() && !b.crash.is_faulty(*id))
             .collect();
 
         // Sparse link representation: requires the plane (the sparse
@@ -436,6 +438,12 @@ impl Simulation {
 
     /// Decided output of a non-Byzantine node (`None` for Byzantine slots
     /// and undecided nodes).
+    pub fn output_of(&self, node: NodeId) -> Option<Value> {
+        self.output_of_slot(node.index())
+    }
+
+    /// Decided output of a non-Byzantine node (`None` for Byzantine slots
+    /// and undecided nodes).
     fn output_of_slot(&self, i: usize) -> Option<Value> {
         if self.byz[i].is_some() {
             return None;
@@ -443,6 +451,106 @@ impl Simulation {
         match &self.plane {
             Some(p) => p.outputs()[i],
             None => self.algs[i].as_ref().and_then(|a| a.output()),
+        }
+    }
+
+    /// The fault-free node ids of the current instance (never crashing in
+    /// the active crash schedule, not Byzantine).
+    pub(crate) fn fault_free_ids(&self) -> &[NodeId] {
+        &self.fault_free
+    }
+
+    /// The current input vector (refreshed per instance by
+    /// [`Simulation::begin_instance`]).
+    pub(crate) fn inputs(&self) -> &[Value] {
+        &self.inputs
+    }
+
+    /// Mutable access to the active crash schedule — the service layer
+    /// writes each instance's churn slice here (via
+    /// [`ChurnPlan::slice_into`](adn_faults::ChurnPlan::slice_into))
+    /// immediately before [`Simulation::begin_instance`]. Mutating the
+    /// schedule mid-instance corrupts the run's fault bookkeeping.
+    pub(crate) fn crash_mut(&mut self) -> &mut CrashSchedule {
+        &mut self.crash
+    }
+
+    /// Rewinds the engine to round 0 for consensus instance `instance` of
+    /// a service run, **in place**: once the arena, plane, and observer
+    /// buffers reached their steady-state capacities, turnover allocates
+    /// nothing (pinned by `tests/alloc_free.rs`).
+    ///
+    /// The caller installs the instance's crash schedule (via
+    /// [`Simulation::crash_mut`]) *before* calling this, so the fault-free
+    /// set recomputed here sees the new membership. Algorithm state is
+    /// reset against the fresh `inputs` through
+    /// [`Algorithm::reset_instance`] / [`AlgorithmPlane::reset_instance`];
+    /// stateful adversaries and Byzantine strategies reseed through their
+    /// `begin_instance` hooks, which is what makes service instance `k`
+    /// byte-identical to a standalone run given the same membership,
+    /// inputs, and adversary slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong length or the algorithm does not
+    /// support in-place instance resets.
+    pub(crate) fn begin_instance(&mut self, instance: u64, inputs: &[Value]) {
+        let n = self.params.n();
+        assert_eq!(inputs.len(), n, "one input per node");
+        self.inputs.copy_from_slice(inputs);
+        self.round = Round::ZERO;
+        self.done = None;
+        self.last_phase.fill(Phase::ZERO);
+        self.was_decided.fill(false);
+
+        // Fresh algorithm state against the new inputs, in place. Down
+        // nodes reset too: their inputs still count toward validity
+        // (Def. 3 quantifies over non-Byzantine inputs), exactly as a
+        // standalone run constructs state machines for crash-faulty nodes.
+        match self.plane.as_deref_mut() {
+            Some(p) => assert!(
+                p.reset_instance(inputs),
+                "service mode requires an algorithm plane with in-place instance resets"
+            ),
+            None => {
+                for (alg, input) in self.algs.iter_mut().zip(inputs) {
+                    if let Some(alg) = alg.as_deref_mut() {
+                        assert!(
+                            alg.reset_instance(*input),
+                            "service mode requires an algorithm with in-place instance resets"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fault-free set of this instance, into the existing buffer. The
+        // service builds with an empty crash schedule, so the capacity
+        // from construction (every non-Byzantine node) is maximal.
+        self.fault_free.clear();
+        for i in 0..n {
+            if self.byz[i].is_none() && !self.crash.is_faulty(NodeId::new(i)) {
+                self.fault_free.push(NodeId::new(i));
+            }
+        }
+
+        // Per-instance reseed of stateful adversaries and strategies
+        // (instance 0 is each one's construction stream).
+        self.adversary.begin_instance(instance);
+        for strategy in self.byz.iter_mut().flatten() {
+            strategy.begin_instance(instance);
+        }
+
+        // Observer restart: this instance's V(0) (Def. 5 — every
+        // non-Byzantine input counts, crash-faulty ones until they crash).
+        self.observer.clear();
+        if self.observe_phases {
+            for i in 0..n {
+                if self.byz[i].is_none() {
+                    self.observer
+                        .record_enter(NodeId::new(i), Phase::ZERO, self.inputs[i]);
+                }
+            }
         }
     }
 

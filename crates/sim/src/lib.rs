@@ -54,6 +54,7 @@ mod observer;
 mod outcome;
 mod pool;
 pub mod quantized;
+mod service;
 mod shardpool;
 pub mod trace;
 pub mod workload;
@@ -63,4 +64,5 @@ pub use engine::{DeliveryOrder, Simulation};
 pub use observer::{PhaseRecord, RoundTrace};
 pub use outcome::{Outcome, StopReason};
 pub use pool::TrialPool;
+pub use service::{AbortReason, InstanceOutcome, InstanceRecord, ServiceRun};
 pub use trace::{Event, EventLog};

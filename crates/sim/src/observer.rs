@@ -97,6 +97,20 @@ impl Observer {
         self.traces.push(trace);
     }
 
+    /// Capacity-preserving reset for the service layer's instance
+    /// turnover: trace list and every phase record's entries are cleared
+    /// in place. The phase record *slots* stay (an instance reaching
+    /// fewer phases than a predecessor leaves empty trailing records) —
+    /// harmless, since a service run never converts the observer into an
+    /// [`Outcome`](crate::Outcome), and `record_enter`'s first-write-wins
+    /// dedup sees cleared entry lists.
+    pub fn clear(&mut self) {
+        for p in &mut self.phases {
+            p.entries.clear();
+        }
+        self.traces.clear();
+    }
+
     pub fn into_parts(self) -> (Vec<PhaseRecord>, Vec<RoundTrace>) {
         (self.phases, self.traces)
     }

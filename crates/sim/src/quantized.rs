@@ -75,6 +75,12 @@ impl Algorithm for Quantized {
         self.inner.current_value()
     }
 
+    fn reset_instance(&mut self, input: Value) -> bool {
+        // The wire encoder is stateless; resetting is purely the inner
+        // algorithm's business.
+        self.inner.reset_instance(input)
+    }
+
     fn name(&self) -> &'static str {
         "quantized"
     }
@@ -140,6 +146,12 @@ impl AlgorithmPlane for QuantizedPlane {
 
     fn end_round(&mut self, executing: &NodeSet) {
         self.inner.end_round(executing);
+    }
+
+    fn reset_instance(&mut self, inputs: &[Value]) -> bool {
+        // Unlike `fill_shards`, forwarding is safe here: the reset touches
+        // state columns only, never the wire encoding this adaptor owns.
+        self.inner.reset_instance(inputs)
     }
 
     fn name(&self) -> &'static str {

@@ -59,6 +59,101 @@ pub fn clustered(n: usize, center: f64, jitter: f64, seed: u64) -> Vec<Value> {
         .collect()
 }
 
+/// A deterministic stream of per-instance input vectors for service runs
+/// ([`ServiceRun`](crate::ServiceRun)): each consensus instance re-seeds
+/// every node from `fill(instance, ..)`. Random access on the instance
+/// index — instance `k`'s inputs never depend on which instances were
+/// drawn before — is what lets the standalone-oracle equivalence tests
+/// reproduce any single instance in isolation. `fill` writes in place and
+/// never allocates, keeping the service's steady-state turnover
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct InputStream {
+    kind: StreamKind,
+}
+
+#[derive(Debug, Clone)]
+enum StreamKind {
+    Random { seed: u64 },
+    Spread,
+    Constant(Value),
+    Clustered { center: f64, jitter: f64, seed: u64 },
+}
+
+impl InputStream {
+    /// Seeded uniform random inputs, independently drawn per instance.
+    /// Instance 0 matches [`random`]`(n, seed)` exactly.
+    pub fn random(seed: u64) -> Self {
+        InputStream {
+            kind: StreamKind::Random { seed },
+        }
+    }
+
+    /// Evenly spread inputs (see [`spread`]) for every instance.
+    pub fn spread() -> Self {
+        InputStream {
+            kind: StreamKind::Spread,
+        }
+    }
+
+    /// The same constant input for every node of every instance.
+    pub fn constant(v: Value) -> Self {
+        InputStream {
+            kind: StreamKind::Constant(v),
+        }
+    }
+
+    /// Clustered sensor readings (see [`clustered`]), independently
+    /// jittered per instance. Instance 0 matches
+    /// [`clustered`]`(n, center, jitter, seed)` exactly.
+    pub fn clustered(center: f64, jitter: f64, seed: u64) -> Self {
+        InputStream {
+            kind: StreamKind::Clustered {
+                center,
+                jitter,
+                seed,
+            },
+        }
+    }
+
+    /// Writes instance `instance`'s input vector into `out` (one slot per
+    /// node), allocation-free.
+    pub fn fill(&self, instance: u64, out: &mut [Value]) {
+        // The same odd-constant mix the engine's per-instance reseeds use:
+        // instance 0 reproduces the plain seed's stream.
+        let mix = |seed: u64| seed ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match self.kind {
+            StreamKind::Random { seed } => {
+                let mut rng = SplitMix64::new(mix(seed));
+                for v in out.iter_mut() {
+                    *v = Value::saturating(rng.next_f64());
+                }
+            }
+            StreamKind::Spread => {
+                let n = out.len();
+                if n == 1 {
+                    out[0] = Value::HALF;
+                    return;
+                }
+                for (i, v) in out.iter_mut().enumerate() {
+                    *v = Value::saturating(i as f64 / (n - 1) as f64);
+                }
+            }
+            StreamKind::Constant(c) => out.fill(c),
+            StreamKind::Clustered {
+                center,
+                jitter,
+                seed,
+            } => {
+                let mut rng = SplitMix64::new(mix(seed));
+                for v in out.iter_mut() {
+                    *v = Value::saturating(center + (rng.next_f64() * 2.0 - 1.0) * jitter);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +203,36 @@ mod tests {
     fn constant_is_constant() {
         let v = constant(4, Value::HALF);
         assert!(v.iter().all(|&x| x == Value::HALF));
+    }
+
+    #[test]
+    fn input_stream_instance_zero_matches_plain_generators() {
+        let mut buf = vec![Value::HALF; 10];
+        InputStream::random(3).fill(0, &mut buf);
+        assert_eq!(buf, random(10, 3));
+        InputStream::spread().fill(0, &mut buf);
+        assert_eq!(buf, spread(10));
+        InputStream::clustered(0.6, 0.1, 9).fill(0, &mut buf[..]);
+        assert_eq!(buf, clustered(10, 0.6, 0.1, 9));
+    }
+
+    #[test]
+    fn input_stream_is_random_access_on_the_instance_index() {
+        let stream = InputStream::random(17);
+        let mut a = vec![Value::HALF; 6];
+        let mut b = vec![Value::HALF; 6];
+        stream.fill(5, &mut a);
+        stream.fill(3, &mut b); // drawing out of order changes nothing
+        stream.fill(5, &mut b);
+        assert_eq!(a, b);
+        stream.fill(6, &mut b);
+        assert_ne!(a, b, "distinct instances draw distinct vectors");
+    }
+
+    #[test]
+    fn input_stream_spread_single_node() {
+        let mut buf = [Value::ZERO];
+        InputStream::spread().fill(4, &mut buf);
+        assert_eq!(buf[0], Value::HALF);
     }
 }

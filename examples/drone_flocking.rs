@@ -5,6 +5,11 @@
 //! and two drones suffer mid-flight crashes — one of them mid-broadcast,
 //! reaching only a single peer with its last message.
 //!
+//! This settles **one** agreement, then stops. A real flock re-agrees
+//! continuously while drones drop out and rejoin — that repeated-
+//! instance execution mode is `ServiceRun`; see
+//! `examples/service_mode.rs`.
+//!
 //! Run with: `cargo run --example drone_flocking`
 
 use anondyn::prelude::*;

@@ -1,6 +1,12 @@
 //! Quickstart: five anonymous nodes reach ε-agreement under a churning
 //! network using DAC (Algorithm 1).
 //!
+//! This drives a **single consensus instance** to completion — the
+//! simplest execution mode, not the only one. A long-lived stream of
+//! instances over one engine, with nodes crashing, recovering, and
+//! joining between instances, is service mode: see
+//! `examples/service_mode.rs`.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use anondyn::prelude::*;

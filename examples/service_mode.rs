@@ -1,0 +1,79 @@
+//! Service mode: a flock that keeps agreeing while its members churn.
+//!
+//! The quickstart and drone-flocking examples run one consensus
+//! instance to completion. A deployed coordination service runs
+//! instance after instance — speed agreement every few seconds — while
+//! nodes crash, recover, and join. This example drives a [`ServiceRun`]:
+//! one long-lived engine, a `ChurnPlan` on the global round axis, a
+//! workload stream re-seeding fresh inputs each instance, and a
+//! per-instance round cap `R_max` that turns undecidable instances into
+//! recorded aborts instead of a wedged service.
+//!
+//! Run with: `cargo run --example service_mode`
+
+use anondyn::prelude::*;
+
+fn main() -> Result<(), anondyn::types::Error> {
+    let n = 9;
+    let f = 2;
+    let eps = 1e-3;
+    let params = Params::new(n, f, eps)?;
+
+    // The churn timeline, in global rounds across all instances:
+    //  - drone 7 crashes abruptly at round 4 and is repaired by round 12
+    //    (it rejoins at the first instance boundary after that, with
+    //    reset state and a fresh sensor reading);
+    //  - drone 8 is a late arrival, joining from round 20 on;
+    //  - drone 0 flaps — down 2 of every 9 rounds from round 6.
+    let mut churn = ChurnPlan::new(n);
+    churn.crash(NodeId::new(7), Round::new(4), DownKind::Abrupt);
+    churn.recover(NodeId::new(7), Round::new(12));
+    churn.join(NodeId::new(8), Round::new(20));
+    churn.flap_periodic(
+        NodeId::new(0),
+        Round::new(6),
+        2,
+        9,
+        DownKind::Graceful,
+        Round::new(120),
+    );
+
+    // Sensor readings cluster around 0.6, independently re-jittered for
+    // every instance (instance k's inputs are random-access on k).
+    let workload = InputStream::clustered(0.6, 0.25, 99);
+
+    // The builder's max_rounds is the per-instance round cap R_max.
+    let mut service = ServiceRun::new(
+        Simulation::builder(params)
+            .adversary(AdversarySpec::Rotating { d: 5 }.build(n, f, 5))
+            .algorithm(factories::dac(params))
+            .max_rounds(60),
+        churn,
+        workload,
+    )
+    .dyna_window(2);
+
+    println!("instance  start  rounds  members  outcome      range      min dyna");
+    for _ in 0..6 {
+        let rec = service.run_instance();
+        assert!(rec.validity, "outputs must stay inside the input hull");
+        println!(
+            "{:>8}  {:>5}  {:>6}  {:>7}  {:<11}  {:>9.3e}  {:>8}",
+            rec.instance,
+            rec.start_round,
+            rec.rounds,
+            rec.participants,
+            rec.outcome.to_string(),
+            rec.output_range,
+            rec.min_dyna_degree
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+        );
+    }
+    println!(
+        "\n{} decided / {} aborted over {} global rounds",
+        service.decided_instances(),
+        service.aborted_instances(),
+        service.total_rounds(),
+    );
+    Ok(())
+}

@@ -53,11 +53,13 @@ pub use adn_types as types;
 pub mod prelude {
     pub use adn_adversary::{Adversary, AdversarySpec};
     pub use adn_core::{Algorithm, Dac, Dbac, DbacPiggyback};
-    pub use adn_faults::{ByzantineStrategy, CrashSchedule, CrashSurvivors};
+    pub use adn_faults::{ByzantineStrategy, ChurnPlan, CrashSchedule, CrashSurvivors, DownKind};
     pub use adn_graph::{checker, EdgeSet, NodeSet, Schedule, WindowUnion};
     pub use adn_net::PortNumbering;
+    pub use adn_sim::workload::InputStream;
     pub use adn_sim::{
-        factories, workload, Outcome, PlaneMode, SimBuilder, Simulation, StopReason, TrialPool,
+        factories, workload, AbortReason, InstanceOutcome, InstanceRecord, Outcome, PlaneMode,
+        ServiceRun, SimBuilder, Simulation, StopReason, TrialPool,
     };
     pub use adn_types::{Batch, Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 }

@@ -255,6 +255,109 @@ fn steady_state_step_performs_zero_allocations() {
         );
     }
 
+    // --- Service-mode instance turnover: between consecutive consensus
+    // instances, `ServiceRun` re-fills the input vector from the workload
+    // stream, re-slices the churn plan into the long-lived crash
+    // schedule, resets the algorithm plane (or the boxed per-node
+    // algorithms) in place, clears the observer without dropping
+    // capacity, and slides realized rounds through the watchdog window —
+    // all allocation-free once the first few instances have warmed every
+    // buffer up. ---
+    let n = 32;
+    let params = Params::fault_free(n, 1e-2).unwrap();
+    let mut churn = ChurnPlan::new(n);
+    // Two flapping nodes keep the membership slice changing across the
+    // measured instances, so the pin covers slices with and without
+    // mid-instance crashes.
+    churn.flap_periodic(
+        NodeId::new(0),
+        Round::new(3),
+        2,
+        7,
+        DownKind::Abrupt,
+        Round::new(4_000),
+    );
+    churn.flap_periodic(
+        NodeId::new(1),
+        Round::new(5),
+        3,
+        11,
+        DownKind::Graceful,
+        Round::new(4_000),
+    );
+    for (name, mode) in [
+        ("service/plane", PlaneMode::Always),
+        ("service/trait", PlaneMode::Never),
+    ] {
+        let mut service = ServiceRun::new(
+            Simulation::builder(params)
+                .inputs_random(1)
+                .algorithm(factories::dac(params))
+                .algorithm_plane(mode)
+                .max_rounds(50),
+            churn.clone(),
+            InputStream::random(5),
+        )
+        .dyna_window(4);
+        for _ in 0..10 {
+            service.run_instance();
+        }
+        let before = allocations();
+        for _ in 0..20 {
+            let rec = service.run_instance();
+            assert!(rec.outcome.is_decided(), "{name}: instance must decide");
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: steady-state instance turnover allocated ({} allocations over 20 instances)",
+            after - before
+        );
+        assert_eq!(service.decided_instances(), 30, "{name}");
+    }
+    // The same pin at the E20 scale point (n = 256, the service
+    // experiment's fixed size): a few instances after warmup, still zero.
+    let n = 256;
+    let params = Params::fault_free(n, 1e-2).unwrap();
+    let mut churn = ChurnPlan::new(n);
+    churn.flap_periodic(
+        NodeId::new(0),
+        Round::new(2),
+        2,
+        5,
+        DownKind::Abrupt,
+        Round::new(1_000),
+    );
+    let mut service = ServiceRun::new(
+        Simulation::builder(params)
+            .inputs_random(1)
+            .algorithm(factories::dac(params))
+            .algorithm_plane(PlaneMode::Always)
+            .max_rounds(50),
+        churn,
+        InputStream::random(5),
+    )
+    .dyna_window(2);
+    for _ in 0..4 {
+        service.run_instance();
+    }
+    let before = allocations();
+    for _ in 0..4 {
+        let rec = service.run_instance();
+        assert!(
+            rec.outcome.is_decided(),
+            "service/n256: instance must decide"
+        );
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "service/n256: steady-state instance turnover allocated ({} allocations over 4 instances)",
+        after - before
+    );
+
     // --- The sliding-window dynaDegree checker. Setup (the recording,
     // the WindowUnion scratch, the honest set) allocates; the sweep
     // itself — push/pop word walks plus per-window degree reads — must

@@ -1,0 +1,369 @@
+//! Differential fuzz of service-mode instances against standalone runs.
+//!
+//! A [`ServiceRun`] executes a stream of consensus instances over one
+//! long-lived engine, re-seeding state in place between instances. The
+//! contract that makes the service trustworthy is **per-instance byte
+//! equality**: instance `k` of a service run must be indistinguishable
+//! from a standalone `Simulation` built with the same membership slice
+//! (the churn plan sliced at the instance's start round), the same
+//! inputs (the workload stream's vector for index `k`), and the same
+//! adversary and Byzantine instance streams (fresh strategies
+//! fast-forwarded via their `begin_instance` hooks). This file drives
+//! randomized service configurations — churn mix × adversary ×
+//! crash/Byzantine split × ε × algorithm × delivery order ×
+//! quantization — on both the trait and plane paths, and for every
+//! instance checks the outcome mapping, round count, per-node outputs
+//! and final values, and the membership accounting against a
+//! freshly-built oracle.
+//!
+//! Seed count defaults to 300; override with `ADN_FUZZ_SEEDS` (CI runs a
+//! reduced count to keep the job fast).
+
+use anondyn::faults::strategies;
+use anondyn::net::codec::Precision;
+use anondyn::prelude::*;
+use anondyn::sim::quantized::quantized_factory;
+use anondyn::sim::DeliveryOrder;
+use anondyn::types::rng::SplitMix64;
+
+fn fuzz_seeds() -> u64 {
+    std::env::var("ADN_FUZZ_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300)
+}
+
+/// One randomized service configuration, drawn deterministically from a
+/// seed.
+struct Config {
+    params: Params,
+    dbac: bool,
+    pend: u64,
+    adversary: AdversarySpec,
+    byz: Vec<(NodeId, &'static str)>,
+    churn: ChurnPlan,
+    /// Whether any churn events were drawn (for the coverage floor).
+    churny: bool,
+    order: DeliveryOrder,
+    /// Wire precision of a quantized run (`None` = exact wire).
+    quantize_bits: Option<u8>,
+    /// The per-instance round cap `R_max`.
+    r_max: u64,
+    instances: u64,
+    seed: u64,
+}
+
+fn draw_down_kind(rng: &mut SplitMix64) -> DownKind {
+    match rng.next_index(3) {
+        0 => DownKind::Graceful,
+        1 => DownKind::Abrupt,
+        _ => DownKind::Flaky {
+            keep_probability: rng.next_f64(),
+            seed: rng.next_u64(),
+        },
+    }
+}
+
+fn draw(seed: u64) -> Config {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E21);
+    let n = 4 + rng.next_index(13); // 4..=16
+    let f = rng.next_index(4).min(n - 1); // 0..=3, < n
+    let eps = [0.25, 1e-2][rng.next_index(2)];
+    let params = Params::new(n, f, eps).expect("valid params");
+    let dbac = rng.next_bool(0.5);
+    let pend = 1 + rng.next_below(if dbac { 6 } else { 5 });
+    let order = match rng.next_index(3) {
+        0 => DeliveryOrder::AscendingSenders,
+        1 => DeliveryOrder::DescendingSenders,
+        _ => DeliveryOrder::Shuffled(rng.next_u64()),
+    };
+    let quantize_bits = rng.next_bool(0.3).then(|| 3 + rng.next_index(10) as u8);
+    let r_max = 25 + rng.next_below(36); // 25..=60
+    let instances = 3;
+
+    let adversary = match rng.next_index(7) {
+        0 => AdversarySpec::Complete,
+        1 => AdversarySpec::Rotating {
+            d: 1 + rng.next_index(n - 1),
+        },
+        2 => AdversarySpec::Spread {
+            t: 1 + rng.next_index(3),
+            d: 1 + rng.next_index(n - 1),
+        },
+        3 => AdversarySpec::Random {
+            p: 0.2 + 0.6 * rng.next_f64(),
+        },
+        4 => AdversarySpec::AlternatingComplete {
+            period: 1 + rng.next_index(3),
+        },
+        // PartitionHalves never lets anyone decide, so it reliably
+        // exercises the round-cap degradation path.
+        5 => AdversarySpec::PartitionHalves,
+        _ => AdversarySpec::DacThreshold,
+    };
+
+    // Byzantine nodes sit at the high indices and stay out of the churn
+    // plan (the service keeps them Byzantine for every instance); churny
+    // nodes are drawn from the low indices so the sets never collide.
+    let byz_count = rng.next_index(f + 1);
+    let mut byz = Vec::new();
+    for k in 0..byz_count {
+        let name =
+            strategies::ALL_STRATEGY_NAMES[rng.next_index(strategies::ALL_STRATEGY_NAMES.len())];
+        byz.push((NodeId::new(n - 1 - k), name));
+    }
+
+    let mut churn = ChurnPlan::new(n);
+    let horizon = instances * r_max + 1;
+    let churny_count = rng.next_index((n - byz_count).min(4) + 1);
+    for v in 0..churny_count {
+        let node = NodeId::new(v);
+        match rng.next_index(4) {
+            0 => {
+                let p_down = 0.02 + 0.1 * rng.next_f64();
+                let p_up = 0.2 + 0.4 * rng.next_f64();
+                churn.flap_random(node, p_down, p_up, rng.next_u64(), Round::new(horizon));
+            }
+            1 => {
+                let down_len = 1 + rng.next_below(3);
+                let period = down_len + 2 + rng.next_below(8);
+                let kind = draw_down_kind(&mut rng);
+                churn.flap_periodic(
+                    node,
+                    Round::new(rng.next_below(r_max)),
+                    down_len,
+                    period,
+                    kind,
+                    Round::new(horizon),
+                );
+            }
+            2 => {
+                let at = rng.next_below(horizon);
+                let kind = draw_down_kind(&mut rng);
+                churn.crash(node, Round::new(at), kind);
+                if rng.next_bool(0.7) {
+                    churn.recover(node, Round::new(at + 1 + rng.next_below(20)));
+                }
+            }
+            _ => churn.join(node, Round::new(rng.next_below(horizon / 2 + 1))),
+        }
+    }
+
+    Config {
+        params,
+        dbac,
+        pend,
+        adversary,
+        byz,
+        churn,
+        churny: churny_count > 0,
+        order,
+        quantize_bits,
+        r_max,
+        instances,
+        seed,
+    }
+}
+
+fn factory(cfg: &Config) -> anondyn::consensus::AlgorithmFactory {
+    let mut factory = if cfg.dbac {
+        factories::dbac_with_pend(cfg.params, cfg.pend)
+    } else {
+        factories::dac_with_pend(cfg.params, cfg.pend)
+    };
+    if let Some(bits) = cfg.quantize_bits {
+        factory = quantized_factory(factory, Precision::new(bits));
+    }
+    factory
+}
+
+fn service(cfg: &Config, mode: PlaneMode) -> ServiceRun {
+    let n = cfg.params.n();
+    let mut builder = Simulation::builder(cfg.params)
+        .adversary(cfg.adversary.build(n, cfg.params.f(), cfg.seed ^ 0xC0DE))
+        .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
+        .delivery_order(cfg.order)
+        .algorithm(factory(cfg))
+        .algorithm_plane(mode)
+        .max_rounds(cfg.r_max);
+    for &(node, name) in &cfg.byz {
+        builder = builder.byzantine(node, strategies::by_name(name, n, cfg.seed ^ 0xB42));
+    }
+    ServiceRun::new(
+        builder,
+        cfg.churn.clone(),
+        InputStream::random(cfg.seed ^ 0xBEEF),
+    )
+}
+
+/// The standalone oracle for instance `k` of a service run starting at
+/// global round `start`: the same membership slice, inputs, ports, and
+/// adversary/Byzantine instance streams, rebuilt from scratch.
+fn oracle(cfg: &Config, mode: PlaneMode, instance: u64, start: Round) -> Outcome {
+    let n = cfg.params.n();
+    let mut inputs = vec![Value::HALF; n];
+    InputStream::random(cfg.seed ^ 0xBEEF).fill(instance, &mut inputs);
+    let mut cs = CrashSchedule::new(n);
+    cfg.churn.slice_into(start, &mut cs);
+    let mut adv = cfg.adversary.build(n, cfg.params.f(), cfg.seed ^ 0xC0DE);
+    adv.begin_instance(instance);
+    let mut builder = Simulation::builder(cfg.params)
+        .inputs(inputs)
+        .adversary(adv)
+        .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
+        .crashes(cs)
+        .delivery_order(cfg.order)
+        .algorithm(factory(cfg))
+        .algorithm_plane(mode)
+        .allow_fault_overflow(true)
+        .max_rounds(cfg.r_max);
+    for &(node, name) in &cfg.byz {
+        let mut strategy = strategies::by_name(name, n, cfg.seed ^ 0xB42);
+        strategy.begin_instance(instance);
+        builder = builder.byzantine(node, strategy);
+    }
+    builder.run()
+}
+
+fn assert_instance_identical(
+    cfg: &Config,
+    mode: PlaneMode,
+    rec: &InstanceRecord,
+    sim: &Simulation,
+    oracle: &Outcome,
+) {
+    let n = cfg.params.n();
+    let ctx = format!(
+        "seed {} instance {} start {}: n={n} f={} {} pend={} adversary={} byz={:?} \
+         order={:?} bits={:?} mode={mode:?}",
+        cfg.seed,
+        rec.instance,
+        rec.start_round,
+        cfg.params.f(),
+        if cfg.dbac { "dbac" } else { "dac" },
+        cfg.pend,
+        cfg.adversary,
+        cfg.byz,
+        cfg.order,
+        cfg.quantize_bits,
+    );
+
+    // The outcome maps onto the standalone stop reason: a decision is
+    // `AllOutput`, a round-cap abort is `MaxRounds`, and an empty
+    // membership slice stops the standalone run at round zero with
+    // nobody to wait for.
+    match rec.outcome {
+        InstanceOutcome::Decided => {
+            assert_eq!(oracle.reason(), StopReason::AllOutput, "stop reason: {ctx}");
+        }
+        InstanceOutcome::Aborted {
+            reason: AbortReason::RoundCap,
+        } => {
+            assert_eq!(oracle.reason(), StopReason::MaxRounds, "stop reason: {ctx}");
+        }
+        InstanceOutcome::Aborted {
+            reason: AbortReason::NoParticipants,
+        } => {
+            assert_eq!(rec.participants, 0, "participants: {ctx}");
+            assert_eq!(oracle.reason(), StopReason::AllOutput, "stop reason: {ctx}");
+        }
+    }
+    assert_eq!(rec.rounds, oracle.rounds(), "round count: {ctx}");
+
+    // Membership accounting: the record's participant count must equal
+    // the slice's fault-free set, recomputed here from the plan.
+    let mut cs = CrashSchedule::new(n);
+    cfg.churn.slice_into(rec.start_round, &mut cs);
+    let fault_free = |id: NodeId| cfg.byz.iter().all(|&(b, _)| b != id) && !cs.is_faulty(id);
+    let participants = (0..n).filter(|&i| fault_free(NodeId::new(i))).count();
+    assert_eq!(rec.participants, participants, "participants: {ctx}");
+    let decided = (0..n)
+        .filter(|&i| fault_free(NodeId::new(i)) && oracle.output_of(NodeId::new(i)).is_some())
+        .count();
+    assert_eq!(rec.decided, decided, "decided count: {ctx}");
+
+    // Byte equality of per-node state: outputs for everyone, final
+    // values for every non-Byzantine slot.
+    for i in 0..n {
+        let id = NodeId::new(i);
+        assert_eq!(
+            sim.output_of(id),
+            oracle.output_of(id),
+            "output of {id}: {ctx}"
+        );
+        if cfg.byz.iter().all(|&(b, _)| b != id) {
+            assert_eq!(
+                sim.value_of(id),
+                Some(oracle.final_value_of(id)),
+                "final value of {id}: {ctx}"
+            );
+        }
+    }
+
+    // The watchdog's safety verdicts agree with the oracle's.
+    assert_eq!(
+        rec.agreement,
+        oracle.eps_agreement(cfg.params.eps()),
+        "agreement verdict: {ctx}"
+    );
+    assert_eq!(rec.validity, oracle.validity(), "validity verdict: {ctx}");
+}
+
+#[test]
+fn service_instances_match_standalone_runs() {
+    let seeds = fuzz_seeds();
+    let mut churny = 0u64;
+    let mut byzantine = 0u64;
+    let mut aborted = 0u64;
+    for seed in 0..seeds {
+        let cfg = draw(seed);
+        for mode in [PlaneMode::Never, PlaneMode::Always] {
+            let mut svc = service(&cfg, mode);
+            for k in 0..cfg.instances {
+                let rec = svc.run_instance();
+                assert_eq!(rec.instance, k);
+                let standalone = oracle(&cfg, mode, k, rec.start_round);
+                assert_instance_identical(&cfg, mode, &rec, svc.sim(), &standalone);
+                aborted += u64::from(!rec.outcome.is_decided());
+            }
+            assert_eq!(svc.instances_run(), cfg.instances);
+            assert_eq!(
+                svc.decided_instances() + svc.aborted_instances(),
+                cfg.instances
+            );
+        }
+        churny += u64::from(cfg.churny);
+        byzantine += u64::from(!cfg.byz.is_empty());
+    }
+    // The matrix must genuinely exercise churn, Byzantine composition,
+    // and the degradation path — not quietly redraw fault-free runs.
+    if seeds >= 40 {
+        assert!(churny >= seeds / 3, "only {churny}/{seeds} churny draws");
+        assert!(
+            byzantine >= seeds / 8,
+            "only {byzantine}/{seeds} byzantine draws"
+        );
+        assert!(
+            aborted >= seeds / 8,
+            "only {aborted} aborted instances over {seeds} seeds"
+        );
+    }
+}
+
+/// The service's global clock is the churn-slicing axis: an instance's
+/// start round equals the sum of the rounds every earlier instance
+/// executed, so a node that crashes mid-instance k and recovers before
+/// the next boundary is back — with fresh state and a fresh input — in
+/// instance k + 1.
+#[test]
+fn start_rounds_chain_across_instances() {
+    let cfg = draw(11);
+    let mut svc = service(&cfg, PlaneMode::Always);
+    let mut expected_start = 0u64;
+    for _ in 0..cfg.instances {
+        let rec = svc.run_instance();
+        assert_eq!(rec.start_round, Round::new(expected_start));
+        expected_start += rec.rounds;
+    }
+    assert_eq!(svc.total_rounds(), expected_start);
+}

@@ -1,6 +1,10 @@
 //! Behavioral tests for DAC's jump rule: a straggler isolated for many
 //! rounds catches up in a single message on rejoining, and
-//! eventually-stable networks converge from stabilization onward.
+//! eventually-stable networks converge from stabilization onward — plus
+//! the stronger recovery shape the service layer adds: a node that
+//! *crashes* (not merely loses links) during one consensus instance
+//! rejoins at the next instance boundary with reset state and a fresh
+//! input, and decides there.
 
 use anondyn::adversary::{Eventually, Isolate};
 use anondyn::prelude::*;
@@ -109,4 +113,54 @@ fn long_isolation_does_not_inflate_phase_count() {
     for (p, rec) in outcome.phase_records().iter().enumerate() {
         assert_eq!(rec.len(), n, "phase {p} incomplete: {}", rec.len());
     }
+}
+
+#[test]
+fn crash_in_one_instance_rejoin_and_decide_in_the_next() {
+    // Isolation recovery (above) keeps the node's state; crash recovery
+    // crosses an instance boundary: the victim goes down mid-instance 0,
+    // its recovery round falls before the instance-1 boundary, and the
+    // service re-seeds it there with fresh state and a fresh input.
+    let n = 7;
+    let eps = 1e-3;
+    let params = Params::new(n, 1, eps).unwrap();
+    let victim = NodeId::new(6);
+    let mut churn = ChurnPlan::new(n);
+    churn.crash(victim, Round::new(2), DownKind::Abrupt);
+    churn.recover(victim, Round::new(4));
+    let mut service = ServiceRun::new(
+        Simulation::builder(params)
+            .algorithm(factories::dac(params))
+            .max_rounds(200),
+        churn,
+        InputStream::spread(),
+    );
+
+    // Instance 0: the victim crashes at round 2 — it is faulty for the
+    // whole instance (not a participant) and never decides.
+    let rec0 = service.run_instance();
+    assert!(rec0.outcome.is_decided());
+    assert_eq!(rec0.participants, n - 1, "victim is faulty in instance 0");
+    assert_eq!(rec0.decided, n - 1);
+    assert_eq!(service.sim().output_of(victim), None, "crashed, no output");
+    assert!(rec0.validity);
+    assert!(rec0.agreement);
+
+    // Instance 1: the recovery round (4) precedes the boundary
+    // (pend = ceil(log2(1/eps)) = 10 rounds on the complete graph), so
+    // the victim rejoins — full membership — and decides.
+    let rec1 = service.run_instance();
+    assert!(
+        rec1.start_round >= Round::new(4),
+        "recovery precedes boundary"
+    );
+    assert_eq!(rec1.participants, n, "victim rejoined at the boundary");
+    assert!(rec1.outcome.is_decided());
+    assert_eq!(rec1.decided, n);
+    assert!(
+        service.sim().output_of(victim).is_some(),
+        "victim decides in the instance after its crash"
+    );
+    assert!(rec1.validity);
+    assert!(rec1.agreement);
 }
