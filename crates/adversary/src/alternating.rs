@@ -87,6 +87,16 @@ impl Adversary for Alternating {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        // The burst is a fixed constructor parameter, so fold every edge
+        // into the fingerprint alongside the period.
+        let mut key = crate::mix_lane_key(9, &[self.period as u64]);
+        self.burst.for_each_edge(|u, v| {
+            key = crate::mix_lane_key(key, &[u.index() as u64, v.index() as u64]);
+        });
+        Some(key)
+    }
+
     fn name(&self) -> &'static str {
         "alternating"
     }

@@ -41,6 +41,11 @@ impl Adversary for Complete {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        // Pure in (deliverers): one realization serves every trial lane.
+        Some(crate::mix_lane_key(1, &[]))
+    }
+
     fn name(&self) -> &'static str {
         "complete"
     }
@@ -60,6 +65,10 @@ impl Adversary for Silence {
     }
 
     fn sparse_into(&mut self, _view: &AdversaryView<'_>, _out: &mut LinkPlane) {}
+
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(2, &[]))
+    }
 
     fn name(&self) -> &'static str {
         "silence"

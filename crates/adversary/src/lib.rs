@@ -68,6 +68,20 @@ use std::fmt;
 use adn_graph::{EdgeSet, LinkPlane, NodeSet};
 use adn_types::{Params, Phase, Round, Value};
 
+/// Mixes a strategy tag and its constructor parameters into an
+/// [`Adversary::lane_key`] fingerprint. Tags are unique per gallery
+/// strategy, so two adversaries of different types (or same type,
+/// different parameters) never collide in practice.
+pub(crate) fn mix_lane_key(tag: u64, fields: &[u64]) -> u64 {
+    let mut key = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1EA5_EAB1_E0DD_5EED;
+    for &x in fields {
+        key = (key ^ x)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31);
+    }
+    key
+}
+
 /// Snapshot of the system the adversary may inspect before choosing `E(t)`.
 #[derive(Debug)]
 pub struct AdversaryView<'a> {
@@ -167,6 +181,21 @@ pub trait Adversary: fmt::Debug {
             "sparse_into called on {}, which is not sparse-capable",
             self.name()
         );
+    }
+
+    /// A fingerprint declaring this adversary **lane-shareable**: its
+    /// link choice is a pure function of `(round, deliverers, params)` —
+    /// no randomness, no dependence on node values or phases, no hidden
+    /// cross-round state — and the key hashes every constructor
+    /// parameter. When every trial of a lane batch returns the same
+    /// `Some` key, the trial-lane driver realizes the links **once** per
+    /// round and broadcasts them to all lanes; any `None` (the default)
+    /// makes the driver realize each lane's links separately, which is
+    /// always correct. [`RandomLinks`] (per-lane RNG streams), value-aware
+    /// strategies ([`AdaptiveClosest`], [`OmitOne`]) and history-keeping
+    /// ones ([`Spread`]) must stay `None`.
+    fn lane_key(&self) -> Option<u64> {
+        None
     }
 
     /// Resets per-instance state at the start of service instance

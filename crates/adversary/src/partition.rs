@@ -77,6 +77,10 @@ impl Adversary for Partition {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(4, &[self.split as u64]))
+    }
+
     fn name(&self) -> &'static str {
         "partition"
     }
@@ -175,6 +179,10 @@ impl Adversary for Theorem10Split {
                 out.push_run(v, NodeId::new(b_start), NodeId::new(n - 1));
             }
         }
+    }
+
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(5, &[self.group_size as u64]))
     }
 
     fn name(&self) -> &'static str {

@@ -100,6 +100,12 @@ impl Adversary for Rotating {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        // The sender list is per-round scratch, not state: the links are
+        // a pure function of (round, deliverers, d).
+        Some(crate::mix_lane_key(3, &[self.d as u64]))
+    }
+
     fn name(&self) -> &'static str {
         "rotating"
     }

@@ -116,6 +116,10 @@ impl Adversary for Staggered {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(6, &[self.d as u64, self.groups as u64]))
+    }
+
     fn name(&self) -> &'static str {
         "staggered"
     }

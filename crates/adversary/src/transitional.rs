@@ -67,6 +67,10 @@ impl Adversary for Eventually {
         }
     }
 
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(7, &[self.stabilize_at.as_u64()]))
+    }
+
     fn name(&self) -> &'static str {
         "eventually"
     }
@@ -146,6 +150,17 @@ impl Adversary for Isolate {
                 out.push_run(v, lo, hi);
             }
         }
+    }
+
+    fn lane_key(&self) -> Option<u64> {
+        Some(crate::mix_lane_key(
+            8,
+            &[
+                self.victim.index() as u64,
+                self.from.as_u64(),
+                self.duration,
+            ],
+        ))
     }
 
     fn name(&self) -> &'static str {

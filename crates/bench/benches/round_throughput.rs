@@ -40,7 +40,7 @@ use adn_adversary::AdversarySpec;
 use adn_bench::harness::Runner;
 use adn_net::codec::Precision;
 use adn_sim::quantized::quantized_factory;
-use adn_sim::{factories, DeliveryOrder, PlaneMode, Simulation};
+use adn_sim::{factories, scalar_lane_outcome, DeliveryOrder, PlaneMode, Simulation, TrialPool};
 use adn_types::Params;
 
 /// Rounds stepped per timed call.
@@ -209,6 +209,63 @@ fn main() {
                 );
             }
         }
+    }
+
+    // Trial-lane cases: 64 Monte-Carlo trials of one DAC configuration
+    // run to completion — as one lockstep lane word (`run_lanes`) vs. as
+    // 64 scalar simulations — on a single worker, so the lane/scalar
+    // ratio is the vectorization win, not a threading win. Both
+    // link-driving modes are tracked: `trial_lanes_*` uses a rotating
+    // adversary whose declared `lane_key` lets one realization serve all
+    // 64 lanes (the shared-broadcast path), while `trial_lanes_random_*`
+    // gives each trial its own seeded `Random{p}` adversary (per-lane
+    // driving — every lane pays its own Bernoulli draws, so the win is
+    // bounded by the per-trial delivery work both paths share). The
+    // batch of 64 means the reported per-iteration cost is per *trial*,
+    // so `per_sec` is trials per second — the unit of
+    // `BENCH_trial_lanes.json`.
+    for &n in &[9usize, 64, 256] {
+        let params = Params::fault_free(n, 1e-3).unwrap();
+        let trials: Vec<u64> = (0..64).collect();
+        let pool = TrialPool::with_threads(1);
+        let shared = |t: u64| {
+            Simulation::builder(params)
+                .inputs_random(t ^ 0xBEEF)
+                .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 0, t))
+                .algorithm(factories::dac(params))
+                .max_rounds(10_000)
+        };
+        let random = |t: u64| {
+            Simulation::builder(params)
+                .inputs_random(t ^ 0xBEEF)
+                .adversary(AdversarySpec::Random { p: 0.5 }.build(n, 0, t))
+                .algorithm(factories::dac(params))
+                .max_rounds(10_000)
+        };
+        r.bench_batched(
+            &format!("trial_lanes_lane/{n}"),
+            64,
+            || (),
+            |()| pool.run_lanes(&trials, |&t| shared(t)),
+        );
+        r.bench_batched(
+            &format!("trial_lanes_scalar/{n}"),
+            64,
+            || (),
+            |()| pool.run(&trials, |&t| scalar_lane_outcome(shared(t))),
+        );
+        r.bench_batched(
+            &format!("trial_lanes_random_lane/{n}"),
+            64,
+            || (),
+            |()| pool.run_lanes(&trials, |&t| random(t)),
+        );
+        r.bench_batched(
+            &format!("trial_lanes_random_scalar/{n}"),
+            64,
+            || (),
+            |()| pool.run(&trials, |&t| scalar_lane_outcome(random(t))),
+        );
     }
     r.finish();
 }

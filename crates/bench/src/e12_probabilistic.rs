@@ -1,6 +1,15 @@
 //! E12 — §VII: probabilistic message adversary. Each link fires
 //! independently with probability `p` per round; we measure the expected
 //! number of rounds to ε-agreement for DAC and DBAC as `p` varies.
+//!
+//! The DAC sweep runs through the trial-lane driver
+//! (`TrialPool::run_lanes`): every `(p, seed)` trial shares one
+//! configuration shape, so all of them step in lockstep as bit-lanes of
+//! one word, each lane driven by its own seeded `Random{p}` adversary —
+//! byte-identical to the scalar trials it replaces (same per-trial RNG
+//! streams, same rounds). The DBAC sweep keeps its Byzantine flip-flop
+//! node, a lane-incompatible axis, so the same entry point routes it
+//! through the scalar fallback — the report is unchanged either way.
 
 use std::fmt::Write;
 
@@ -24,19 +33,18 @@ pub fn run() -> String {
         .iter()
         .flat_map(|&p| SEEDS.iter().map(move |&seed| (p, seed)))
         .collect();
-    let results = TrialPool::new().run(&trials, |&(p, seed)| {
+    let pool = TrialPool::new();
+    let dac_results = pool.run_lanes(&trials, |&(p, seed)| {
         let params = Params::fault_free(n, eps).expect("valid params");
-        let outcome = Simulation::builder(params)
+        Simulation::builder(params)
             .inputs_random(seed)
             .adversary(AdversarySpec::Random { p }.build(n, 0, seed))
             .algorithm(factories::dac(params))
             .max_rounds(100_000)
-            .run();
-        assert_eq!(outcome.reason(), StopReason::AllOutput, "p={p}");
-        let dac_rounds = outcome.rounds() as f64;
-
+    });
+    let dbac_results = pool.run_lanes(&trials, |&(p, seed)| {
         let paramsb = Params::new(n, f, eps).expect("valid params");
-        let outcome = Simulation::builder(paramsb)
+        Simulation::builder(paramsb)
             .inputs_random(seed)
             .adversary(AdversarySpec::Random { p }.build(n, f, seed * 7 + 1))
             .byzantine(
@@ -46,10 +54,16 @@ pub fn run() -> String {
             .algorithm(factories::dbac_with_pend(paramsb, u64::MAX))
             .stop_when_range_below(eps)
             .max_rounds(100_000)
-            .run();
-        assert_eq!(outcome.reason(), StopReason::RangeConverged, "p={p}");
-        (dac_rounds, outcome.rounds() as f64)
     });
+    let results: Vec<(f64, f64)> = trials
+        .iter()
+        .zip(dac_results.iter().zip(&dbac_results))
+        .map(|(&(p, _), (dac, dbac))| {
+            assert_eq!(dac.reason, StopReason::AllOutput, "p={p}");
+            assert_eq!(dbac.reason, StopReason::RangeConverged, "p={p}");
+            (dac.rounds as f64, dbac.rounds as f64)
+        })
+        .collect();
     for (pi, &p) in ps.iter().enumerate() {
         let mut dac_rounds = Summary::new();
         let mut dbac_rounds = Summary::new();

@@ -64,12 +64,14 @@ pub mod baseline;
 mod dac;
 mod dbac;
 mod full_exchange;
+pub mod lanes;
 mod piggyback;
 pub mod plane;
 
 pub use dac::Dac;
 pub use dbac::Dbac;
 pub use full_exchange::FullExchange;
+pub use lanes::{DacLanes, DbacLanes, LanePlane, LANE_WIDTH};
 pub use piggyback::DbacPiggyback;
 pub use plane::{AlgorithmPlane, DacPlane, DbacPlane, PlaneShard, MAX_PLANE_SHARDS};
 
@@ -143,6 +145,10 @@ type NodeCtor = Box<dyn Fn(usize, Value) -> Box<dyn Algorithm>>;
 /// Constructor closure for the columnar path: the full input vector to
 /// one plane holding every slot.
 type PlaneCtor = Box<dyn Fn(&[Value]) -> Box<dyn AlgorithmPlane>>;
+/// Constructor closure for the trial-lane path: a **lane-major** input
+/// vector (`inputs[t * n + v]` is trial `t`'s input for node `v`) to one
+/// lane plane holding every `(slot, trial)` pair.
+type LaneCtor = Box<dyn Fn(&[Value]) -> Box<dyn LanePlane>>;
 
 /// Constructor bundle used by the simulator and experiment runners to
 /// instantiate an algorithm: a per-node builder mapping `(node_index,
@@ -157,6 +163,7 @@ type PlaneCtor = Box<dyn Fn(&[Value]) -> Box<dyn AlgorithmPlane>>;
 pub struct AlgorithmFactory {
     make: NodeCtor,
     plane: Option<PlaneCtor>,
+    lanes: Option<(u64, LaneCtor)>,
 }
 
 impl AlgorithmFactory {
@@ -166,6 +173,7 @@ impl AlgorithmFactory {
         AlgorithmFactory {
             make: Box::new(make),
             plane: None,
+            lanes: None,
         }
     }
 
@@ -179,7 +187,26 @@ impl AlgorithmFactory {
         AlgorithmFactory {
             make: Box::new(make),
             plane: Some(Box::new(plane)),
+            lanes: None,
         }
+    }
+
+    /// Adds the trial-lane path: `ctor` maps a **lane-major** input
+    /// vector to one [`LanePlane`] whose every lane must be
+    /// observationally identical to a scalar run of that trial.
+    ///
+    /// `key` is the factory's lane fingerprint: two factories may share
+    /// one lane plane **iff** their keys are equal, so the key must hash
+    /// every constructor parameter the closure captures (algorithm
+    /// identity, `Params`, an explicit `pend`, ...). A batch driver
+    /// refuses to merge trials whose factories disagree on the key.
+    pub fn with_lanes(
+        mut self,
+        key: u64,
+        ctor: impl Fn(&[Value]) -> Box<dyn LanePlane> + 'static,
+    ) -> Self {
+        self.lanes = Some((key, Box::new(ctor)));
+        self
     }
 
     /// Instantiates the state machine of one node.
@@ -196,6 +223,18 @@ impl AlgorithmFactory {
     /// `None` if this algorithm has no plane.
     pub fn make_plane(&self, inputs: &[Value]) -> Option<Box<dyn AlgorithmPlane>> {
         self.plane.as_ref().map(|p| p(inputs))
+    }
+
+    /// The lane fingerprint, or `None` if this factory has no trial-lane
+    /// path (see [`AlgorithmFactory::with_lanes`]).
+    pub fn lane_key(&self) -> Option<u64> {
+        self.lanes.as_ref().map(|(key, _)| *key)
+    }
+
+    /// Instantiates the trial-lane plane over a lane-major input vector,
+    /// or `None` if this algorithm has no lane path.
+    pub fn make_lanes(&self, inputs: &[Value]) -> Option<Box<dyn LanePlane>> {
+        self.lanes.as_ref().map(|(_, ctor)| ctor(inputs))
     }
 }
 

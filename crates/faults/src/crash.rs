@@ -7,7 +7,7 @@ use adn_types::{NodeId, Round};
 ///
 /// A crash may interrupt the broadcast primitive midway, so the classic
 /// crash model lets an *arbitrary subset* of the round's messages through.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CrashSurvivors {
     /// The full broadcast completes, then the node dies.
     All,
@@ -47,7 +47,7 @@ pub enum CrashSurvivors {
 /// assert!(cs.has_crashed_by(NodeId::new(2), Round::new(3)));
 /// assert_eq!(cs.faulty_nodes(), vec![NodeId::new(2)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CrashSchedule {
     events: Vec<Option<(Round, CrashSurvivors)>>,
 }

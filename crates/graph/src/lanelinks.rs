@@ -1,0 +1,84 @@
+//! Lane-parallel round links: one `u64` trial mask per directed link.
+//!
+//! The trial-lane driver steps up to 64 independent Monte-Carlo trials of
+//! one configuration in lockstep (see `adn-core`'s lane plane). Each
+//! trial's adversary may choose different links, so a round's realization
+//! is a **lane word per directed link**: bit `t` of `word(v, u)` says
+//! trial `t` chose the link `u → v` this round. Deterministic adversaries
+//! broadcast one realization to every lane with a single masked OR per
+//! edge; per-lane adversaries (e.g. `Random{p}`) OR their own lane bit in.
+
+use adn_types::NodeId;
+
+use crate::EdgeSet;
+
+/// One round's chosen links across up to 64 trial lanes, stored
+/// receiver-major (`words[v * n + u]` is the lane mask of link `u → v`) —
+/// the layout the receiver-major delivery walk reads sequentially.
+pub struct LaneLinks {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl LaneLinks {
+    /// An empty lane link set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LaneLinks {
+            n,
+            words: vec![0; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Clears every link mask, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The lane mask of link `sender → receiver`.
+    #[inline]
+    pub fn word(&self, receiver: usize, sender: usize) -> u64 {
+        self.words[receiver * self.n + sender]
+    }
+
+    /// ORs `mask` into every link of `edges` — one dense realization
+    /// broadcast to all lanes in `mask` (or one lane's own realization
+    /// when `mask` is a single bit).
+    pub fn or_edgeset(&mut self, edges: &EdgeSet, mask: u64) {
+        assert_eq!(edges.n(), self.n, "node count mismatch");
+        edges.for_each_edge(|u: NodeId, v: NodeId| {
+            self.words[v.index() * self.n + u.index()] |= mask;
+        });
+    }
+}
+
+impl std::fmt::Debug for LaneLinks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let edges = self.words.iter().filter(|&&w| w != 0).count();
+        write!(f, "LaneLinks(n={}, masked_edges={edges})", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_and_per_lane_or() {
+        let mut links = LaneLinks::new(3);
+        let shared = EdgeSet::from_pairs(3, [(0, 1), (1, 2)]);
+        links.or_edgeset(&shared, 0b11);
+        let solo = EdgeSet::from_pairs(3, [(2, 0)]);
+        links.or_edgeset(&solo, 0b10);
+        assert_eq!(links.word(1, 0), 0b11);
+        assert_eq!(links.word(2, 1), 0b11);
+        assert_eq!(links.word(0, 2), 0b10);
+        assert_eq!(links.word(2, 0), 0);
+        links.clear();
+        assert_eq!(links.word(1, 0), 0);
+    }
+}

@@ -45,12 +45,14 @@ pub mod connectivity;
 pub mod dot;
 mod edgeset;
 pub mod generators;
+mod lanelinks;
 mod linkplane;
 mod nodeset;
 mod schedule;
 mod window;
 
 pub use edgeset::EdgeSet;
+pub use lanelinks::LaneLinks;
 pub use linkplane::{LinkPlane, LinkRows, MAX_RUNS_PER_ROW};
 pub use nodeset::NodeSet;
 pub use schedule::Schedule;

@@ -3,7 +3,7 @@ use std::sync::{Mutex, PoisonError};
 use adn_adversary::{Adversary, AdversaryView};
 use adn_core::{Algorithm, AlgorithmPlane, PlaneShard, MAX_PLANE_SHARDS};
 use adn_faults::{ByzContext, ByzantineStrategy, CrashSchedule};
-use adn_graph::{LinkPlane, LinkRows, NodeSet, Schedule};
+use adn_graph::{EdgeSet, LinkPlane, LinkRows, NodeSet, Schedule};
 use adn_net::{PortNumbering, RoundBuffers, SenderClass, Traffic};
 use adn_types::{Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 
@@ -114,6 +114,109 @@ fn take_split<'a, T>(s: &mut &'a mut [T], at: usize) -> &'a mut [T] {
     let (head, rest) = std::mem::take(s).split_at_mut(at);
     *s = rest;
     head
+}
+
+/// A read-only [`LinkRows`] view of the links that actually **delivered**
+/// in the round the last `step` executed — the realized round graph that
+/// the dynaDegree safety condition quantifies over.
+///
+/// On the dense path this borrows the materialized realized rows the
+/// delivery loop filled. On the sparse path no realized set exists unless
+/// schedule recording asked for one, so the view re-applies the delivery
+/// loop's per-link rule (sender class, partial-crash survivor draw) to
+/// the link plane's chosen rows on the fly — `O(row)` per receiver,
+/// nothing dense ever materialized. Obtain via
+/// [`Simulation::realized_rows`].
+#[derive(Debug)]
+pub struct RealizedRows<'a>(RealizedInner<'a>);
+
+#[derive(Debug)]
+enum RealizedInner<'a> {
+    /// Dense path: the round's materialized realized rows.
+    Dense(&'a EdgeSet),
+    /// Sparse path: the round's chosen rows plus everything needed to
+    /// replay the delivery filter ([`link_delivery`]'s rule, minus the
+    /// message staging).
+    Sparse {
+        links: &'a LinkPlane,
+        classes: &'a [SenderClass],
+        honest: &'a NodeSet,
+        crash: &'a CrashSchedule,
+        /// The executed round (the filter's crash-survivor axis).
+        t: Round,
+    },
+}
+
+impl RealizedRows<'_> {
+    /// Copies the realized links into `out` (a word copy on the dense
+    /// path, a filtered rebuild on the sparse one) — for consumers that
+    /// need to keep a round's links past the next `step`, like the
+    /// service watchdog's sliding window.
+    pub fn copy_into(&self, out: &mut EdgeSet) {
+        match &self.0 {
+            RealizedInner::Dense(realized) => out.copy_from(realized),
+            RealizedInner::Sparse { .. } => {
+                out.clear();
+                self.for_each_edge(|u, v| {
+                    out.insert(u, v);
+                });
+            }
+        }
+    }
+}
+
+impl LinkRows for RealizedRows<'_> {
+    fn n(&self) -> usize {
+        match &self.0 {
+            RealizedInner::Dense(realized) => realized.n(),
+            RealizedInner::Sparse { links, .. } => links.n(),
+        }
+    }
+
+    fn for_each_in(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        match &self.0 {
+            RealizedInner::Dense(realized) => realized.for_each_in(v, f),
+            RealizedInner::Sparse {
+                links,
+                classes,
+                honest,
+                crash,
+                t,
+            } => {
+                // Crashed/Byzantine receivers process nothing: their
+                // realized rows are empty, exactly as the dense delivery
+                // loop leaves them.
+                if !honest.contains(v) {
+                    return;
+                }
+                links.for_each_in(v, |u| {
+                    let delivered = match classes[u.index()] {
+                        SenderClass::Present => true,
+                        SenderClass::Partial => crash.delivers(u, *t, v),
+                        SenderClass::Silent => false,
+                        SenderClass::Byzantine => {
+                            unreachable!("sparse runs exclude Byzantine nodes")
+                        }
+                    };
+                    if delivered {
+                        f(u);
+                    }
+                });
+            }
+        }
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        match &self.0 {
+            // Word-parallel popcount instead of the per-bit default.
+            RealizedInner::Dense(realized) => realized.in_degree(v),
+            RealizedInner::Sparse { .. } => {
+                let mut c = 0;
+                self.for_each_in(v, |_| c += 1);
+                c
+            }
+        }
+    }
 }
 
 /// The order in which one receiver's deliveries are processed within a
@@ -404,6 +507,24 @@ impl Simulation {
     /// dense path's three `n²/8`-byte bitmaps.
     pub fn link_plane_heap_bytes(&self) -> Option<usize> {
         self.links.as_ref().map(LinkPlane::heap_bytes)
+    }
+
+    /// The realized links of the most recently executed round as
+    /// [`LinkRows`] — the link-path-agnostic view consumers like the
+    /// service watchdog read dynaDegree from. Valid until the next
+    /// [`step`](Simulation::step) (or instance re-seed); empty before any
+    /// round has executed. See [`RealizedRows`].
+    pub fn realized_rows(&self) -> RealizedRows<'_> {
+        match self.links.as_ref() {
+            Some(links) => RealizedRows(RealizedInner::Sparse {
+                links,
+                classes: &self.buffers.classes,
+                honest: &self.buffers.honest,
+                crash: &self.crash,
+                t: Round::new(self.round.as_u64().saturating_sub(1)),
+            }),
+            None => RealizedRows(RealizedInner::Dense(&self.buffers.realized)),
+        }
     }
 
     /// Receiver-range shards the delivery loop fans out over (1 = no

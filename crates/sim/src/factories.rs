@@ -8,9 +8,29 @@
 
 use adn_core::baseline::{Bac, LocalAverager, MinFlood, ReliableAc, TrimmedLocalAverager};
 use adn_core::{
-    Algorithm, AlgorithmFactory, Dac, DacPlane, Dbac, DbacPiggyback, DbacPlane, FullExchange,
+    Algorithm, AlgorithmFactory, Dac, DacLanes, DacPlane, Dbac, DbacLanes, DbacPiggyback,
+    DbacPlane, FullExchange,
 };
 use adn_types::Params;
+
+/// The lane fingerprint of a DAC/DBAC factory: a deterministic mix of
+/// the algorithm tag and every constructor parameter the closures
+/// capture. Two factory instances produce interchangeable lane planes
+/// iff their keys are equal (see `AlgorithmFactory::with_lanes`).
+fn lane_key(algo: u64, params: Params, pend: u64) -> u64 {
+    let mut key = algo;
+    for x in [
+        params.n() as u64,
+        params.f() as u64,
+        params.eps().to_bits(),
+        pend,
+    ] {
+        key = (key ^ x)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(29);
+    }
+    key
+}
 
 /// DAC with the paper's `pend = ⌈log₂(1/ε)⌉`. Plane-capable: the engine
 /// may drive all nodes as one columnar [`DacPlane`].
@@ -18,12 +38,15 @@ pub fn dac(params: Params) -> AlgorithmFactory {
     dac_with_pend(params, params.dac_pend())
 }
 
-/// DAC with an explicit termination phase. Plane-capable.
+/// DAC with an explicit termination phase. Plane- and lane-capable.
 pub fn dac_with_pend(params: Params, pend: u64) -> AlgorithmFactory {
     AlgorithmFactory::with_plane(
         move |_, input| Box::new(Dac::with_pend(params, input, pend)) as Box<dyn Algorithm>,
         move |inputs| Box::new(DacPlane::with_pend(params, inputs, pend)),
     )
+    .with_lanes(lane_key(1, params, pend), move |inputs| {
+        Box::new(DacLanes::with_pend(params, inputs, pend))
+    })
 }
 
 /// DBAC with the paper's Eq. (6) termination phase. Plane-capable: the
@@ -39,6 +62,9 @@ pub fn dbac_with_pend(params: Params, pend: u64) -> AlgorithmFactory {
         move |_, input| Box::new(Dbac::with_pend(params, input, pend)) as Box<dyn Algorithm>,
         move |inputs| Box::new(DbacPlane::with_pend(params, inputs, pend)),
     )
+    .with_lanes(lane_key(2, params, pend), move |inputs| {
+        Box::new(DbacLanes::with_pend(params, inputs, pend))
+    })
 }
 
 /// DBAC piggybacking up to `k` past states, explicit termination phase.

@@ -50,6 +50,7 @@
 mod builder;
 mod engine;
 pub mod factories;
+mod lanes;
 mod observer;
 mod outcome;
 mod pool;
@@ -60,7 +61,8 @@ pub mod trace;
 pub mod workload;
 
 pub use builder::{LinkMode, PlaneMode, SimBuilder};
-pub use engine::{DeliveryOrder, Simulation};
+pub use engine::{DeliveryOrder, RealizedRows, Simulation};
+pub use lanes::{scalar_lane_outcome, LaneOutcome, LaneRun, MAX_LANE_N};
 pub use observer::{PhaseRecord, RoundTrace};
 pub use outcome::{Outcome, StopReason};
 pub use pool::TrialPool;

@@ -39,6 +39,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use adn_core::LANE_WIDTH;
+
+use crate::builder::SimBuilder;
+use crate::lanes::{scalar_lane_outcome, LaneOutcome, LaneRun};
+
 /// A scoped thread pool for independent deterministic trials.
 #[derive(Debug, Clone)]
 pub struct TrialPool {
@@ -116,6 +121,36 @@ impl TrialPool {
             .into_iter()
             .map(|r| r.expect("every trial index was claimed exactly once"))
             .collect()
+    }
+
+    /// Runs one simulation per trial through the lane path where the
+    /// trials allow it, returning per-trial [`LaneOutcome`]s **in input
+    /// order** — the batch front-end of [`LaneRun`].
+    ///
+    /// Trials are chunked into consecutive runs of up to 64; each chunk
+    /// becomes one [`LaneRun`] when its builders pass the lane gate and
+    /// falls back to scalar simulations (see
+    /// [`scalar_lane_outcome`](crate::scalar_lane_outcome)) when not —
+    /// either way every trial's result is byte-identical to its scalar
+    /// single-trial run. Chunks are distributed over the pool's workers
+    /// like any other trial batch.
+    pub fn run_lanes<T, F>(&self, trials: &[T], build: F) -> Vec<LaneOutcome>
+    where
+        T: Sync,
+        F: Fn(&T) -> SimBuilder + Sync,
+    {
+        let chunks: Vec<(usize, usize)> = (0..trials.len())
+            .step_by(LANE_WIDTH)
+            .map(|lo| (lo, (lo + LANE_WIDTH).min(trials.len())))
+            .collect();
+        let per_chunk = self.run(&chunks, |&(lo, hi)| {
+            let builders: Vec<SimBuilder> = trials[lo..hi].iter().map(&build).collect();
+            match LaneRun::try_new(builders) {
+                Ok(run) => run.run(),
+                Err(builders) => builders.into_iter().map(scalar_lane_outcome).collect(),
+            }
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// [`TrialPool::run`] specialized to the ubiquitous seed sweep.

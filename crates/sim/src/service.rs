@@ -26,8 +26,14 @@
 //!
 //! A safety watchdog runs continuously: validity and ε-agreement are
 //! checked per instance from live engine state, and the realized
-//! dynaDegree is tracked incrementally across instance boundaries by a
-//! sliding [`WindowUnion`] over the last `T` rounds — no full schedule
+//! dynaDegree is read per round through the engine's
+//! [`RealizedRows`](crate::engine::RealizedRows) view — the
+//! link-path-agnostic [`LinkRows`](adn_graph::LinkRows) facade over
+//! whichever representation carries the run, so sparse services never
+//! materialize dense rows for the watchdog. The default `T = 1` window
+//! reads degrees straight off the view; `T ≥ 2` windows
+//! ([`ServiceRun::dyna_window`]) track the union incrementally across
+//! instance boundaries with a sliding [`WindowUnion`] — no full schedule
 //! recording, no rescans.
 //!
 //! Each instance is **byte-identical** to a standalone run given the same
@@ -36,7 +42,7 @@
 //! strategies reseed per instance through their `begin_instance` hooks.
 
 use adn_faults::ChurnPlan;
-use adn_graph::{EdgeSet, NodeSet, WindowUnion};
+use adn_graph::{EdgeSet, LinkRows, NodeSet, WindowUnion};
 use adn_types::{NodeId, Round, Value, ValueInterval};
 
 use crate::builder::SimBuilder;
@@ -169,15 +175,31 @@ pub struct ServiceRun {
     /// the axis the churn plan is sliced on.
     clock: u64,
     next_instance: u64,
-    /// Sliding union of the last `ring.len()` realized rounds; persists
-    /// across instance boundaries.
-    window: WindowUnion,
-    /// Ring of the window's round edge sets (needed to pop the oldest).
-    ring: Vec<EdgeSet>,
-    ring_head: usize,
-    ring_len: usize,
+    watchdog: Watchdog,
     decided_instances: u64,
     aborted_instances: u64,
+}
+
+/// The dynaDegree watchdog's window state. Both shapes read the executed
+/// round through [`Simulation::realized_rows`] — the dense/sparse-agnostic
+/// `LinkRows` view — so neither forces dense link materialization.
+#[derive(Debug)]
+enum Watchdog {
+    /// `T = 1` (the default): the window *is* the current round, so the
+    /// min degree is read straight off the realized view — no ring, no
+    /// union, no retained edge sets.
+    Single,
+    /// `T ≥ 2`: a sliding union over the last `T` realized rounds,
+    /// persisting across instance boundaries.
+    Windowed {
+        /// Incremental union of the ring's rounds.
+        window: WindowUnion,
+        /// Ring of the window's round edge sets (needed to pop the
+        /// oldest).
+        ring: Vec<EdgeSet>,
+        head: usize,
+        len: usize,
+    },
 }
 
 impl ServiceRun {
@@ -192,9 +214,9 @@ impl ServiceRun {
     ///
     /// Panics if the churn plan covers a different node count, the
     /// builder carries crash faults or a range oracle or event recording,
-    /// the run resolves to sparse links (the watchdog reads the dense
-    /// realized rows), or the algorithm does not support in-place
-    /// instance resets.
+    /// or the algorithm does not support in-place instance resets.
+    /// Sparse-link runs are fully supported: the watchdog reads realized
+    /// degrees through [`Simulation::realized_rows`], never a dense row.
     pub fn new(builder: SimBuilder, churn: ChurnPlan, workload: InputStream) -> Self {
         let n = builder.params.n();
         assert_eq!(churn.n(), n, "churn plan size mismatch");
@@ -219,10 +241,6 @@ impl ServiceRun {
             .record_schedule(false)
             .allow_fault_overflow(true)
             .build();
-        assert!(
-            !sim.uses_sparse_links(),
-            "service mode requires dense links: the watchdog reads the realized link rows"
-        );
         ServiceRun {
             sim,
             churn,
@@ -233,10 +251,7 @@ impl ServiceRun {
             honest_set: NodeSet::new(n),
             clock: 0,
             next_instance: 0,
-            window: WindowUnion::new(n),
-            ring: vec![EdgeSet::empty(n)],
-            ring_head: 0,
-            ring_len: 0,
+            watchdog: Watchdog::Single,
             decided_instances: 0,
             aborted_instances: 0,
         }
@@ -244,7 +259,9 @@ impl ServiceRun {
 
     /// Sets the watchdog's dynaDegree window to `t_window` rounds
     /// (default 1). Call before the first instance: resizing resets the
-    /// window's contents.
+    /// window's contents. `t_window = 1` keeps the ringless fast path
+    /// (degrees read straight off the realized view); larger windows
+    /// retain the last `t_window` rounds as edge sets.
     ///
     /// # Panics
     ///
@@ -252,10 +269,16 @@ impl ServiceRun {
     pub fn dyna_window(mut self, t_window: usize) -> Self {
         assert!(t_window > 0, "window must be at least 1 round");
         let n = self.churn.n();
-        self.ring = (0..t_window).map(|_| EdgeSet::empty(n)).collect();
-        self.ring_head = 0;
-        self.ring_len = 0;
-        self.window.clear();
+        self.watchdog = if t_window == 1 {
+            Watchdog::Single
+        } else {
+            Watchdog::Windowed {
+                window: WindowUnion::new(n),
+                ring: (0..t_window).map(|_| EdgeSet::empty(n)).collect(),
+                head: 0,
+                len: 0,
+            }
+        };
         self
     }
 
@@ -364,32 +387,40 @@ impl ServiceRun {
         }
     }
 
-    /// Slides one executed round's realized links into the watchdog
-    /// window; returns the window's min fault-free degree once full.
+    /// Feeds one executed round's realized links (via the engine's
+    /// link-path-agnostic [`Simulation::realized_rows`] view) to the
+    /// watchdog; returns the window's min fault-free degree once full.
     fn watch_round(&mut self) -> Option<usize> {
         let ServiceRun {
             sim,
-            window,
-            ring,
-            ring_head,
-            ring_len,
+            watchdog,
             honest_set,
             ..
         } = self;
-        let t_window = ring.len();
-        let slot = &mut ring[*ring_head];
-        if *ring_len == t_window {
-            window.pop(slot);
-        } else {
-            *ring_len += 1;
-        }
-        slot.copy_from(&sim.buffers().realized);
-        window.push(slot);
-        *ring_head = (*ring_head + 1) % t_window;
-        if *ring_len == t_window {
-            window.min_degree_over(honest_set)
-        } else {
-            None
+        match watchdog {
+            Watchdog::Single => sim.realized_rows().min_in_degree_over_set(honest_set),
+            Watchdog::Windowed {
+                window,
+                ring,
+                head,
+                len,
+            } => {
+                let t_window = ring.len();
+                let slot = &mut ring[*head];
+                if *len == t_window {
+                    window.pop(slot);
+                } else {
+                    *len += 1;
+                }
+                sim.realized_rows().copy_into(slot);
+                window.push(slot);
+                *head = (*head + 1) % t_window;
+                if *len == t_window {
+                    window.min_degree_over(honest_set)
+                } else {
+                    None
+                }
+            }
         }
     }
 

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use adn_net::PortNumbering;
     pub use adn_sim::workload::InputStream;
     pub use adn_sim::{
-        factories, workload, AbortReason, InstanceOutcome, InstanceRecord, Outcome, PlaneMode,
-        ServiceRun, SimBuilder, Simulation, StopReason, TrialPool,
+        factories, workload, AbortReason, InstanceOutcome, InstanceRecord, LaneOutcome, LaneRun,
+        Outcome, PlaneMode, ServiceRun, SimBuilder, Simulation, StopReason, TrialPool,
     };
     pub use adn_types::{Batch, Message, NodeId, Params, Phase, Port, Round, Value, ValueInterval};
 }

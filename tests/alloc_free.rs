@@ -198,6 +198,46 @@ fn steady_state_step_performs_zero_allocations() {
         assert!(sim.stopped().is_none(), "{name}: must still be running");
     }
 
+    // --- The trial-lane driver: 64 lockstep trials per word. A steady
+    // `LaneRun::step` — the broadcast snapshot, the per-lane (or shared)
+    // adversary drive into the lane link words, the receiver-major masked
+    // delivery, and the per-lane stop checks — must allocate nothing once
+    // built, for both link-driving modes: one shared realization
+    // broadcast to all lanes (Rotating declares a `lane_key`) and a
+    // per-lane seeded realization (Random draws each lane's own links).
+    // ---
+    for (name, spec) in [
+        ("lanes/shared", AdversarySpec::Rotating { d: 16 }),
+        ("lanes/random", AdversarySpec::Random { p: 0.4 }),
+    ] {
+        let params = Params::fault_free(32, 1e-6).unwrap();
+        let builders: Vec<SimBuilder> = (0..64)
+            .map(|t| {
+                Simulation::builder(params)
+                    .inputs_random(t)
+                    .adversary(spec.build(32, 0, t))
+                    .algorithm(factories::dac_with_pend(params, u64::MAX))
+                    .max_rounds(u64::MAX)
+            })
+            .collect();
+        let mut run = LaneRun::try_new(builders).expect("configuration must lane");
+        for _ in 0..70 {
+            run.step();
+        }
+        let before = allocations();
+        for _ in 0..30 {
+            run.step();
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: steady-state lane step allocated ({} allocations over 30 rounds)",
+            after - before
+        );
+        assert_eq!(run.live(), u64::MAX, "{name}: all 64 lanes must still run");
+    }
+
     // --- The adversary gallery: every strategy's `edges_into` must fill
     // the engine's reused edge set without allocating once its own
     // scratch (deliverer lists, heard-sets, sort buffers) has warmed up.

@@ -1,0 +1,306 @@
+//! Differential fuzz of the trial-lane driver against scalar trials.
+//!
+//! `TrialPool::run_lanes` steps up to 64 Monte-Carlo trials of one
+//! configuration in lockstep — bit `t` of every lane word is trial `t` —
+//! and its contract is byte equality: every lane's outcome (stop reason,
+//! round count, outputs, final values, per-node phases) must be
+//! **identical** to the scalar single-trial run of the same builder. This
+//! file drives randomized chunk configurations — algorithm × pend ×
+//! range oracle × adversary (shared-realization and per-lane) × crash
+//! mix × lane count — and asserts field-by-field equality against
+//! [`scalar_lane_outcome`], the scalar reference. Byzantine draws
+//! exercise the fallback gate: `LaneRun::try_new` must decline and
+//! `run_lanes` must route those chunks through scalar trials.
+//!
+//! Seed count defaults to 300; override with `ADN_FUZZ_SEEDS` (CI runs a
+//! reduced count to keep the job fast).
+
+use anondyn::faults::{strategies, CrashSurvivors};
+use anondyn::prelude::*;
+use anondyn::sim::{scalar_lane_outcome, DeliveryOrder, MAX_LANE_N};
+use anondyn::types::rng::SplitMix64;
+
+fn fuzz_seeds() -> u64 {
+    std::env::var("ADN_FUZZ_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300)
+}
+
+/// One randomized chunk configuration (shared by all its lanes), drawn
+/// deterministically from a seed. Per-lane variation enters through the
+/// trial index: input seeds and adversary seeds differ per lane.
+struct Config {
+    params: Params,
+    dbac: bool,
+    pend: u64,
+    /// Use the range-convergence oracle instead of phase termination.
+    range_stop: bool,
+    adversary: AdversarySpec,
+    /// Whether the adversary realizes links once for all lanes (a
+    /// declared `lane_key`) or is driven per lane.
+    shared_links: bool,
+    crash: CrashSchedule,
+    lanes: usize,
+    /// A Byzantine node (index `n − 1`) — lane-incompatible by design;
+    /// these chunks must take the scalar fallback.
+    byz: Option<&'static str>,
+    seed: u64,
+}
+
+fn draw(seed: u64) -> Config {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1A7E);
+    let n = 4 + rng.next_index(9); // 4..=12
+    let f = rng.next_index(3).min(n - 1); // 0..=2
+    let eps = [0.25, 1e-2, 1e-3][rng.next_index(3)];
+    let params = Params::new(n, f, eps).expect("valid params");
+    let dbac = rng.next_bool(0.5);
+    let range_stop = rng.next_bool(0.3);
+    let pend = if range_stop {
+        u64::MAX
+    } else {
+        1 + rng.next_below(6)
+    };
+    let lanes = 1 + rng.next_index(5); // 1..=5
+    let (adversary, shared_links) = match rng.next_index(8) {
+        // Shared-realization strategies: pure in (round, deliverers,
+        // params), declared via `Adversary::lane_key`.
+        0 => (AdversarySpec::Complete, true),
+        1 => (
+            AdversarySpec::Rotating {
+                d: 1 + rng.next_index(n - 1),
+            },
+            true,
+        ),
+        2 => (
+            AdversarySpec::AlternatingComplete {
+                period: 1 + rng.next_index(3),
+            },
+            true,
+        ),
+        3 => (AdversarySpec::PartitionHalves, true),
+        // Per-lane strategies: seeded, stateful, or state-reading.
+        4 => (
+            AdversarySpec::Random {
+                p: 0.2 + 0.6 * rng.next_f64(),
+            },
+            false,
+        ),
+        5 => (
+            AdversarySpec::Spread {
+                t: 1 + rng.next_index(3),
+                d: 1 + rng.next_index(n - 1),
+            },
+            false,
+        ),
+        6 => (AdversarySpec::DacThreshold, false),
+        _ => (AdversarySpec::DbacThreshold, false),
+    };
+
+    // Split the fault budget between one optional Byzantine node (the
+    // fallback-gate axis) and crashes, at distinct high indices.
+    let byz = (f > 0 && rng.next_bool(0.15)).then(|| {
+        strategies::ALL_STRATEGY_NAMES[rng.next_index(strategies::ALL_STRATEGY_NAMES.len())]
+    });
+    let byz_count = usize::from(byz.is_some());
+    let crash_count = rng.next_index(f - byz_count + 1);
+    let mut crash = CrashSchedule::new(n);
+    for k in 0..crash_count {
+        let node = NodeId::new(n - 1 - byz_count - k);
+        let round = Round::new(rng.next_below(25));
+        let survivors = match rng.next_index(4) {
+            0 => CrashSurvivors::All,
+            1 => CrashSurvivors::None,
+            2 => CrashSurvivors::Subset(
+                (0..n)
+                    .filter(|_| rng.next_bool(0.5))
+                    .map(NodeId::new)
+                    .collect(),
+            ),
+            _ => CrashSurvivors::Random {
+                keep_probability: rng.next_f64(),
+                seed: rng.next_u64(),
+            },
+        };
+        crash.crash(node, round, survivors);
+    }
+
+    Config {
+        params,
+        dbac,
+        pend,
+        range_stop,
+        adversary,
+        shared_links,
+        crash,
+        lanes,
+        byz,
+        seed,
+    }
+}
+
+/// Builds trial `trial` of a chunk — the closure handed to `run_lanes`
+/// and, builder-for-builder, to the scalar reference.
+fn builder(cfg: &Config, trial: u64) -> SimBuilder {
+    let n = cfg.params.n();
+    let factory = if cfg.dbac {
+        factories::dbac_with_pend(cfg.params, cfg.pend)
+    } else {
+        factories::dac_with_pend(cfg.params, cfg.pend)
+    };
+    let adv_seed = cfg.seed ^ trial.wrapping_mul(0x9E37_79B9) ^ 0xC0DE;
+    let mut b = Simulation::builder(cfg.params)
+        .inputs_random(cfg.seed ^ (trial << 17) ^ 0xBEEF)
+        .adversary(cfg.adversary.build(n, cfg.params.f(), adv_seed))
+        .ports(PortNumbering::random(n, cfg.seed ^ 0x9097))
+        .crashes(cfg.crash.clone())
+        .algorithm(factory)
+        .max_rounds(100);
+    if cfg.range_stop {
+        b = b.stop_when_range_below(cfg.params.eps());
+    }
+    if let Some(name) = cfg.byz {
+        b = b.byzantine(
+            NodeId::new(n - 1),
+            strategies::by_name(name, n, cfg.seed ^ 0xB42),
+        );
+    }
+    b
+}
+
+#[test]
+fn lanes_match_scalar_trials_across_the_configuration_space() {
+    let seeds = fuzz_seeds();
+    let pool = TrialPool::new();
+    let mut laned = 0u64;
+    let mut fallback = 0u64;
+    let mut shared = 0u64;
+    let mut staggered = 0u64;
+    for seed in 0..seeds {
+        let cfg = draw(seed);
+        let ctx = format!(
+            "seed {}: n={} f={} {} pend={} range_stop={} adversary={} lanes={} byz={:?}",
+            cfg.seed,
+            cfg.params.n(),
+            cfg.params.f(),
+            if cfg.dbac { "dbac" } else { "dac" },
+            cfg.pend,
+            cfg.range_stop,
+            cfg.adversary,
+            cfg.lanes,
+            cfg.byz,
+        );
+        let trials: Vec<u64> = (0..cfg.lanes as u64).collect();
+        // The gate must lane exactly the Byzantine-free chunks: every
+        // other drawn axis (both algorithms, both stop oracles, every
+        // adversary, every crash mix) is lane-compatible.
+        let gate = LaneRun::try_new(trials.iter().map(|&t| builder(&cfg, t)).collect());
+        assert_eq!(gate.is_ok(), cfg.byz.is_none(), "lane gate: {ctx}");
+
+        let got = pool.run_lanes(&trials, |&t| builder(&cfg, t));
+        let want: Vec<LaneOutcome> = trials
+            .iter()
+            .map(|&t| scalar_lane_outcome(builder(&cfg, t)))
+            .collect();
+        assert_eq!(got, want, "lane/scalar divergence: {ctx}");
+
+        if cfg.byz.is_none() {
+            laned += 1;
+            shared += u64::from(cfg.shared_links);
+        } else {
+            fallback += 1;
+        }
+        let rounds: Vec<u64> = want.iter().map(|o| o.rounds).collect();
+        staggered += u64::from(rounds.iter().min() != rounds.iter().max());
+    }
+    // The draw must genuinely cover the interesting axes: lanes retiring
+    // at different rounds within one word (no lockstep-only testing),
+    // shared-realization and per-lane link driving, and the Byzantine
+    // fallback gate.
+    if seeds >= 40 {
+        assert!(laned >= seeds / 2, "only {laned}/{seeds} laned chunks");
+        assert!(fallback >= 1, "no fallback chunks in {seeds} seeds");
+        assert!(
+            shared >= seeds / 8,
+            "only {shared}/{seeds} shared-realization chunks"
+        );
+        assert!(
+            staggered >= seeds / 8,
+            "only {staggered}/{seeds} staggered-retirement chunks"
+        );
+    }
+}
+
+/// The lane gate declines every lane-incompatible axis — those chunks run
+/// scalar, exactly like `PlaneMode::Auto` declines the columnar plane.
+#[test]
+fn lane_gate_falls_back_on_incompatible_axes() {
+    let params = Params::new(6, 1, 1e-2).unwrap();
+    let mk = || {
+        Simulation::builder(params)
+            .inputs_random(7)
+            .algorithm(factories::dac(params))
+            .max_rounds(50)
+    };
+    // The compatible baseline lanes.
+    assert!(LaneRun::try_new(vec![mk(), mk()]).is_ok());
+
+    // Byzantine fabrication has no lane transcription.
+    let byz = mk().byzantine(NodeId::new(5), strategies::by_name("flip-flop", 6, 3));
+    assert!(LaneRun::try_new(vec![byz]).is_err());
+    // The event log records one trial's history, not a word of them.
+    assert!(LaneRun::try_new(vec![mk().record_events(true)]).is_err());
+    // Lane delivery is receiver-major ascending by construction.
+    assert!(LaneRun::try_new(vec![mk().delivery_order(DeliveryOrder::DescendingSenders)]).is_err());
+    // `Never` pins the scalar trait path.
+    assert!(LaneRun::try_new(vec![mk().algorithm_plane(PlaneMode::Never)]).is_err());
+    // A factory without a lane plane cannot lane.
+    assert!(LaneRun::try_new(vec![Simulation::builder(params)
+        .inputs_random(7)
+        .algorithm(factories::reliable_ac(params))
+        .max_rounds(50)])
+    .is_err());
+    // Builders must agree on the shared configuration.
+    assert!(LaneRun::try_new(vec![mk(), mk().max_rounds(60)]).is_err());
+    let crashed = {
+        let mut crash = CrashSchedule::new(6);
+        crash.crash(NodeId::new(5), Round::new(3), CrashSurvivors::All);
+        mk().crashes(crash)
+    };
+    assert!(LaneRun::try_new(vec![mk(), crashed]).is_err());
+    // Batch shape: empty and oversized words decline.
+    assert!(LaneRun::try_new(Vec::new()).is_err());
+    assert!(LaneRun::try_new((0..65).map(|_| mk()).collect()).is_err());
+    // The dense lane slabs cap at MAX_LANE_N nodes.
+    let big = Params::fault_free(MAX_LANE_N + 1, 1e-2).unwrap();
+    assert!(LaneRun::try_new(vec![Simulation::builder(big)
+        .algorithm(factories::dac(big))
+        .max_rounds(5)])
+    .is_err());
+}
+
+/// `run_lanes` chunks trials into consecutive 64-lane words; results come
+/// back flattened in input order across chunk boundaries.
+#[test]
+fn run_lanes_chunks_preserve_input_order() {
+    let params = Params::fault_free(6, 1e-2).unwrap();
+    let trials: Vec<u64> = (0..70).collect();
+    let build = |&t: &u64| {
+        Simulation::builder(params)
+            .inputs_random(t ^ 0xFACE)
+            .adversary(AdversarySpec::Rotating { d: 3 }.build(6, 0, t))
+            .algorithm(factories::dac(params))
+            .max_rounds(200)
+    };
+    let got = TrialPool::with_threads(2).run_lanes(&trials, build);
+    assert_eq!(got.len(), trials.len());
+    let want: Vec<LaneOutcome> = trials
+        .iter()
+        .map(|t| scalar_lane_outcome(build(t)))
+        .collect();
+    assert_eq!(got, want, "chunked lane results must match scalar order");
+    assert!(
+        got.iter().all(|o| o.reason == StopReason::AllOutput),
+        "every rotating-adversary trial decides"
+    );
+}

@@ -23,7 +23,7 @@ use anondyn::faults::strategies;
 use anondyn::net::codec::Precision;
 use anondyn::prelude::*;
 use anondyn::sim::quantized::quantized_factory;
-use anondyn::sim::DeliveryOrder;
+use anondyn::sim::{DeliveryOrder, LinkMode};
 use anondyn::types::rng::SplitMix64;
 
 fn fuzz_seeds() -> u64 {
@@ -348,6 +348,108 @@ fn service_instances_match_standalone_runs() {
             "only {aborted} aborted instances over {seeds} seeds"
         );
     }
+}
+
+/// The watchdog reads realized dynaDegree through the engine's
+/// link-path-agnostic `RealizedRows` view, so a service on the sparse
+/// link plane must produce records — including `min_dyna_degree`, whose
+/// sparse reconstruction re-applies the delivery filter instead of
+/// reading materialized rows — identical to the dense reference, for
+/// both the ringless `T = 1` watchdog and sliding `T ≥ 2` windows. The
+/// churn mix includes a flaky (partial-delivery) down node, so the
+/// sparse filter's crash-survivor branch is exercised, not just the
+/// all-present fast case.
+#[test]
+fn sparse_service_watchdog_matches_dense_link_rows() {
+    let n = 64;
+    let params = Params::new(n, 2, 1e-2).unwrap();
+    let mut churn = ChurnPlan::new(n);
+    churn.crash(
+        NodeId::new(0),
+        Round::new(2),
+        DownKind::Flaky {
+            keep_probability: 0.5,
+            seed: 9,
+        },
+    );
+    churn.recover(NodeId::new(0), Round::new(11));
+    churn.crash(NodeId::new(1), Round::new(5), DownKind::Graceful);
+    churn.recover(NodeId::new(1), Round::new(40));
+    for t_window in [1usize, 2, 3] {
+        let build = |mode: LinkMode| {
+            ServiceRun::new(
+                Simulation::builder(params)
+                    .adversary(AdversarySpec::Rotating { d: n / 2 }.build(n, 2, 7))
+                    .algorithm(factories::dac(params))
+                    .algorithm_plane(PlaneMode::Always)
+                    .link_mode(mode)
+                    .max_rounds(30),
+                churn.clone(),
+                InputStream::random(3),
+            )
+            .dyna_window(t_window)
+        };
+        let mut dense = build(LinkMode::Dense);
+        let mut sparse = build(LinkMode::Sparse);
+        assert!(!dense.sim().uses_sparse_links());
+        assert!(sparse.sim().uses_sparse_links());
+        for k in 0..4 {
+            let rd = dense.run_instance();
+            let rs = sparse.run_instance();
+            assert_eq!(rd, rs, "window {t_window} instance {k}");
+            // The watchdog genuinely measured something: every instance
+            // here runs well past the window length.
+            assert!(
+                rd.min_dyna_degree.is_some(),
+                "window {t_window} instance {k} closed no window"
+            );
+        }
+        assert_eq!(dense.total_rounds(), sparse.total_rounds());
+    }
+}
+
+/// Scale regression for the routed watchdog: at n = 16 384 the service
+/// resolves to the sparse link plane (the old watchdog asserted dense
+/// links away), runs instances, and reports the exact rotating-adversary
+/// dynaDegree without ever materializing a dense realized row.
+#[test]
+fn sparse_service_scales_to_16k() {
+    let n = 16_384;
+    let params = Params::fault_free(n, 0.25).unwrap();
+    // d far below the sufficiency bound: nobody decides, so the instance
+    // hits the round cap after a handful of cheap O(n·d) rounds.
+    let d = 8;
+    let mut svc = ServiceRun::new(
+        Simulation::builder(params)
+            .adversary(AdversarySpec::Rotating { d }.build(n, 0, 7))
+            .algorithm(factories::dac(params))
+            .max_rounds(6),
+        ChurnPlan::new(n),
+        InputStream::random(5),
+    );
+    assert!(
+        svc.sim().uses_sparse_links(),
+        "16k rotating service must resolve to the sparse link plane"
+    );
+    for k in 0..2 {
+        let rec = svc.run_instance();
+        assert_eq!(rec.instance, k);
+        assert_eq!(
+            rec.outcome,
+            InstanceOutcome::Aborted {
+                reason: AbortReason::RoundCap
+            }
+        );
+        assert_eq!(rec.rounds, 6);
+        assert_eq!(rec.participants, n);
+        assert_eq!(rec.decided, 0);
+        assert!(rec.validity, "nobody decided: validity holds vacuously");
+        assert!(!rec.agreement);
+        // Crash-free rotating adversary: every receiver hears exactly d
+        // senders every round, reconstructed through the sparse filter.
+        assert_eq!(rec.min_dyna_degree, Some(d));
+    }
+    assert_eq!(svc.total_rounds(), 12);
 }
 
 /// The service's global clock is the churn-slicing axis: an instance's
