@@ -43,6 +43,7 @@ impl AdaptiveClosest {
 }
 
 impl Adversary for AdaptiveClosest {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         for v in NodeId::all(n) {

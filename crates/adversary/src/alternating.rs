@@ -57,6 +57,7 @@ impl Alternating {
 }
 
 impl Adversary for Alternating {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let t = view.round.as_u64() as usize;
         if t % self.period == self.period - 1 {

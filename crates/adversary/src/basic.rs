@@ -15,6 +15,7 @@ use crate::{Adversary, AdversaryView};
 pub struct Complete;
 
 impl Adversary for Complete {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         // One word-parallel row copy per receiver instead of one asserted
         // insert per (deliverer, receiver) pair — this is the default
@@ -58,6 +59,7 @@ impl Adversary for Complete {
 pub struct Silence;
 
 impl Adversary for Silence {
+    // audit: no-alloc
     fn edges_into(&mut self, _view: &AdversaryView<'_>, _out: &mut EdgeSet) {}
 
     fn sparse_capable(&self) -> bool {

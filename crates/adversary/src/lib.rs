@@ -35,6 +35,7 @@
 //! (`tests/adversary_equivalence.rs` fuzzes the equivalence across seeds
 //! × crash schedules; `tests/alloc_free.rs` pins the allocation count).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

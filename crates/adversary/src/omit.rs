@@ -76,6 +76,7 @@ impl OmitOne {
 }
 
 impl Adversary for OmitOne {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;
@@ -100,6 +101,7 @@ impl Adversary for OmitOne {
                     } else {
                         k
                     };
+                    // audit: allow(no-panic) — k < m ≤ deliverers.len() by the modulo above, so nth(k) always exists
                     view.deliverers.nth(k).expect("index within deliverers")
                 }
                 _ => match value_best {
@@ -119,6 +121,7 @@ impl Adversary for OmitOne {
         true
     }
 
+    // audit: no-alloc
     fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
         // Natural row kind: the full id range split around the omitted
         // sender — at most two runs per receiver, whatever n is. The
@@ -148,6 +151,7 @@ impl Adversary for OmitOne {
                     } else {
                         k
                     };
+                    // audit: allow(no-panic) — k < m ≤ deliverers.len() by the modulo above, so nth(k) always exists
                     view.deliverers.nth(k).expect("index within deliverers")
                 }
                 _ => match value_best {

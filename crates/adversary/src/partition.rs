@@ -42,6 +42,7 @@ impl Partition {
 }
 
 impl Adversary for Partition {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         // Each group is a contiguous id range, so a receiver's row is one
@@ -143,6 +144,7 @@ impl Theorem10Split {
 }
 
 impl Adversary for Theorem10Split {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let a_end = self.group_size;

@@ -41,6 +41,7 @@ impl RandomLinks {
 }
 
 impl Adversary for RandomLinks {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         // One Bernoulli draw per (receiver, delivering sender ≠ receiver)

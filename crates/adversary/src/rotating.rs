@@ -39,6 +39,7 @@ impl Rotating {
 }
 
 impl Adversary for Rotating {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;

@@ -77,14 +77,22 @@ impl Spread {
         let hi = (k + 1) * self.d / self.t_window;
         lo..hi
     }
-}
 
-impl Adversary for Spread {
-    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
-        let n = view.params.n();
+    /// Lazily (re)sizes the per-receiver heard-sets to the system's `n` —
+    /// the one allocation of the adversary's lifetime, kept out of the
+    /// no-alloc fill paths.
+    fn ensure_heard(&mut self, n: usize) {
         if self.heard.len() != n {
             self.heard = (0..n).map(|_| NodeSet::new(n)).collect();
         }
+    }
+}
+
+impl Adversary for Spread {
+    // audit: no-alloc
+    fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
+        let n = view.params.n();
+        self.ensure_heard(n);
         let k = (view.round.as_u64() as usize) % self.t_window;
         if k == 0 {
             // A new window: every receiver is owed d fresh senders again.
@@ -108,6 +116,7 @@ impl Adversary for Spread {
         true
     }
 
+    // audit: no-alloc
     fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
         // Natural row kind: CSR — each round delivers a small installment
         // of explicit fresh senders per receiver, which no id range can
@@ -116,9 +125,7 @@ impl Adversary for Spread {
         // `remaining` bits kept), including the heard-set advance, so both
         // fills leave the adversary in the same state.
         let n = view.params.n();
-        if self.heard.len() != n {
-            self.heard = (0..n).map(|_| NodeSet::new(n)).collect();
-        }
+        self.ensure_heard(n);
         let k = (view.round.as_u64() as usize) % self.t_window;
         if k == 0 {
             for heard in &mut self.heard {

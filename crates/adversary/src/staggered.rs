@@ -53,6 +53,7 @@ impl Staggered {
 }
 
 impl Adversary for Staggered {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let t = view.round.as_u64() as usize;

@@ -35,6 +35,7 @@ impl Eventually {
 }
 
 impl Adversary for Eventually {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         if view.round < self.stabilize_at {
             // Still chaotic: deliver nothing (`out` arrives cleared).
@@ -111,6 +112,7 @@ impl Isolate {
 }
 
 impl Adversary for Isolate {
+    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
         let cut = self.is_isolated(view.round);

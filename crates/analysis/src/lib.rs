@@ -7,6 +7,7 @@
 //! * [`series`] — helpers for convergence-series post-processing
 //!   (geometric means of contraction ratios, theoretical references).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

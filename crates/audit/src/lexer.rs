@@ -1,0 +1,489 @@
+//! A small Rust lexer — just enough syntax to lint with.
+//!
+//! The lint passes in this crate only need to know, for every byte of a
+//! source file, whether it is **code**, a **comment**, or **literal
+//! text**, and to walk the code as a token stream (identifiers,
+//! punctuation, literals) with line numbers. A full parser would buy
+//! nothing: every rule the audit enforces is a statement about token
+//! sequences (`Vec :: new`, `unsafe` not followed by `fn`), attribute
+//! spans (`#[cfg(test)]` item extents tracked by bracket/brace balance),
+//! or comment adjacency (`// SAFETY:` directly above an `unsafe` block).
+//!
+//! What the lexer gets right, because the lints would otherwise lie:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments, kept as a
+//!   separate stream with line spans (annotations and `SAFETY:` notes
+//!   live here);
+//! * string, raw-string (`r#"…"#`), byte-string, and C-string literals —
+//!   a `"HashMap"` inside a fixture string must not trip the determinism
+//!   lint;
+//! * char literals vs lifetimes (`'a'` vs `'a`), including escapes;
+//! * raw identifiers (`r#unsafe` is *not* the `unsafe` keyword).
+//!
+//! Everything else (numeric literal grammar, operator gluing) is
+//! tokenized loosely; the lints never look at those tokens.
+
+/// What a code token is. Identifiers carry their text via the source
+/// span; punctuation carries its byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `clone`, …).
+    Ident,
+    /// Raw identifier (`r#match`) — never matches a keyword rule.
+    RawIdent,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Any literal: number, string, raw string, char, byte string.
+    Literal,
+    /// A single punctuation byte (`{`, `!`, `:`, …).
+    Punct(u8),
+}
+
+/// One code token: kind, 1-based line, and byte span into the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// Whether this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// One comment (line or block) with its line span and inner text span
+/// (delimiters stripped: the text after `//`, or between `/*` and `*/`).
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    pub first_line: u32,
+    pub last_line: u32,
+    /// Byte span of the comment's inner text.
+    pub start: usize,
+    pub end: usize,
+    /// Whether this is a `//`-style line comment (block otherwise).
+    pub line_style: bool,
+}
+
+impl Comment {
+    /// The comment's inner text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A lexed file: the code token stream and the comment stream, both in
+/// source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals and comments are
+/// closed at end of file (the compiler rejects them anyway; the audit
+/// still wants the tokens before the error).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.src.len() {
+            let b = self.src[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokKind::Punct(b), self.i, self.i + 1);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.out.toks.push(Tok {
+            kind,
+            line: self.line,
+            start,
+            end,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let text_start = self.i + 2;
+        let mut j = text_start;
+        while j < self.src.len() && self.src[j] != b'\n' {
+            j += 1;
+        }
+        self.out.comments.push(Comment {
+            first_line: self.line,
+            last_line: self.line,
+            start: text_start,
+            end: j,
+            line_style: true,
+        });
+        self.i = j; // the newline advances the line counter in `run`
+    }
+
+    fn block_comment(&mut self) {
+        let first_line = self.line;
+        let text_start = self.i + 2;
+        let mut j = text_start;
+        let mut depth = 1usize;
+        while j < self.src.len() && depth > 0 {
+            match self.src[j] {
+                b'\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                b'/' if self.src.get(j + 1) == Some(&b'*') => {
+                    depth += 1;
+                    j += 2;
+                }
+                b'*' if self.src.get(j + 1) == Some(&b'/') => {
+                    depth -= 1;
+                    j += 2;
+                }
+                _ => j += 1,
+            }
+        }
+        let text_end = if depth == 0 { j - 2 } else { j };
+        self.out.comments.push(Comment {
+            first_line,
+            last_line: self.line,
+            start: text_start,
+            end: text_end,
+            line_style: false,
+        });
+        self.i = j;
+    }
+
+    /// A `"…"` string (with escapes) starting at `self.i`; the token span
+    /// begins at `tok_start` so prefixed strings (`b"…"`) keep their
+    /// prefix in the span.
+    fn string(&mut self, tok_start: usize) {
+        let start_line = self.line;
+        let mut j = self.i + 1;
+        while j < self.src.len() {
+            match self.src[j] {
+                b'\\' => j += 2,
+                b'\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Literal,
+            line: start_line,
+            start: tok_start,
+            end: j.min(self.src.len()),
+        });
+        self.i = j;
+    }
+
+    /// A raw string `r##"…"##` whose `"` sits at `self.i`, closed by a
+    /// quote followed by `hashes` `#` bytes.
+    fn raw_string(&mut self, tok_start: usize, hashes: usize) {
+        let start_line = self.line;
+        let mut j = self.i + 1;
+        while j < self.src.len() {
+            match self.src[j] {
+                b'\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                b'"' if self.src[j + 1..].len() >= hashes
+                    && self.src[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#') =>
+                {
+                    j += 1 + hashes;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Literal,
+            line: start_line,
+            start: tok_start,
+            end: j.min(self.src.len()),
+        });
+        self.i = j;
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            let mut j = self.i + 2;
+            // Skip the escaped char, then scan to the closing quote.
+            while j < self.src.len() && self.src[j] != b'\'' {
+                j += if self.src[j] == b'\\' { 2 } else { 1 };
+            }
+            self.push(TokKind::Literal, start, (j + 1).min(self.src.len()));
+            self.i = (j + 1).min(self.src.len());
+            return;
+        }
+        // `'X'` for any single non-identifier byte: `'"'`, `'{'`, `' '` —
+        // without this, the quote in `'"'` would open a phantom string and
+        // desync everything after it.
+        if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') {
+            self.push(TokKind::Literal, start, self.i + 3);
+            self.i += 3;
+            return;
+        }
+        // `'x…`: an identifier run follows. Closed by `'` → char literal
+        // (multi-byte chars like `'é'` land here too); otherwise a lifetime.
+        let mut j = self.i + 1;
+        while j < self.src.len() && is_ident_continue(self.src[j]) {
+            j += 1;
+        }
+        if j > self.i + 1 && self.src.get(j) == Some(&b'\'') {
+            self.push(TokKind::Literal, start, j + 1);
+            self.i = j + 1;
+        } else if j > self.i + 1 {
+            self.push(TokKind::Lifetime, start, j);
+            self.i = j;
+        } else {
+            // A bare quote (e.g. inside a macro) — punct, move on.
+            self.push(TokKind::Punct(b'\''), start, start + 1);
+            self.i += 1;
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut j = self.i;
+        while j < self.src.len() {
+            let b = self.src[j];
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.src.get(j + 1).is_some_and(u8::is_ascii_digit))
+            {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, start, j);
+        self.i = j;
+    }
+
+    /// An identifier — or one of the literal prefixes `r"`, `b"`, `br"`,
+    /// `c"`, `cr"`, `b'`, or a raw identifier `r#ident`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let mut j = self.i;
+        while j < self.src.len() && is_ident_continue(self.src[j]) {
+            j += 1;
+        }
+        let word = &self.src[start..j];
+        let next = self.src.get(j).copied();
+        let is_raw_prefix = matches!(word, b"r" | b"br" | b"cr");
+        let is_str_prefix = matches!(word, b"b" | b"c");
+        match next {
+            Some(b'"') if is_raw_prefix => {
+                self.i = j;
+                self.raw_string(start, 0);
+            }
+            Some(b'"') if is_str_prefix => {
+                self.i = j;
+                self.string(start);
+            }
+            Some(b'\'') if word == b"b" => {
+                self.i = j;
+                self.char_or_lifetime();
+                // Re-tag the span to include the `b` prefix.
+                if let Some(last) = self.out.toks.last_mut() {
+                    last.start = start;
+                }
+            }
+            Some(b'#') if is_raw_prefix || word == b"r" => {
+                // Count hashes; a quote then makes it a raw string, an
+                // identifier char a raw identifier (only `r#ident`).
+                let mut h = j;
+                while self.src.get(h) == Some(&b'#') {
+                    h += 1;
+                }
+                let hashes = h - j;
+                if self.src.get(h) == Some(&b'"') {
+                    self.i = h;
+                    self.raw_string(start, hashes);
+                } else if hashes == 1 && self.src.get(h).copied().is_some_and(is_ident_start) {
+                    let mut k = h;
+                    while k < self.src.len() && is_ident_continue(self.src[k]) {
+                        k += 1;
+                    }
+                    self.push(TokKind::RawIdent, start, k);
+                    self.i = k;
+                } else {
+                    self.push(TokKind::Ident, start, j);
+                    self.i = j;
+                }
+            }
+            _ => {
+                self.push(TokKind::Ident, start, j);
+                self.i = j;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        let lexed = lex(src);
+        lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in a /* nested */ block */
+            let s = "HashMap";
+            let r = r#"HashSet "quoted" inside"#;
+            let b = b"RandomState";
+            let real = unsafe_marker;
+        "##;
+        let found = idents(src);
+        assert!(found.contains(&"real"));
+        assert!(found.contains(&"unsafe_marker"));
+        for banned in ["HashMap", "HashSet", "RandomState"] {
+            assert!(!found.contains(&banned), "{banned} leaked out of a literal");
+        }
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; let s = 'static_check; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static_check"]);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text(src).starts_with('\''))
+            .count();
+        assert_eq!(chars, 2, "'x' and the escaped quote");
+    }
+
+    #[test]
+    fn quote_and_brace_char_literals_do_not_desync() {
+        // A `'"'` char literal must not open a phantom string — everything
+        // after it would silently flip between code and literal.
+        let src = "match b { b'\"' => quoted(), '{' => brace(), _ => other() } let tail = 1;";
+        let found = idents(src);
+        assert!(found.contains(&"quoted"));
+        assert!(found.contains(&"brace"));
+        assert!(found.contains(&"tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_match_keywords() {
+        let src = "let r#unsafe = 1; let u = unsafe_fn();";
+        let lexed = lex(src);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::RawIdent && t.text(src) == "r#unsafe"));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident(src, "unsafe")));
+    }
+
+    #[test]
+    fn comment_spans_and_lines() {
+        let src = "let a = 1; // trailing\n/* block\nspanning */ let b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text(src), " trailing");
+        assert!(lexed.comments[0].line_style);
+        assert_eq!(lexed.comments[0].first_line, 1);
+        assert_eq!(lexed.comments[1].first_line, 2);
+        assert_eq!(lexed.comments[1].last_line, 3);
+        let b = lexed
+            .toks
+            .iter()
+            .find(|t| t.is_ident(src, "b"))
+            .expect("b token");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn multiline_raw_strings_track_lines() {
+        let src = "let x = r#\"line one\nline two\"#;\nlet after = 3;\n";
+        let lexed = lex(src);
+        let after = lexed
+            .toks
+            .iter()
+            .find(|t| t.is_ident(src, "after"))
+            .expect("after token");
+        assert_eq!(after.line, 3);
+    }
+}

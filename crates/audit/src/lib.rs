@@ -1,0 +1,40 @@
+//! `adn-audit` — a dependency-free static-analysis pass for this
+//! workspace's determinism, allocation, and unsafety invariants.
+//!
+//! The reproduction's correctness story rests on three *dynamic*
+//! guarantees: byte-identical `run_all` output, zero steady-state
+//! allocations (pinned by the counting allocator in
+//! `tests/alloc_free.rs`), and `unsafe` confined to the `ShardPool`.
+//! Dynamic checks only catch what a test run executes; this crate
+//! enforces the same contracts *statically*, over every source file,
+//! with four lints:
+//!
+//! | lint          | scope                              | bans |
+//! |---------------|------------------------------------|------|
+//! | `determinism` | `crates/{types,graph,adversary,faults,net,core,sim,analysis}/src/` | `HashMap`/`HashSet`, `RandomState`, `Instant::now`, `SystemTime`, thread-identity reads (exempt under `#[cfg(test)]`) |
+//! | `unsafety`    | everywhere                         | `unsafe` outside the allowlist; `unsafe` blocks/impls without an adjacent `// SAFETY:` note; crate roots missing `#![forbid(unsafe_code)]` (or `#![deny(unsafe_op_in_unsafe_fn)]` for `adn-sim`) |
+//! | `no-alloc`    | `// audit: no-alloc` regions       | `Vec::new`, `vec![`, `to_vec`, `collect`, `clone`, `Box::new`, `format!`, `String::from` |
+//! | `no-panic`    | `// audit: no-alloc` regions       | `unwrap`, `expect`, `panic!` (slice indexing stays allowed — it is the plane idiom) |
+//!
+//! Annotation grammar (in comments, so the source stays plain Rust):
+//!
+//! * `// audit: no-alloc` — marks the next braced block as a hot-path
+//!   region subject to the `no-alloc` and `no-panic` lints.
+//! * `// audit: allow(<lint>) — <justification>` — suppresses `<lint>`
+//!   on its own line and the next code line. The justification is
+//!   mandatory; an allow without one (or naming an unknown lint) is
+//!   itself reported under the `annotation` lint and suppresses nothing.
+//!
+//! There is no full parser here — every rule is a statement about token
+//! sequences, attribute spans, or comment adjacency, so a correct lexer
+//! (comments, strings, raw strings, char-vs-lifetime) is all the syntax
+//! the engine needs. That also makes the tool self-auditing: it walks
+//! its own sources, where banned names appear only inside string
+//! literals and comments, which never produce code tokens.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+mod lints;
+
+pub use lints::{audit_source, audit_workspace, Diagnostic, LINTS};

@@ -1,0 +1,582 @@
+//! The lint engine: four invariant passes over lexed source.
+//!
+//! Rules are keyed by repo-relative path (forward slashes):
+//!
+//! * **determinism** — applies to library code of the eight deterministic
+//!   crates (`crates/{types,graph,adversary,faults,net,core,sim,analysis}/src/`).
+//!   Bans keyed-hash collections, wall-clock reads, and thread-identity
+//!   reads; `#[cfg(test)]` items are exempt, as are `adn-bench` and the
+//!   root `tests/` harnesses (property oracles legitimately diff bitsets
+//!   against `std` hash sets there).
+//! * **unsafety** — applies everywhere. `unsafe` is only legal in the
+//!   allowlist, each `unsafe` block/impl needs an adjacent `// SAFETY:`
+//!   note, and every crate root must carry its unsafety attribute.
+//! * **no-alloc** / **no-panic** — apply inside `// audit: no-alloc`
+//!   regions only. The annotation binds to the next braced block.
+//!
+//! Suppressions: `// audit: allow(<lint>) — <justification>` silences
+//! `<lint>` on the comment's own line and the next code line. A missing
+//! justification or unknown lint is itself a finding (lint name
+//! `annotation`) and suppresses nothing.
+
+use crate::lexer::{self, Comment, Lexed, Tok, TokKind};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The four suppressible lints. (`annotation` findings — malformed audit
+/// comments — are deliberately not suppressible.)
+pub const LINTS: [&str; 4] = ["determinism", "unsafety", "no-alloc", "no-panic"];
+
+/// Library source of the deterministic stack: the determinism lint's scope.
+const DETERMINISM_SCOPES: [&str; 8] = [
+    "crates/types/src/",
+    "crates/graph/src/",
+    "crates/adversary/src/",
+    "crates/faults/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/analysis/src/",
+];
+
+/// The only files allowed to contain `unsafe` at all.
+const UNSAFE_ALLOWLIST: [&str; 2] = ["crates/sim/src/shardpool.rs", "tests/alloc_free.rs"];
+
+/// Crate roots that must declare `#![forbid(unsafe_code)]`.
+const FORBID_UNSAFE_ROOTS: [&str; 10] = [
+    "src/lib.rs",
+    "crates/types/src/lib.rs",
+    "crates/graph/src/lib.rs",
+    "crates/adversary/src/lib.rs",
+    "crates/faults/src/lib.rs",
+    "crates/net/src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/analysis/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/audit/src/lib.rs",
+];
+
+/// The one crate that hosts `unsafe` (the `ShardPool`) must instead deny
+/// implicit unsafe operations inside `unsafe fn` bodies.
+const DENY_UNSAFE_OP_ROOT: &str = "crates/sim/src/lib.rs";
+
+/// One finding, rendered as `file:line: lint-name: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+fn diag(file: &str, line: u32, lint: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    }
+}
+
+/// Audits one file's source. `rel` is the repo-relative path with `/`
+/// separators; it selects which rules apply.
+pub fn audit_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let ann = collect_annotations(rel, src, &lexed);
+    let mut diags = ann.errors.clone();
+    let test_spans = cfg_test_spans(src, &lexed.toks);
+
+    if DETERMINISM_SCOPES.iter().any(|p| rel.starts_with(p)) {
+        determinism_pass(rel, src, &lexed.toks, &test_spans, &mut diags);
+    }
+    unsafety_pass(rel, src, &lexed, &mut diags);
+    crate_root_pass(rel, src, &lexed.toks, &mut diags);
+    for &region in &ann.no_alloc_regions {
+        region_pass(rel, src, &lexed.toks, region, &mut diags);
+    }
+
+    diags.retain(|d| !ann.suppressed(d.lint, d.line));
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
+/// Walks every `.rs` file under `root` (skipping `target/` and `.git/`)
+/// in sorted path order and audits each one.
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        diags.extend(audit_source(rel, &src));
+    }
+    Ok(diags)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Annotations: `// audit: no-alloc` regions and `// audit: allow(...)`.
+
+struct Annotations {
+    /// Token index ranges `(open_brace, close_brace)` of no-alloc regions.
+    no_alloc_regions: Vec<(usize, usize)>,
+    /// `(lint, line)` pairs a well-formed allow comment suppresses.
+    allows: Vec<(String, u32)>,
+    /// Malformed audit comments — always reported, never suppressible.
+    errors: Vec<Diagnostic>,
+}
+
+impl Annotations {
+    fn suppressed(&self, lint: &str, line: u32) -> bool {
+        self.allows.iter().any(|(l, ln)| l == lint && *ln == line)
+    }
+}
+
+fn collect_annotations(rel: &str, src: &str, lexed: &Lexed) -> Annotations {
+    let mut out = Annotations {
+        no_alloc_regions: Vec::new(),
+        allows: Vec::new(),
+        errors: Vec::new(),
+    };
+    for c in &lexed.comments {
+        let text = c.text(src).trim();
+        let Some(rest) = text.strip_prefix("audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "no-alloc" {
+            match bind_region(&lexed.toks, c) {
+                Ok(region) => out.no_alloc_regions.push(region),
+                Err(msg) => out
+                    .errors
+                    .push(diag(rel, c.first_line, "annotation", msg.to_string())),
+            }
+        } else if let Some(arg) = rest.strip_prefix("allow(") {
+            let Some(close) = arg.find(')') else {
+                out.errors.push(diag(
+                    rel,
+                    c.first_line,
+                    "annotation",
+                    "unclosed `audit: allow(` directive".to_string(),
+                ));
+                continue;
+            };
+            let lint = arg[..close].trim();
+            let justification = arg[close + 1..].trim_start_matches(|ch: char| {
+                ch.is_whitespace() || matches!(ch, '-' | '—' | '–' | ':')
+            });
+            if !LINTS.contains(&lint) {
+                out.errors.push(diag(
+                    rel,
+                    c.first_line,
+                    "annotation",
+                    format!(
+                        "`audit: allow({lint})` names an unknown lint (known: {})",
+                        LINTS.join(", ")
+                    ),
+                ));
+            } else if justification.trim().is_empty() {
+                out.errors.push(diag(
+                    rel,
+                    c.first_line,
+                    "annotation",
+                    format!("`audit: allow({lint})` requires a trailing justification (`— why`)"),
+                ));
+            } else {
+                out.allows.push((lint.to_string(), c.first_line));
+                if let Some(next) = lexed.toks.iter().find(|t| t.line > c.last_line) {
+                    out.allows.push((lint.to_string(), next.line));
+                }
+            }
+        } else {
+            out.errors.push(diag(
+                rel,
+                c.first_line,
+                "annotation",
+                format!("unrecognized audit directive `{rest}` (expected `no-alloc` or `allow(<lint>) — why`)"),
+            ));
+        }
+    }
+    out
+}
+
+/// Binds a `no-alloc` annotation to the next braced block: the first `{`
+/// after the comment, matched to its closing `}`. A `;` outside any
+/// parens/brackets before that `{` means the annotation precedes a
+/// non-block item — an error.
+fn bind_region(toks: &[Tok], c: &Comment) -> Result<(usize, usize), &'static str> {
+    let start = toks
+        .iter()
+        .position(|t| t.line > c.last_line || (t.line == c.last_line && t.start >= c.end))
+        .ok_or("`audit: no-alloc` is not followed by any code")?;
+    let mut wrap = 0i32;
+    let mut open = None;
+    for (i, t) in toks.iter().enumerate().skip(start) {
+        match t.kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => wrap += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => wrap -= 1,
+            TokKind::Punct(b'{') => {
+                open = Some(i);
+                break;
+            }
+            TokKind::Punct(b';') if wrap == 0 => {
+                return Err("`audit: no-alloc` must precede a braced block, found `;` first");
+            }
+            _ => {}
+        }
+    }
+    let open = open.ok_or("`audit: no-alloc` is not followed by a braced block")?;
+    let mut braces = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct(b'{') => braces += 1,
+            TokKind::Punct(b'}') => {
+                braces -= 1;
+                if braces == 0 {
+                    return Ok((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced file (the compiler will reject it); audit to EOF anyway.
+    Ok((open, toks.len() - 1))
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)]` exemption spans.
+
+/// Line spans covered by `#[cfg(test)]` items. Heuristic: an outer
+/// attribute whose tokens include the idents `cfg` and `test` but not
+/// `not` (so `#[cfg(not(test))]` is *not* exempt), extended over the
+/// following item (to the matching `}` of its first brace, or to a `;`
+/// outside all delimiters).
+fn cfg_test_spans(src: &str, toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct(b'#') && toks.get(i + 1).is_some_and(|t| t.is_punct(b'[')) {
+            let close = match_square(toks, i + 1);
+            let (mut has_cfg, mut has_test, mut has_not) = (false, false, false);
+            for t in &toks[i + 2..close.min(toks.len())] {
+                if t.kind == TokKind::Ident {
+                    match t.text(src) {
+                        "cfg" => has_cfg = true,
+                        "test" => has_test = true,
+                        "not" => has_not = true,
+                        _ => {}
+                    }
+                }
+            }
+            if has_cfg && has_test && !has_not {
+                let end_line = item_end_line(toks, close + 1);
+                spans.push((toks[i].line, end_line));
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Index of the `]` matching the `[` at `open_idx` (or `toks.len()` if
+/// the file ends first).
+fn match_square(toks: &[Tok], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        match t.kind {
+            TokKind::Punct(b'[') => depth += 1,
+            TokKind::Punct(b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Last line of the item starting at token `i` (after its attributes).
+fn item_end_line(toks: &[Tok], mut i: usize) -> u32 {
+    while i < toks.len()
+        && toks[i].is_punct(b'#')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(b'['))
+    {
+        i = match_square(toks, i + 1) + 1;
+    }
+    let mut wrap = 0i32;
+    let mut braces = 0i32;
+    let mut entered = false;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => wrap += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => wrap -= 1,
+            TokKind::Punct(b'{') => {
+                braces += 1;
+                entered = true;
+            }
+            TokKind::Punct(b'}') => {
+                braces -= 1;
+                if entered && braces == 0 {
+                    return toks[i].line;
+                }
+            }
+            TokKind::Punct(b';') if !entered && wrap == 0 => return toks[i].line,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.last().map_or(1, |t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: determinism.
+
+fn determinism_pass(
+    rel: &str,
+    src: &str,
+    toks: &[Tok],
+    test_spans: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let exempt = |line: u32| test_spans.iter().any(|&(a, b)| a <= line && line <= b);
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || exempt(t.line) {
+            continue;
+        }
+        let word = t.text(src);
+        let msg = match word {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{word}` iteration order is nondeterministic; use BTreeMap/BTreeSet or a dense index"
+            )),
+            "RandomState" => Some(
+                "`RandomState` seeds from the OS; deterministic code must use the in-repo SplitMix64"
+                    .to_string(),
+            ),
+            "SystemTime" => Some(
+                "wall-clock reads are only allowed in adn-bench and #[cfg(test)] code".to_string(),
+            ),
+            "ThreadId" => Some("thread identity is nondeterministic across runs".to_string()),
+            "Instant" if path_seg(toks, src, i, "now") => Some(
+                "`Instant::now` is wall-clock; only adn-bench and #[cfg(test)] code may read it"
+                    .to_string(),
+            ),
+            "thread" if path_seg(toks, src, i, "current") => {
+                Some("`thread::current` (thread identity) is nondeterministic".to_string())
+            }
+            _ => None,
+        };
+        if let Some(message) = msg {
+            diags.push(diag(rel, t.line, "determinism", message));
+        }
+    }
+}
+
+/// Whether token `i` is followed by `:: <seg>`.
+fn path_seg(toks: &[Tok], src: &str, i: usize, seg: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(src, seg))
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: unsafety.
+
+fn unsafety_pass(rel: &str, src: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let allowed = UNSAFE_ALLOWLIST.contains(&rel);
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if !t.is_ident(src, "unsafe") {
+            continue;
+        }
+        if !allowed {
+            diags.push(diag(
+                rel,
+                t.line,
+                "unsafety",
+                format!(
+                    "`unsafe` outside the audit allowlist ({})",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            ));
+            continue;
+        }
+        // `unsafe fn` declarations are exempt: with `unsafe_op_in_unsafe_fn`
+        // denied, the operations inside still need their own unsafe blocks,
+        // and those blocks carry the SAFETY notes.
+        if lexed.toks.get(i + 1).is_some_and(|n| n.is_ident(src, "fn")) {
+            continue;
+        }
+        if !has_safety_comment(src, &lexed.comments, t) {
+            diags.push(diag(
+                rel,
+                t.line,
+                "unsafety",
+                "`unsafe` block/impl must be immediately preceded by a `// SAFETY:` comment"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Whether an `unsafe` token at `tok` has a `SAFETY:` comment adjacent to
+/// it: either on the same line before it, or in the contiguous comment
+/// block ending on the previous line.
+fn has_safety_comment(src: &str, comments: &[Comment], tok: &Tok) -> bool {
+    if comments
+        .iter()
+        .any(|c| c.last_line == tok.line && c.end <= tok.start && c.text(src).contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut line = tok.line.saturating_sub(1);
+    while line > 0 {
+        let Some(c) = comments.iter().find(|c| c.last_line == line) else {
+            return false;
+        };
+        if c.text(src).contains("SAFETY:") {
+            return true;
+        }
+        if c.first_line <= 1 {
+            return false;
+        }
+        line = c.first_line - 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: crate-root unsafety attributes.
+
+fn crate_root_pass(rel: &str, src: &str, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
+    let (level, name, display) = if rel == DENY_UNSAFE_OP_ROOT {
+        (
+            "deny",
+            "unsafe_op_in_unsafe_fn",
+            "#![deny(unsafe_op_in_unsafe_fn)]",
+        )
+    } else if FORBID_UNSAFE_ROOTS.contains(&rel) {
+        ("forbid", "unsafe_code", "#![forbid(unsafe_code)]")
+    } else {
+        return;
+    };
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_punct(b'#') && toks[i + 1].is_punct(b'!') && toks[i + 2].is_punct(b'[') {
+            let close = match_square(toks, i + 2);
+            let inner = &toks[i + 3..close.min(toks.len())];
+            if inner.iter().any(|t| t.is_ident(src, level))
+                && inner.iter().any(|t| t.is_ident(src, name))
+            {
+                return;
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    diags.push(diag(
+        rel,
+        1,
+        "unsafety",
+        format!("crate root must declare `{display}`"),
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Passes 4+5: no-alloc / no-panic inside annotated regions.
+
+fn region_pass(
+    rel: &str,
+    src: &str,
+    toks: &[Tok],
+    (open, close): (usize, usize),
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in open..=close.min(toks.len() - 1) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let word = t.text(src);
+        let bang = toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'));
+        match word {
+            "collect" | "to_vec" | "clone" => diags.push(diag(
+                rel,
+                t.line,
+                "no-alloc",
+                format!("`{word}` allocates inside a `// audit: no-alloc` region"),
+            )),
+            "vec" | "format" if bang => diags.push(diag(
+                rel,
+                t.line,
+                "no-alloc",
+                format!("`{word}!` allocates inside a `// audit: no-alloc` region"),
+            )),
+            "Vec" | "Box" if path_seg(toks, src, i, "new") => diags.push(diag(
+                rel,
+                t.line,
+                "no-alloc",
+                format!("`{word}::new` allocates inside a `// audit: no-alloc` region"),
+            )),
+            "String" if path_seg(toks, src, i, "from") => diags.push(diag(
+                rel,
+                t.line,
+                "no-alloc",
+                "`String::from` allocates inside a `// audit: no-alloc` region".to_string(),
+            )),
+            "unwrap" | "expect" => diags.push(diag(
+                rel,
+                t.line,
+                "no-panic",
+                format!(
+                    "`{word}` may panic inside a `// audit: no-alloc` region; handle the case or `audit: allow(no-panic)` it with a justification"
+                ),
+            )),
+            "panic" if bang => diags.push(diag(
+                rel,
+                t.line,
+                "no-panic",
+                "`panic!` inside a `// audit: no-alloc` region".to_string(),
+            )),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run --release -p adn-audit -- --workspace
+//! ```
+//!
+//! Prints one `file:line: lint-name: message` diagnostic per finding and
+//! exits 1 if there are any (2 on usage or I/O errors). The workspace
+//! root defaults to this crate's grandparent directory, resolved at
+//! compile time, so the binary works from any current directory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: adn-audit --workspace [--root <dir>]");
+    eprintln!("  --workspace   audit every .rs file under the workspace root");
+    eprintln!("  --root <dir>  override the workspace root (default: the repo this binary was built from)");
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("adn-audit: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("adn-audit: unknown argument `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        usage();
+        return ExitCode::from(2);
+    }
+    match adn_audit::audit_workspace(&root) {
+        Err(err) => {
+            eprintln!("adn-audit: {err}");
+            ExitCode::from(2)
+        }
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("adn-audit: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("adn-audit: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+    }
+}

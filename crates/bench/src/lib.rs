@@ -8,6 +8,7 @@
 //! merges per-trial results in input order, so the parallel reports stay
 //! byte-identical to the historical serial ones.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cli;

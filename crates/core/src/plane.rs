@@ -106,6 +106,7 @@ pub trait AlgorithmPlane: fmt::Debug {
     /// identical to calling [`AlgorithmPlane::receive`] once per entry;
     /// the default does exactly that, while the columnar planes override
     /// it to split their columns once per receiver instead of per link.
+    // audit: no-alloc
     fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
         for &(port, msg) in batch {
             self.receive(receiver, port, std::slice::from_ref(&msg));
@@ -430,6 +431,7 @@ impl AlgorithmPlane for DacPlane {
         &self.output
     }
 
+    // audit: no-alloc
     fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]) {
         let mut cols = self.cols();
         for (wi, mut word) in receivers.iter_words() {
@@ -442,6 +444,7 @@ impl AlgorithmPlane for DacPlane {
         }
     }
 
+    // audit: no-alloc
     fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]) {
         let mut cols = self.cols();
         for &msg in batch {
@@ -449,6 +452,7 @@ impl AlgorithmPlane for DacPlane {
         }
     }
 
+    // audit: no-alloc
     fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
         let mut cols = self.cols();
         for &(port, msg) in batch {
@@ -770,6 +774,7 @@ impl AlgorithmPlane for DbacPlane {
         &self.output
     }
 
+    // audit: no-alloc
     fn deliver_from_sender(&mut self, msg: Message, receivers: &NodeSet, ports: &[Port]) {
         let mut cols = self.cols();
         for (wi, mut word) in receivers.iter_words() {
@@ -782,6 +787,7 @@ impl AlgorithmPlane for DbacPlane {
         }
     }
 
+    // audit: no-alloc
     fn receive(&mut self, receiver: usize, port: Port, batch: &[Message]) {
         if batch.len() == 1 {
             self.cols().process(receiver, port, batch[0]);
@@ -801,6 +807,7 @@ impl AlgorithmPlane for DbacPlane {
         }
     }
 
+    // audit: no-alloc
     fn receive_many(&mut self, receiver: usize, batch: &[(Port, Message)]) {
         // Every entry is one honest single-message link (the sparse path
         // never routes Byzantine fabrications here), so no per-batch

@@ -17,6 +17,7 @@
 //! value pulling, random noise, phase-forging (which demonstrates that DAC
 //! is *not* Byzantine tolerant), silence, and stealthy mimicry.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -37,6 +37,7 @@
 //! assert!(!checker::satisfies_dyna_degree(&schedule, 1, 1, &[]));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -124,6 +124,7 @@ impl WindowUnion {
     /// more than `u32::MAX` rounds — checked, not wrapped, because at
     /// 10⁵-node scale silent counter wraparound would corrupt every
     /// degree the checker reports).
+    // audit: no-alloc
     pub fn push_rows<E: LinkRows>(&mut self, rows: &E) {
         assert_eq!(rows.n(), self.n, "node count mismatch");
         for v_idx in 0..self.n {
@@ -132,9 +133,8 @@ impl WindowUnion {
             rows.for_each_in(NodeId::new(v_idx), |u| {
                 let c = &mut row[u.index()];
                 fresh += u32::from(*c == 0);
-                *c = c
-                    .checked_add(1)
-                    .expect("window link multiplicity overflows u32");
+                assert!(*c != u32::MAX, "window link multiplicity overflows u32");
+                *c += 1;
             });
             self.degrees[v_idx] += fresh;
         }
@@ -159,6 +159,7 @@ impl WindowUnion {
     /// # Panics
     ///
     /// Panics under the same conditions as [`WindowUnion::pop`].
+    // audit: no-alloc
     pub fn pop_rows<E: LinkRows>(&mut self, rows: &E) {
         assert_eq!(rows.n(), self.n, "node count mismatch");
         assert!(self.rounds > 0, "pop from an empty window");

@@ -21,6 +21,7 @@
 //! and bits so experiments E10/E13 can report bandwidth, implementing the
 //! paper's `O(log n)`-bits-per-link-per-round accounting.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -59,6 +59,7 @@ fn link_delivery(env: &SparseRound<'_>, u: NodeId, v: NodeId) -> Option<(Port, M
 /// each receiver's `(port, message)` pairs into `rx` and handing them to
 /// `deliver` (the whole plane, or this range's shard). When `rows` is
 /// set (schedule recording), realized links land in `rows[v - lo]`.
+// audit: no-alloc
 fn deliver_sparse_range(
     env: &SparseRound<'_>,
     lo: usize,
@@ -994,6 +995,7 @@ impl Simulation {
 
     /// The trait-object delivery path: receiver-major, per the configured
     /// delivery order.
+    // audit: no-alloc
     fn deliver_trait_path(&mut self, t: Round, words: usize) {
         let n = self.params.n();
         for v_idx in 0..n {
@@ -1007,6 +1009,7 @@ impl Simulation {
             }
             let mut alg = self.algs[v_idx]
                 .take()
+                // audit: allow(no-panic) — slot occupancy is a structural invariant: honest ⊆ non-Byzantine, and only Byzantine slots are None
                 .expect("non-byzantine receiver has a state machine");
             // A Present sender's chosen links all deliver, so its realized
             // links are exactly chosen ∩ unconditional: record the whole
@@ -1098,6 +1101,7 @@ impl Simulation {
     /// plane call with popcount-bulk traffic accounting; `Partial`
     /// (crash-round) and `Byzantine` senders walk their out-rows link by
     /// link, exactly mirroring the trait path's per-link checks.
+    // audit: no-alloc
     fn deliver_plane(&mut self, plane: &mut dyn AlgorithmPlane, t: Round) {
         let n = self.params.n();
         let words = n.div_ceil(64);
@@ -1138,6 +1142,7 @@ impl Simulation {
 
     /// Delivers one sender's round-`t` transmission on the plane path —
     /// the per-sender body of [`Simulation::deliver_plane`].
+    // audit: no-alloc
     fn deliver_plane_sender(
         &mut self,
         plane: &mut dyn AlgorithmPlane,
@@ -1361,8 +1366,10 @@ impl Simulation {
     /// delivery paths — its call order per strategy object (that object's
     /// receivers, ascending) is identical on both, which is what keeps
     /// stateful strategies equivalent across them.
+    // audit: no-alloc
     fn fabricate_byzantine(&mut self, t: Round, u: NodeId, v: NodeId) -> bool {
         self.buffers.byz_scratch.clear();
+        // audit: allow(no-panic) — the classes table marked u Byzantine, so its strategy slot is populated by construction
         let strategy = self.byz[u.index()].as_mut().expect("classified Byzantine");
         let ctx = ByzContext {
             round: t,
@@ -1379,6 +1386,7 @@ impl Simulation {
     /// nothing, if `u`'s class does not deliver on this link. `alg` is
     /// `v`'s state machine, taken out of its slot by the delivery loop so
     /// the inner walk performs no per-link `Option` unwrap.
+    // audit: no-alloc
     #[inline]
     fn deliver_one(&mut self, t: Round, u: NodeId, v: NodeId, alg: &mut dyn Algorithm) {
         let u_idx = u.index();

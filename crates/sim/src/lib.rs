@@ -44,6 +44,7 @@
 //! # Ok::<(), adn_types::Error>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

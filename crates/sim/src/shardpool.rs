@@ -28,10 +28,12 @@ use std::thread::JoinHandle;
 #[derive(Clone, Copy)]
 struct Job(*const (dyn Fn(usize) + Sync));
 
-// SAFETY: the pointee is `Sync` (calling it from several threads is
-// fine), and `run` guarantees it outlives every use — workers only
-// dereference a job between publication and their completion signal,
-// both of which happen inside `run`'s borrow of the closure.
+// SAFETY: sending a `Job` to another thread is sound because the pointee
+// is `Sync` — a `&(dyn Fn(usize) + Sync)` may be shared with and called
+// from any thread. Pointer *validity* is not this impl's obligation:
+// that is established by the lifetime-erasure transmute in
+// [`ShardPool::run`], whose own SAFETY note pins the window in which
+// workers may dereference the pointer.
 unsafe impl Send for Job {}
 
 struct State {
@@ -105,15 +107,19 @@ impl ShardPool {
     /// Steady-state allocation-free: publishing the job takes one mutex
     /// and two condvar signals, nothing else.
     pub(crate) fn run(&self, job: &(dyn Fn(usize) + Sync)) {
-        // SAFETY (lifetime erasure): the transmute only widens the trait
-        // object's lifetime bound to `'static`; the pointer is only
-        // dereferenced by workers between the publication below and the
-        // drain loop at the bottom of this function, during which `job`'s
-        // real borrow is held.
+        // The reference-to-pointer coercion is safe on its own; only the
+        // lifetime widening below needs `unsafe`.
+        let raw = job as *const (dyn Fn(usize) + Sync + '_);
+        // SAFETY: the transmute only erases the trait object's borrow
+        // lifetime — pointee type and vtable are unchanged. The widened
+        // pointer is only dereferenced by workers between the publication
+        // below and the drain loop at the bottom of this function, and for
+        // that whole window `job`'s real borrow is held by this frame.
         let erased = Job(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                job as *const (dyn Fn(usize) + Sync + '_),
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(raw)
         });
         {
             let mut st = self.shared.state.lock().unwrap();

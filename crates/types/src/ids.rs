@@ -216,10 +216,16 @@ mod tests {
     }
 
     #[test]
-    fn ids_are_hash_usable() {
-        use std::collections::HashSet;
-        let set: HashSet<NodeId> = NodeId::all(4).collect();
-        assert_eq!(set.len(), 4);
+    fn ids_are_distinct_and_hashable() {
+        // Compile-time check that NodeId stays usable as a hash key
+        // (downstream users may want hash maps even though the
+        // deterministic stack itself never iterates one).
+        fn assert_hash_key<T: std::hash::Hash + Eq>() {}
+        assert_hash_key::<NodeId>();
+        let mut ids: Vec<NodeId> = NodeId::all(4).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
     }
 
     #[test]

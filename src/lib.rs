@@ -40,6 +40,8 @@
 //! # Ok::<(), anondyn::types::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use adn_adversary as adversary;
 pub use adn_analysis as analysis;
 pub use adn_core as consensus;

@@ -26,18 +26,27 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a pure pass-through to `System` plus a relaxed counter bump —
+// every `GlobalAlloc` contract obligation (layout fit, pointer
+// provenance) is delegated unchanged to the system allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded verbatim from our own caller, who
+        // upholds `GlobalAlloc::alloc`'s preconditions.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System` via our `alloc`/`realloc` with
+        // this same `layout`, as `GlobalAlloc::dealloc` requires.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded verbatim from a
+        // caller upholding `GlobalAlloc::realloc`'s preconditions.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
