@@ -83,32 +83,37 @@ impl Spread {
     /// no-alloc fill paths.
     fn ensure_heard(&mut self, n: usize) {
         if self.heard.len() != n {
+            // audit: allow(alloc-reach) — the one allocation of the adversary's lifetime; every later round takes the len-equal fast path
             self.heard = (0..n).map(|_| NodeSet::new(n)).collect();
         }
     }
 }
 
 impl Adversary for Spread {
-    // audit: no-alloc
     fn edges_into(&mut self, view: &AdversaryView<'_>, out: &mut EdgeSet) {
         let n = view.params.n();
+        // The lazy (re)size stays outside the audited block: it is the
+        // one allocation of the adversary's lifetime.
         self.ensure_heard(n);
-        let k = (view.round.as_u64() as usize) % self.t_window;
-        if k == 0 {
-            // A new window: every receiver is owed d fresh senders again.
-            for heard in &mut self.heard {
-                heard.clear();
+        // audit: no-alloc
+        {
+            let k = (view.round.as_u64() as usize) % self.t_window;
+            if k == 0 {
+                // A new window: every receiver is owed d fresh senders again.
+                for heard in &mut self.heard {
+                    heard.clear();
+                }
             }
-        }
-        let installment = self.slice(k).len();
-        if installment == 0 {
-            return;
-        }
-        for v in NodeId::all(n) {
-            // The next `installment` lowest-id delivering senders this
-            // receiver has not heard this window, in one word-parallel
-            // sweep that also advances the window's heard-set.
-            out.insert_lowest_from(v, view.deliverers, &mut self.heard[v.index()], installment);
+            let installment = self.slice(k).len();
+            if installment == 0 {
+                return;
+            }
+            for v in NodeId::all(n) {
+                // The next `installment` lowest-id delivering senders this
+                // receiver has not heard this window, in one word-parallel
+                // sweep that also advances the window's heard-set.
+                out.insert_lowest_from(v, view.deliverers, &mut self.heard[v.index()], installment);
+            }
         }
     }
 
@@ -116,7 +121,6 @@ impl Adversary for Spread {
         true
     }
 
-    // audit: no-alloc
     fn sparse_into(&mut self, view: &AdversaryView<'_>, out: &mut LinkPlane) {
         // Natural row kind: CSR — each round delivers a small installment
         // of explicit fresh senders per receiver, which no id range can
@@ -125,50 +129,54 @@ impl Adversary for Spread {
         // `remaining` bits kept), including the heard-set advance, so both
         // fills leave the adversary in the same state.
         let n = view.params.n();
+        // Lazy (re)size outside the audited block, as in `edges_into`.
         self.ensure_heard(n);
-        let k = (view.round.as_u64() as usize) % self.t_window;
-        if k == 0 {
-            for heard in &mut self.heard {
-                heard.clear();
+        // audit: no-alloc
+        {
+            let k = (view.round.as_u64() as usize) % self.t_window;
+            if k == 0 {
+                for heard in &mut self.heard {
+                    heard.clear();
+                }
             }
-        }
-        let installment = self.slice(k).len();
-        if installment == 0 {
-            return;
-        }
-        for v in NodeId::all(n) {
-            let heard = &mut self.heard[v.index()];
-            let (vw, vb) = (v.index() / 64, v.index() % 64);
-            let mut remaining = installment;
-            for (wi, mut cand) in view.deliverers.iter_words() {
-                if remaining == 0 {
-                    break;
-                }
-                cand &= !heard.word(wi);
-                if wi == vw {
-                    cand &= !(1u64 << vb);
-                }
-                if cand == 0 {
-                    continue;
-                }
-                let have = cand.count_ones() as usize;
-                let take = if have <= remaining {
-                    cand
-                } else {
-                    let mut rest = cand;
-                    for _ in 0..remaining {
-                        rest &= rest - 1;
+            let installment = self.slice(k).len();
+            if installment == 0 {
+                return;
+            }
+            for v in NodeId::all(n) {
+                let heard = &mut self.heard[v.index()];
+                let (vw, vb) = (v.index() / 64, v.index() % 64);
+                let mut remaining = installment;
+                for (wi, mut cand) in view.deliverers.iter_words() {
+                    if remaining == 0 {
+                        break;
                     }
-                    cand ^ rest
-                };
-                let mut bits = take;
-                while bits != 0 {
-                    let u = NodeId::new(wi * 64 + bits.trailing_zeros() as usize);
-                    out.push_link(v, u);
-                    heard.insert(u);
-                    bits &= bits - 1;
+                    cand &= !heard.word(wi);
+                    if wi == vw {
+                        cand &= !(1u64 << vb);
+                    }
+                    if cand == 0 {
+                        continue;
+                    }
+                    let have = cand.count_ones() as usize;
+                    let take = if have <= remaining {
+                        cand
+                    } else {
+                        let mut rest = cand;
+                        for _ in 0..remaining {
+                            rest &= rest - 1;
+                        }
+                        cand ^ rest
+                    };
+                    let mut bits = take;
+                    while bits != 0 {
+                        let u = NodeId::new(wi * 64 + bits.trailing_zeros() as usize);
+                        out.push_link(v, u);
+                        heard.insert(u);
+                        bits &= bits - 1;
+                    }
+                    remaining -= take.count_ones() as usize;
                 }
-                remaining -= take.count_ones() as usize;
             }
         }
     }

@@ -1,4 +1,5 @@
-//! The lint engine: four invariant passes over lexed source.
+//! The lint engine: per-file invariant passes plus the workspace-level
+//! graph passes.
 //!
 //! Rules are keyed by repo-relative path (forward slashes):
 //!
@@ -12,24 +13,51 @@
 //!   allowlist, each `unsafe` block/impl needs an adjacent `// SAFETY:`
 //!   note, and every crate root must carry its unsafety attribute.
 //! * **no-alloc** / **no-panic** — apply inside `// audit: no-alloc`
-//!   regions only. The annotation binds to the next braced block.
+//!   regions (the annotation binds to the next braced block) and inside
+//!   the bodies of `// audit: no-alloc-fn` contract functions.
+//! * **alloc-reach** / **panic-reach** — the interprocedural extension:
+//!   every function transitively reachable from a region through the
+//!   workspace call graph (see [`crate::graph`]) is scanned for the same
+//!   banned constructs. Functions carrying a `no-alloc-fn` contract are
+//!   trusted at their call sites and checked at their own definitions.
+//! * **layering** — `use adn_*` statements must respect the crate DAG
+//!   (types → graph/net/faults → adversary/core → sim → bench, with
+//!   analysis and audit dependency-free), and `std::thread`/`std::sync`
+//!   are confined to the two thread-pool files.
+//! * **trait-contract** — every `Adversary` impl defines `edges_into`
+//!   and `sparse_capable`, every `AlgorithmPlane` impl defines
+//!   `reset_instance`, every `ByzantineStrategy` impl defines
+//!   `begin_instance`.
 //!
 //! Suppressions: `// audit: allow(<lint>) — <justification>` silences
 //! `<lint>` on the comment's own line and the next code line. A missing
 //! justification or unknown lint is itself a finding (lint name
 //! `annotation`) and suppresses nothing.
 
+use crate::graph::{self, BannedKind, GraphFile};
 use crate::lexer::{self, Comment, Lexed, Tok, TokKind};
+use crate::parse::{self, FileAst};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// The four suppressible lints. (`annotation` findings — malformed audit
+/// The suppressible lints. (`annotation` findings — malformed audit
 /// comments — are deliberately not suppressible.)
-pub const LINTS: [&str; 4] = ["determinism", "unsafety", "no-alloc", "no-panic"];
+pub const LINTS: [&str; 8] = [
+    "determinism",
+    "unsafety",
+    "no-alloc",
+    "no-panic",
+    "alloc-reach",
+    "panic-reach",
+    "layering",
+    "trait-contract",
+];
 
-/// Library source of the deterministic stack: the determinism lint's scope.
+/// Library source of the deterministic stack: the determinism lint's
+/// scope, the symbol graph's scope, and the trait-contract scope.
 const DETERMINISM_SCOPES: [&str; 8] = [
     "crates/types/src/",
     "crates/graph/src/",
@@ -62,6 +90,97 @@ const FORBID_UNSAFE_ROOTS: [&str; 10] = [
 /// implicit unsafe operations inside `unsafe fn` bodies.
 const DENY_UNSAFE_OP_ROOT: &str = "crates/sim/src/lib.rs";
 
+/// The normative crate DAG, as `(source prefix, allowed adn_* deps)`.
+/// A `use adn_x::…` in a file under a listed prefix must name an allowed
+/// dep. `crates/bench`, `tests/`, and `examples/` may use everything and
+/// are not listed.
+const LAYERING: [(&str, &[&str]); 11] = [
+    ("crates/types/src/", &[]),
+    ("crates/graph/src/", &["adn_types"]),
+    ("crates/faults/src/", &["adn_types"]),
+    ("crates/net/src/", &["adn_types", "adn_graph"]),
+    ("crates/adversary/src/", &["adn_types", "adn_graph"]),
+    ("crates/core/src/", &["adn_types", "adn_graph"]),
+    ("crates/analysis/src/", &[]),
+    (
+        "crates/sim/src/",
+        &[
+            "adn_types",
+            "adn_graph",
+            "adn_adversary",
+            "adn_faults",
+            "adn_net",
+            "adn_core",
+        ],
+    ),
+    ("crates/audit/src/", &[]),
+    (
+        "crates/bench/src/",
+        &[
+            "adn_types",
+            "adn_graph",
+            "adn_adversary",
+            "adn_faults",
+            "adn_net",
+            "adn_core",
+            "adn_sim",
+            "adn_analysis",
+        ],
+    ),
+    (
+        "src/",
+        &[
+            "adn_types",
+            "adn_graph",
+            "adn_adversary",
+            "adn_faults",
+            "adn_net",
+            "adn_core",
+            "adn_sim",
+            "adn_analysis",
+        ],
+    ),
+];
+
+/// The two files that own threading: the `ShardPool` (within-round
+/// sharded delivery) and the `TrialPool` (across-trial parallelism).
+/// `std::thread` and `std::sync` in any other library-crate file is a
+/// layering finding.
+const THREADING_ALLOWLIST: [&str; 2] = ["crates/sim/src/shardpool.rs", "crates/sim/src/pool.rs"];
+
+/// Trait contracts: `(trait, required methods with reasons)`. Every
+/// non-test impl of a listed trait in the eight library crates must
+/// define each required method explicitly.
+const TRAIT_CONTRACTS: [(&str, &[(&str, &str)]); 3] = [
+    (
+        "Adversary",
+        &[
+            (
+                "edges_into",
+                "every delivery path calls the allocation-free in-place fill",
+            ),
+            (
+                "sparse_capable",
+                "declare sparseness one way or the other (define `sparse_into` too when capable)",
+            ),
+        ],
+    ),
+    (
+        "AlgorithmPlane",
+        &[(
+            "reset_instance",
+            "service mode re-seeds planes in place between instances",
+        )],
+    ),
+    (
+        "ByzantineStrategy",
+        &[(
+            "begin_instance",
+            "service instance k must fabricate byte-identically to a standalone run",
+        )],
+    ),
+];
+
 /// One finding, rendered as `file:line: lint-name: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -90,40 +209,157 @@ fn diag(file: &str, line: u32, lint: &'static str, message: String) -> Diagnosti
     }
 }
 
-/// Audits one file's source. `rel` is the repo-relative path with `/`
-/// separators; it selects which rules apply.
+/// Audits one file's source in isolation. `rel` is the repo-relative
+/// path with `/` separators; it selects which rules apply. Workspace
+/// passes (the call graph) see only this one file — cross-file edges
+/// need [`audit_files`] or [`audit_workspace`].
 pub fn audit_source(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let ann = collect_annotations(rel, src, &lexed);
-    let mut diags = ann.errors.clone();
-    let test_spans = cfg_test_spans(src, &lexed.toks);
+    audit_files(&[(rel.to_string(), src.to_string())])
+}
 
-    if DETERMINISM_SCOPES.iter().any(|p| rel.starts_with(p)) {
-        determinism_pass(rel, src, &lexed.toks, &test_spans, &mut diags);
+/// Audits a set of files as one workspace: every per-file pass, then the
+/// symbol-graph passes over the library-crate subset. Files must be
+/// `(repo-relative path, source)` pairs; output is sorted by
+/// `(file, line)` and byte-deterministic for a given input set.
+pub fn audit_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    struct Prep {
+        lexed: Lexed,
+        test_spans: Vec<(u32, u32)>,
+        ann: Annotations,
+        ast: FileAst,
     }
-    unsafety_pass(rel, src, &lexed, &mut diags);
-    crate_root_pass(rel, src, &lexed.toks, &mut diags);
-    for &region in &ann.no_alloc_regions {
-        region_pass(rel, src, &lexed.toks, region, &mut diags);
+    let mut preps = Vec::with_capacity(files.len());
+    for (rel, src) in files {
+        let lexed = lexer::lex(src);
+        let test_spans = cfg_test_spans(src, &lexed.toks);
+        let ann = collect_annotations(rel, src, &lexed);
+        let ast = parse::parse(src, &lexed, &test_spans);
+        preps.push(Prep {
+            lexed,
+            test_spans,
+            ann,
+            ast,
+        });
     }
 
-    diags.retain(|d| !ann.suppressed(d.lint, d.line));
-    diags.sort_by_key(|d| d.line);
+    let mut diags = Vec::new();
+    for ((rel, src), p) in files.iter().zip(&preps) {
+        diags.extend(p.ann.errors.iter().cloned());
+        if DETERMINISM_SCOPES.iter().any(|pre| rel.starts_with(pre)) {
+            determinism_pass(rel, src, &p.lexed.toks, &p.test_spans, &mut diags);
+        }
+        unsafety_pass(rel, src, &p.lexed, &mut diags);
+        crate_root_pass(rel, src, &p.lexed.toks, &mut diags);
+        for &region in p.ann.no_alloc_regions.iter().chain(&p.ann.contract_regions) {
+            region_pass(rel, src, &p.lexed.toks, region, &mut diags);
+        }
+        layering_pass(
+            rel,
+            src,
+            p.ast.uses.as_slice(),
+            &p.lexed.toks,
+            &p.test_spans,
+            &mut diags,
+        );
+        trait_contract_pass(rel, &p.ast, &mut diags);
+    }
+
+    // Workspace passes over the library-crate subset.
+    let mut gfiles = Vec::new();
+    for ((rel, src), p) in files.iter().zip(&preps) {
+        let Some(crate_dir) = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+        else {
+            continue;
+        };
+        if !DETERMINISM_SCOPES.iter().any(|pre| rel.starts_with(pre)) {
+            continue;
+        }
+        gfiles.push(GraphFile {
+            rel,
+            src,
+            lexed: &p.lexed,
+            ast: &p.ast,
+            crate_name: format!("adn_{crate_dir}"),
+            no_alloc_regions: &p.ann.no_alloc_regions,
+            contract_regions: &p.ann.contract_regions,
+        });
+    }
+    for finding in graph::reach_pass(&gfiles) {
+        let lint = match finding.kind {
+            BannedKind::Alloc => "alloc-reach",
+            BannedKind::Panic => "panic-reach",
+        };
+        diags.push(diag(&finding.file, finding.line, lint, finding.message));
+    }
+
+    // Suppressions, then the deterministic output order. The sort is
+    // stable, so same-line findings keep pass order (annotation errors
+    // first, graph findings last).
+    let ann_by_file: BTreeMap<&str, &Annotations> = files
+        .iter()
+        .zip(&preps)
+        .map(|((rel, _), p)| (rel.as_str(), &p.ann))
+        .collect();
+    diags.retain(|d| {
+        ann_by_file
+            .get(d.file.as_str())
+            .is_none_or(|ann| !ann.suppressed(d.lint, d.line))
+    });
+    diags.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     diags
 }
 
-/// Walks every `.rs` file under `root` (skipping `target/` and `.git/`)
-/// in sorted path order and audits each one.
+/// Audits the workspace rooted at `root`: crates are discovered from the
+/// root `Cargo.toml` `members` list (plus the root package's own `src/`,
+/// `tests/`, `examples/`, and `benches/` directories), and files are
+/// walked in sorted path order so the findings output is byte-identical
+/// across platforms and filesystems.
 pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut diags = Vec::new();
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        diags.extend(audit_source(rel, &src));
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs = workspace_members(&manifest);
+    dirs.extend(
+        ["src", "tests", "examples", "benches"]
+            .iter()
+            .map(|d| d.to_string()),
+    );
+    dirs.sort();
+    dirs.dedup();
+    for dir in &dirs {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect_rs_files(root, &path, &mut files)?;
+        }
     }
-    Ok(diags)
+    files.sort();
+    files.dedup();
+    let mut loaded = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        loaded.push((rel, src));
+    }
+    Ok(audit_files(&loaded))
+}
+
+/// Extracts the `members = […]` entries from a workspace manifest.
+/// A deliberately small parser: the manifest is in-repo and plain.
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &manifest[start + open + 1..start + open + close];
+    body.split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty() && s != ".")
+        .collect()
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
@@ -149,12 +385,53 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Resul
     Ok(())
 }
 
+/// Renders diagnostics as a machine-readable JSON report (the CLI's
+/// `--json` mode). Schema: `{"findings": [{"file", "line", "lint",
+/// "message"}], "count": N}`.
+pub fn json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.lint,
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", diags.len()));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
-// Annotations: `// audit: no-alloc` regions and `// audit: allow(...)`.
+// Annotations: `// audit: no-alloc` / `// audit: no-alloc-fn` regions and
+// `// audit: allow(...)`.
 
 struct Annotations {
-    /// Token index ranges `(open_brace, close_brace)` of no-alloc regions.
+    /// Token index ranges `(open_brace, close_brace)` of no-alloc block
+    /// regions.
     no_alloc_regions: Vec<(usize, usize)>,
+    /// Body ranges of `// audit: no-alloc-fn` contract functions.
+    contract_regions: Vec<(usize, usize)>,
     /// `(lint, line)` pairs a well-formed allow comment suppresses.
     allows: Vec<(String, u32)>,
     /// Malformed audit comments — always reported, never suppressible.
@@ -170,6 +447,7 @@ impl Annotations {
 fn collect_annotations(rel: &str, src: &str, lexed: &Lexed) -> Annotations {
     let mut out = Annotations {
         no_alloc_regions: Vec::new(),
+        contract_regions: Vec::new(),
         allows: Vec::new(),
         errors: Vec::new(),
     };
@@ -180,8 +458,15 @@ fn collect_annotations(rel: &str, src: &str, lexed: &Lexed) -> Annotations {
         };
         let rest = rest.trim();
         if rest == "no-alloc" {
-            match bind_region(&lexed.toks, c) {
+            match bind_region(src, &lexed.toks, c, false) {
                 Ok(region) => out.no_alloc_regions.push(region),
+                Err(msg) => out
+                    .errors
+                    .push(diag(rel, c.first_line, "annotation", msg.to_string())),
+            }
+        } else if rest == "no-alloc-fn" {
+            match bind_region(src, &lexed.toks, c, true) {
+                Ok(region) => out.contract_regions.push(region),
                 Err(msg) => out
                     .errors
                     .push(diag(rel, c.first_line, "annotation", msg.to_string())),
@@ -228,22 +513,34 @@ fn collect_annotations(rel: &str, src: &str, lexed: &Lexed) -> Annotations {
                 rel,
                 c.first_line,
                 "annotation",
-                format!("unrecognized audit directive `{rest}` (expected `no-alloc` or `allow(<lint>) — why`)"),
+                format!("unrecognized audit directive `{rest}` (expected `no-alloc`, `no-alloc-fn`, or `allow(<lint>) — why`)"),
             ));
         }
     }
     out
 }
 
-/// Binds a `no-alloc` annotation to the next braced block: the first `{`
-/// after the comment, matched to its closing `}`. A `;` outside any
-/// parens/brackets before that `{` means the annotation precedes a
-/// non-block item — an error.
-fn bind_region(toks: &[Tok], c: &Comment) -> Result<(usize, usize), &'static str> {
+/// Binds a `no-alloc`/`no-alloc-fn` annotation to the next braced block:
+/// the first `{` after the comment, matched to its closing `}`. A `;`
+/// outside any parens/brackets before that `{` means the annotation
+/// precedes a non-block item — an error. With `require_fn`, an ident
+/// `fn` must additionally appear before the brace (the contract form
+/// binds to a function definition, not an arbitrary block).
+fn bind_region(
+    src: &str,
+    toks: &[Tok],
+    c: &Comment,
+    require_fn: bool,
+) -> Result<(usize, usize), String> {
+    let which = if require_fn {
+        "no-alloc-fn"
+    } else {
+        "no-alloc"
+    };
     let start = toks
         .iter()
         .position(|t| t.line > c.last_line || (t.line == c.last_line && t.start >= c.end))
-        .ok_or("`audit: no-alloc` is not followed by any code")?;
+        .ok_or_else(|| format!("`audit: {which}` is not followed by any code"))?;
     let mut wrap = 0i32;
     let mut open = None;
     for (i, t) in toks.iter().enumerate().skip(start) {
@@ -255,12 +552,20 @@ fn bind_region(toks: &[Tok], c: &Comment) -> Result<(usize, usize), &'static str
                 break;
             }
             TokKind::Punct(b';') if wrap == 0 => {
-                return Err("`audit: no-alloc` must precede a braced block, found `;` first");
+                return Err(format!(
+                    "`audit: {which}` must precede a braced block, found `;` first"
+                ));
             }
             _ => {}
         }
     }
-    let open = open.ok_or("`audit: no-alloc` is not followed by a braced block")?;
+    let open = open.ok_or_else(|| format!("`audit: {which}` is not followed by a braced block"))?;
+    if require_fn && !toks[start..open].iter().any(|t| t.is_ident(src, "fn")) {
+        return Err(
+            "`audit: no-alloc-fn` must precede a function definition (no `fn` before the block)"
+                .to_string(),
+        );
+    }
     let mut braces = 0i32;
     for (i, t) in toks.iter().enumerate().skip(open) {
         match t.kind {
@@ -521,7 +826,8 @@ fn crate_root_pass(rel: &str, src: &str, toks: &[Tok], diags: &mut Vec<Diagnosti
 }
 
 // ---------------------------------------------------------------------------
-// Passes 4+5: no-alloc / no-panic inside annotated regions.
+// Passes 4+5: no-alloc / no-panic inside annotated regions (both the
+// block form and `no-alloc-fn` contract bodies).
 
 fn region_pass(
     rel: &str,
@@ -530,53 +836,164 @@ fn region_pass(
     (open, close): (usize, usize),
     diags: &mut Vec<Diagnostic>,
 ) {
+    if toks.is_empty() {
+        return;
+    }
     for i in open..=close.min(toks.len() - 1) {
-        let t = &toks[i];
-        if t.kind != TokKind::Ident {
+        let Some(b) = graph::classify_banned(toks, src, i) else {
             continue;
-        }
-        let word = t.text(src);
-        let bang = toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'));
-        match word {
-            "collect" | "to_vec" | "clone" => diags.push(diag(
+        };
+        match (b.kind, b.construct) {
+            (BannedKind::Alloc, c) => diags.push(diag(
                 rel,
-                t.line,
+                b.line,
                 "no-alloc",
-                format!("`{word}` allocates inside a `// audit: no-alloc` region"),
+                format!("`{c}` allocates inside a `// audit: no-alloc` region"),
             )),
-            "vec" | "format" if bang => diags.push(diag(
+            (BannedKind::Panic, "panic!") => diags.push(diag(
                 rel,
-                t.line,
-                "no-alloc",
-                format!("`{word}!` allocates inside a `// audit: no-alloc` region"),
-            )),
-            "Vec" | "Box" if path_seg(toks, src, i, "new") => diags.push(diag(
-                rel,
-                t.line,
-                "no-alloc",
-                format!("`{word}::new` allocates inside a `// audit: no-alloc` region"),
-            )),
-            "String" if path_seg(toks, src, i, "from") => diags.push(diag(
-                rel,
-                t.line,
-                "no-alloc",
-                "`String::from` allocates inside a `// audit: no-alloc` region".to_string(),
-            )),
-            "unwrap" | "expect" => diags.push(diag(
-                rel,
-                t.line,
-                "no-panic",
-                format!(
-                    "`{word}` may panic inside a `// audit: no-alloc` region; handle the case or `audit: allow(no-panic)` it with a justification"
-                ),
-            )),
-            "panic" if bang => diags.push(diag(
-                rel,
-                t.line,
+                b.line,
                 "no-panic",
                 "`panic!` inside a `// audit: no-alloc` region".to_string(),
             )),
-            _ => {}
+            (BannedKind::Panic, c) => diags.push(diag(
+                rel,
+                b.line,
+                "no-panic",
+                format!(
+                    "`{c}` may panic inside a `// audit: no-alloc` region; handle the case or `audit: allow(no-panic)` it with a justification"
+                ),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 6: layering — the crate DAG and the threading allowlist.
+
+fn layering_pass(
+    rel: &str,
+    src: &str,
+    uses: &[parse::UseItem],
+    toks: &[Tok],
+    test_spans: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let exempt = |line: u32| test_spans.iter().any(|&(a, b)| a <= line && line <= b);
+    // A crate's own bins/tests may always use their own lib by name.
+    let own = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .map(|dir| format!("adn_{dir}"));
+    let scope = LAYERING.iter().find(|(pre, _)| rel.starts_with(pre));
+    if let Some((_, allowed)) = scope {
+        // One finding per (line, crate), however many leaves the use
+        // tree flattens to.
+        let mut seen: std::collections::BTreeSet<(u32, &str)> = std::collections::BTreeSet::new();
+        for u in uses {
+            let Some(first) = u.segs.first() else {
+                continue;
+            };
+            if !first.starts_with("adn_") || exempt(u.line) {
+                continue;
+            }
+            if own.as_deref() == Some(first.as_str()) {
+                continue;
+            }
+            if !allowed.contains(&first.as_str()) && seen.insert((u.line, first.as_str())) {
+                diags.push(diag(
+                    rel,
+                    u.line,
+                    "layering",
+                    format!(
+                        "`use {first}` inverts the crate DAG (allowed here: {}); the layering is types → graph/net/faults → adversary/core → sim → bench",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Threading confinement: library crates only, minus the two pools.
+    if !DETERMINISM_SCOPES.iter().any(|pre| rel.starts_with(pre))
+        || THREADING_ALLOWLIST.contains(&rel)
+    {
+        return;
+    }
+    // One finding per (line, module): a use tree with several leaves —
+    // or a `use` whose tokens the inline scan also sees — flags once.
+    let mut flagged: std::collections::BTreeSet<(u32, &str)> = std::collections::BTreeSet::new();
+    let mut pending: Vec<(u32, &'static str)> = Vec::new();
+    for u in uses {
+        if u.segs.len() >= 2 && u.segs[0] == "std" && !exempt(u.line) {
+            match u.segs[1].as_str() {
+                "thread" => pending.push((u.line, "std::thread")),
+                "sync" => pending.push((u.line, "std::sync")),
+                _ => {}
+            }
+        }
+    }
+    // Inline qualified paths (`std::sync::Mutex::new(…)`) that bypass a
+    // `use` statement.
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident(src, "std") && !exempt(t.line) {
+            if path_seg(toks, src, i, "thread") {
+                pending.push((t.line, "std::thread"));
+            } else if path_seg(toks, src, i, "sync") {
+                pending.push((t.line, "std::sync"));
+            }
+        }
+    }
+    pending.sort();
+    for (line, what) in pending {
+        if flagged.insert((line, what)) {
+            diags.push(diag(
+                rel,
+                line,
+                "layering",
+                format!(
+                    "`{what}` is confined to {} (the ShardPool and TrialPool)",
+                    THREADING_ALLOWLIST.join(" and ")
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 7: trait contracts.
+
+fn trait_contract_pass(rel: &str, ast: &FileAst, diags: &mut Vec<Diagnostic>) {
+    if !DETERMINISM_SCOPES.iter().any(|pre| rel.starts_with(pre)) {
+        return;
+    }
+    for imp in &ast.impls {
+        if imp.in_test {
+            continue;
+        }
+        let Some(trait_name) = imp.trait_name.as_deref() else {
+            continue;
+        };
+        let Some((_, required)) = TRAIT_CONTRACTS.iter().find(|(t, _)| *t == trait_name) else {
+            continue;
+        };
+        for (method, why) in *required {
+            let defined = imp.fn_ids.iter().any(|&id| ast.fns[id].name == *method);
+            if !defined {
+                diags.push(diag(
+                    rel,
+                    imp.line,
+                    "trait-contract",
+                    format!(
+                        "`impl {trait_name} for {}` must define `{method}` — {why}",
+                        imp.self_ty
+                    ),
+                ));
+            }
         }
     }
 }

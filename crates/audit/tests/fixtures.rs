@@ -393,7 +393,7 @@ fn f() {
     assert_eq!(
         lines(&diags),
         vec![
-            "3: annotation: `audit: allow(no-such-lint)` names an unknown lint (known: determinism, unsafety, no-alloc, no-panic)"
+            "3: annotation: `audit: allow(no-such-lint)` names an unknown lint (known: determinism, unsafety, no-alloc, no-panic, alloc-reach, panic-reach, layering, trait-contract)"
         ]
     );
 }
@@ -446,4 +446,423 @@ fn workspace_is_clean_at_head() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+// ---------------------------------------------------------------------------
+// alloc-reach / panic-reach: the interprocedural extension
+
+#[test]
+fn alloc_reach_positive_direct_call() {
+    let src = r#"
+fn helper(xs: &[u32]) -> Vec<u32> {
+    xs.iter().copied().collect()
+}
+fn drive(xs: &[u32]) {
+    // audit: no-alloc
+    {
+        helper(xs);
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "3: alloc-reach: `collect` allocates in `helper`, reachable from the `// audit: no-alloc` region at crates/core/src/fake.rs:7"
+        ]
+    );
+}
+
+#[test]
+fn alloc_reach_positive_transitive_chain() {
+    let src = r#"
+fn a() { b(); }
+fn b() { let v = vec![1]; }
+fn drive() {
+    // audit: no-alloc
+    {
+        a();
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "3: alloc-reach: `vec!` allocates in `b`, reachable from the `// audit: no-alloc` region at crates/core/src/fake.rs:6 via `a` → `b`"
+        ]
+    );
+}
+
+#[test]
+fn alloc_reach_positive_trait_dispatch_widening() {
+    // `f.fill()` has no receiver type, so it widens to every known
+    // method of that name — including `A`'s allocating impl.
+    let src = r#"
+pub trait Filler {
+    fn fill(&mut self);
+}
+pub struct A;
+impl Filler for A {
+    fn fill(&mut self) {
+        let v = vec![1];
+    }
+}
+fn drive(f: &mut dyn Filler) {
+    // audit: no-alloc
+    {
+        f.fill();
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "8: alloc-reach: `vec!` allocates in `fill`, reachable from the `// audit: no-alloc` region at crates/core/src/fake.rs:13"
+        ]
+    );
+}
+
+#[test]
+fn alloc_reach_negative_clean_callee_and_out_of_scope() {
+    // A clean transitive chain produces nothing.
+    let clean = r#"
+fn helper(x: &mut u32) { *x += 1; }
+fn drive(x: &mut u32) {
+    // audit: no-alloc
+    {
+        helper(x);
+    }
+}
+"#;
+    assert!(audit_source("crates/core/src/fake.rs", clean).is_empty());
+
+    // Allocation outside any region, never called from one: fine.
+    let cold = "fn cold() -> Vec<u32> { vec![1] }\n";
+    assert!(audit_source("crates/core/src/fake.rs", cold).is_empty());
+}
+
+#[test]
+fn alloc_reach_suppressed_with_justification() {
+    let src = r#"
+fn helper() {
+    // audit: allow(alloc-reach) — one-time lazy init, not steady state
+    let v = vec![1];
+}
+fn drive() {
+    // audit: no-alloc
+    {
+        helper();
+    }
+}
+"#;
+    assert!(audit_source("crates/core/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn panic_reach_positive_and_chain() {
+    let src = r#"
+fn pick(xs: &[u32]) -> u32 {
+    *xs.iter().max().expect("non-empty")
+}
+fn drive(xs: &[u32]) {
+    // audit: no-alloc
+    {
+        pick(xs);
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "3: panic-reach: `expect` may panic in `pick`, reachable from the `// audit: no-alloc` region at crates/core/src/fake.rs:7"
+        ]
+    );
+}
+
+#[test]
+fn panic_reach_panic_macro_verb() {
+    let src = r#"
+fn boom() { panic!("no"); }
+fn drive() {
+    // audit: no-alloc
+    {
+        boom();
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "2: panic-reach: `panic!` panics in `boom`, reachable from the `// audit: no-alloc` region at crates/core/src/fake.rs:5"
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// the `no-alloc-fn` contract annotation
+
+#[test]
+fn no_alloc_fn_contract_violation_is_checked_at_definition() {
+    let src = r#"
+// audit: no-alloc-fn
+fn hot() {
+    let v = vec![1];
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec!["4: no-alloc: `vec!` allocates inside a `// audit: no-alloc` region"]
+    );
+}
+
+#[test]
+fn no_alloc_fn_contract_is_trusted_at_call_sites_and_rooted_itself() {
+    // The region trusts `hot` (no re-derivation through its body), but
+    // `hot` is a reach root of its own: the helper it calls is flagged
+    // against the contract, not against the region.
+    let src = r#"
+fn helper() {
+    let v = vec![1];
+}
+// audit: no-alloc-fn
+fn hot() {
+    helper();
+}
+fn drive() {
+    // audit: no-alloc
+    {
+        hot();
+    }
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "3: alloc-reach: `vec!` allocates in `helper`, reachable from the `// audit: no-alloc-fn` contract on `hot` at crates/core/src/fake.rs:6"
+        ]
+    );
+}
+
+#[test]
+fn no_alloc_fn_must_precede_a_fn() {
+    let src = r#"
+// audit: no-alloc-fn
+struct S {
+    x: u32,
+}
+"#;
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "2: annotation: `audit: no-alloc-fn` must precede a function definition (no `fn` before the block)"
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+#[test]
+fn layering_positive_dag_inversion() {
+    let src = "use adn_sim::Engine;\nfn f() {}\n";
+    let diags = audit_source("crates/graph/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "1: layering: `use adn_sim` inverts the crate DAG (allowed here: adn_types); the layering is types → graph/net/faults → adversary/core → sim → bench"
+        ]
+    );
+}
+
+#[test]
+fn layering_negative_allowed_edges_and_self_use() {
+    // sim may use its six upstream crates.
+    let src = "use adn_core::Algorithm;\nuse adn_types::NodeId;\nfn f() {}\n";
+    assert!(audit_source("crates/sim/src/fake.rs", src).is_empty());
+    // A crate's own bins may use their own lib by name.
+    let bin = "use adn_bench::Table;\nfn main() {}\n";
+    assert!(audit_source("crates/bench/src/bin/fake.rs", bin).is_empty());
+}
+
+#[test]
+fn layering_positive_std_sync_confinement() {
+    let src = "use std::sync::Mutex;\nfn f() {}\n";
+    let diags = audit_source("crates/core/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "1: layering: `std::sync` is confined to crates/sim/src/shardpool.rs and crates/sim/src/pool.rs (the ShardPool and TrialPool)"
+        ]
+    );
+}
+
+#[test]
+fn layering_negative_pool_files_and_inline_paths_flagged_once() {
+    // The two pool files own threading.
+    let src = "use std::sync::Mutex;\nuse std::thread;\nfn f() {}\n";
+    assert!(audit_source("crates/sim/src/pool.rs", src).is_empty());
+    // An inline qualified path is caught even without a `use`, once.
+    let inline = "fn f() { let m = std::sync::Mutex::new(0u32); }\n";
+    let diags = audit_source("crates/net/src/fake.rs", inline);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, "layering");
+}
+
+#[test]
+fn layering_suppressed_with_justification() {
+    let src = "// audit: allow(layering) — lock-free lazy init, not threading\nuse std::sync::OnceLock;\nfn f() {}\n";
+    assert!(audit_source("crates/net/src/fake.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// trait-contract
+
+#[test]
+fn trait_contract_positive_missing_methods() {
+    let src = r#"
+pub struct Foo;
+impl Adversary for Foo {
+    fn name(&self) -> &'static str { "foo" }
+}
+impl AlgorithmPlane for Foo {
+    fn receive(&mut self) {}
+}
+impl ByzantineStrategy for Foo {
+    fn name(&self) -> &'static str { "foo" }
+}
+"#;
+    let diags = audit_source("crates/adversary/src/fake.rs", src);
+    assert_eq!(
+        lines(&diags),
+        vec![
+            "3: trait-contract: `impl Adversary for Foo` must define `edges_into` — every delivery path calls the allocation-free in-place fill",
+            "3: trait-contract: `impl Adversary for Foo` must define `sparse_capable` — declare sparseness one way or the other (define `sparse_into` too when capable)",
+            "6: trait-contract: `impl AlgorithmPlane for Foo` must define `reset_instance` — service mode re-seeds planes in place between instances",
+            "9: trait-contract: `impl ByzantineStrategy for Foo` must define `begin_instance` — service instance k must fabricate byte-identically to a standalone run",
+        ]
+    );
+}
+
+#[test]
+fn trait_contract_negative_complete_impl_and_test_exemption() {
+    let complete = r#"
+pub struct Foo;
+impl Adversary for Foo {
+    fn edges_into(&mut self, out: &mut u32) {}
+    fn sparse_capable(&self) -> bool { false }
+}
+"#;
+    assert!(audit_source("crates/adversary/src/fake.rs", complete).is_empty());
+
+    // Impls inside #[cfg(test)] are scaffolding, not contract subjects.
+    let in_test = r#"
+#[cfg(test)]
+mod tests {
+    struct Probe;
+    impl Adversary for Probe {
+        fn name(&self) -> &'static str { "probe" }
+    }
+}
+"#;
+    assert!(audit_source("crates/adversary/src/fake.rs", in_test).is_empty());
+}
+
+#[test]
+fn trait_contract_suppressed_with_justification() {
+    let src = r#"
+pub struct Foo;
+// audit: allow(trait-contract) — adapter shim, never driven by the engine
+impl AlgorithmPlane for Foo {
+    fn receive(&mut self) {}
+}
+"#;
+    assert!(audit_source("crates/core/src/fake.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// workspace pipeline: cross-file reach, output determinism, --json shape
+
+#[test]
+fn reach_crosses_files_within_a_crate() {
+    let files = vec![
+        (
+            "crates/core/src/a.rs".to_string(),
+            "fn helper() { let v = vec![1]; }\n".to_string(),
+        ),
+        (
+            "crates/core/src/b.rs".to_string(),
+            "fn drive() {\n    // audit: no-alloc\n    {\n        helper();\n    }\n}\n"
+                .to_string(),
+        ),
+    ];
+    let diags = adn_audit::audit_files(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].file, "crates/core/src/a.rs");
+    assert_eq!(diags[0].lint, "alloc-reach");
+}
+
+#[test]
+fn output_is_byte_identical_across_runs() {
+    let render = |diags: &[Diagnostic]| {
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // The live workspace, twice (clean at HEAD, but the walk itself must
+    // be stable).
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let a = adn_audit::audit_workspace(root).expect("workspace walk");
+    let b = adn_audit::audit_workspace(root).expect("workspace walk");
+    assert_eq!(render(&a), render(&b));
+
+    // A finding-rich in-memory workspace, twice, with the files handed
+    // over in non-sorted order: same bytes, sorted by (file, line).
+    let files = vec![
+        (
+            "crates/graph/src/z.rs".to_string(),
+            "use adn_sim::Engine;\nfn f() {\n    let m: std::collections::HashMap<u32, u32> = unreachable!();\n}\n"
+                .to_string(),
+        ),
+        (
+            "crates/core/src/a.rs".to_string(),
+            "fn helper() -> u32 { [1u32].to_vec().len() as u32 }\nfn drive() {\n    // audit: no-alloc\n    {\n        helper();\n    }\n}\n"
+                .to_string(),
+        ),
+    ];
+    let x = adn_audit::audit_files(&files);
+    let y = adn_audit::audit_files(&files);
+    assert!(!x.is_empty());
+    assert_eq!(render(&x), render(&y));
+    let keys: Vec<(String, u32)> = x.iter().map(|d| (d.file.clone(), d.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "findings must come out sorted by (file, line)"
+    );
+}
+
+#[test]
+fn json_report_shape() {
+    let diags = audit_source("crates/net/src/fake.rs", "fn f() { unsafe {} }\n");
+    let json = adn_audit::json_report(&diags);
+    assert!(json.starts_with("{\"findings\":["), "{json}");
+    assert!(
+        json.contains("\"file\":\"crates/net/src/fake.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\":1"), "{json}");
+    assert!(json.contains("\"lint\":\"unsafety\""), "{json}");
+    assert!(json.ends_with(",\"count\":1}"), "{json}");
+    assert_eq!(adn_audit::json_report(&[]), "{\"findings\":[],\"count\":0}");
 }

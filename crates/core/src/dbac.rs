@@ -165,10 +165,13 @@ impl Dbac {
     /// Advances while the quorum condition already holds (only possible
     /// for the degenerate `n = 1` system, whose quorum is the node
     /// itself).
+    // audit: no-alloc-fn
     fn try_advance(&mut self) {
         while self.output.is_none() && self.distinct_count() >= self.params.dbac_quorum() {
-            let lo = *self.low.iter().max().expect("low list is never empty");
-            let hi = *self.high.iter().min().expect("high list is never empty");
+            let (Some(&lo), Some(&hi)) = (self.low.iter().max(), self.high.iter().min()) else {
+                debug_assert!(false, "low/high lists are never empty at quorum");
+                return;
+            };
             self.value = lo.midpoint(hi);
             self.phase = self.phase.next();
             self.reset();

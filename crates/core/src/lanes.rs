@@ -495,6 +495,7 @@ impl DbacLanes {
     }
 
     /// `DbacCols::try_advance` for one lane.
+    // audit: no-alloc-fn
     #[inline]
     fn try_advance_lane(&mut self, v: usize, bit: u64, vi: usize) {
         while self.seen_count[vi] >= self.foreign_quorum && self.phase[vi].as_u64() < self.pend {
@@ -502,16 +503,18 @@ impl DbacLanes {
                 (self.low[vi], self.high[vi])
             } else {
                 let base = vi * self.cap;
-                (
-                    *self.low[base..base + self.low_len[vi] as usize]
+                let (Some(&lo), Some(&hi)) = (
+                    self.low[base..base + self.low_len[vi] as usize]
                         .iter()
-                        .max()
-                        .expect("low list is never empty"),
-                    *self.high[base..base + self.high_len[vi] as usize]
+                        .max(),
+                    self.high[base..base + self.high_len[vi] as usize]
                         .iter()
-                        .min()
-                        .expect("high list is never empty"),
-                )
+                        .min(),
+                ) else {
+                    debug_assert!(false, "low/high lists are never empty at quorum");
+                    return;
+                };
+                (lo, hi)
             };
             self.value[vi] = lo.midpoint(hi);
             self.phase[vi] = self.phase[vi].next();

@@ -731,6 +731,7 @@ impl DbacCols<'_> {
         }
     }
 
+    // audit: no-alloc-fn
     #[inline]
     fn try_advance(&mut self, v: usize) {
         while self.seen_count[v] >= self.foreign_quorum && self.phase[v].as_u64() < self.pend {
@@ -738,16 +739,16 @@ impl DbacCols<'_> {
                 (self.low[v], self.high[v])
             } else {
                 let base = v * self.cap;
-                (
-                    *self.low[base..base + self.low_len[v] as usize]
+                let (Some(&lo), Some(&hi)) = (
+                    self.low[base..base + self.low_len[v] as usize].iter().max(),
+                    self.high[base..base + self.high_len[v] as usize]
                         .iter()
-                        .max()
-                        .expect("low list is never empty"),
-                    *self.high[base..base + self.high_len[v] as usize]
-                        .iter()
-                        .min()
-                        .expect("high list is never empty"),
-                )
+                        .min(),
+                ) else {
+                    debug_assert!(false, "low/high lists are never empty at quorum");
+                    return;
+                };
+                (lo, hi)
             };
             self.value[v] = lo.midpoint(hi);
             self.phase[v] = self.phase[v].next();

@@ -100,6 +100,11 @@ impl ByzantineStrategy for CoalitionMember {
     fn name(&self) -> &'static str {
         "coalition"
     }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // The shared coalition plan is a pure function of the round
+        // context and the member's fixed rank; nothing to re-seed.
+    }
 }
 
 #[cfg(test)]

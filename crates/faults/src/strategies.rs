@@ -53,6 +53,11 @@ impl ByzantineStrategy for TwoFaced {
     fn name(&self) -> &'static str {
         "two-faced"
     }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // Stateless across instances: every round's output is a pure
+        // function of the context, so there is nothing to re-seed.
+    }
 }
 
 /// Always sends one fixed extreme value (to every destination), tagged with
@@ -73,6 +78,11 @@ impl ByzantineStrategy for Extreme {
 
     fn name(&self) -> &'static str {
         "extreme"
+    }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // Stateless across instances: every round's output is a pure
+        // function of the context, so there is nothing to re-seed.
     }
 }
 
@@ -135,6 +145,11 @@ impl ByzantineStrategy for PhaseForger {
     fn name(&self) -> &'static str {
         "phase-forger"
     }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // Stateless across instances: every round's output is a pure
+        // function of the context, so there is nothing to re-seed.
+    }
 }
 
 /// Sends nothing, ever. Equivalent to an initially-crashed node, but
@@ -147,6 +162,10 @@ impl ByzantineStrategy for Silent {
 
     fn name(&self) -> &'static str {
         "silent"
+    }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // Stateless across instances: never transmits, nothing to re-seed.
     }
 
     fn transmits(&self) -> bool {
@@ -179,6 +198,12 @@ impl ByzantineStrategy for Mimic {
     fn name(&self) -> &'static str {
         "mimic"
     }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // The median scratch is cleared at every use; dropping its
+        // contents here just keeps instances observably independent.
+        self.scratch.clear();
+    }
 }
 
 /// Alternates between the two extremes per round (flip-flopping), tagged
@@ -200,6 +225,11 @@ impl ByzantineStrategy for FlipFlop {
 
     fn name(&self) -> &'static str {
         "flip-flop"
+    }
+
+    fn begin_instance(&mut self, _instance: u64) {
+        // Stateless across instances: every round's output is a pure
+        // function of the context, so there is nothing to re-seed.
     }
 }
 

@@ -272,7 +272,9 @@ impl LinkPlane {
                 "row {v} is not the pool tail: CSR rows must be filled contiguously"
             );
             debug_assert!(
-                *self.csr_items.last().unwrap() < u.index() as u32,
+                self.csr_items
+                    .last()
+                    .is_some_and(|&last| last < u.index() as u32),
                 "row {v}: links must be pushed in ascending sender order"
             );
         }

@@ -31,6 +31,7 @@ impl NodeSet {
     pub fn new(n: usize) -> Self {
         NodeSet {
             n,
+            // audit: allow(alloc-reach) — init-time constructor; delivery loops reuse sets and reach this only via `EdgeSet::empty` in the `Adversary::edges` shim
             words: vec![0; n.div_ceil(64)],
         }
     }

@@ -1,3 +1,4 @@
+// audit: allow(layering) — the sharded delivery contexts are handed to ShardPool workers; the Mutex lives here, the threads in shardpool.rs
 use std::sync::{Mutex, PoisonError};
 
 use adn_adversary::{Adversary, AdversaryView};
